@@ -1,0 +1,59 @@
+//! Criterion mirror of Fig. 3 at CI-friendly sizes: each kernel at three
+//! sparsity levels, L = 1024, dk = 64.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpa_bench::{fitted_case, AlgoId};
+use gpa_core::KernelOptions;
+use gpa_parallel::ThreadPool;
+use gpa_tensor::init::qkv;
+use gpa_tensor::Matrix;
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let l = 1024;
+    let dk = 64;
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 7);
+    let opts = KernelOptions::new();
+
+    let mut group = c.benchmark_group("fig3_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for sf in [0.1f64, 0.01, 0.001] {
+        for algo in [
+            AlgoId::Sdp,
+            AlgoId::Csr,
+            AlgoId::Local,
+            AlgoId::Dilated1d,
+            AlgoId::Dilated2d,
+            AlgoId::Global,
+        ] {
+            let case = fitted_case(algo, l, sf);
+            group.bench_with_input(
+                BenchmarkId::new(case.name(), format!("sf={sf}")),
+                &sf,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
+                },
+            );
+        }
+        // COO only at the sparser points (paper restriction, same reason).
+        if sf <= 0.1 {
+            let case = fitted_case(AlgoId::Coo, l, sf);
+            group.bench_with_input(
+                BenchmarkId::new("COO", format!("sf={sf}")),
+                &sf,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

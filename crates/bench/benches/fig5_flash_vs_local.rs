@@ -1,0 +1,40 @@
+//! Criterion mirror of Fig. 5: dense FlashAttention vs the local kernel at
+//! fixed window and fixed sparsity, over a small context ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpa_core::{flash_attention, local_attention, KernelOptions};
+use gpa_masks::local_window_for_sparsity;
+use gpa_parallel::ThreadPool;
+use gpa_tensor::init::qkv;
+use gpa_tensor::Matrix;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let dk = 64;
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let opts = KernelOptions::new();
+
+    let mut group = c.benchmark_group("fig5_flash_vs_local");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for l in [2048usize, 4096] {
+        let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 9);
+        group.bench_with_input(BenchmarkId::new("FlashAttention", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(flash_attention(&pool, &q, &k, &v, &opts).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("Local_window50", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(local_attention(&pool, 50, &q, &k, &v, &opts).unwrap()));
+        });
+        let w = local_window_for_sparsity(l, 1e-2);
+        group.bench_with_input(BenchmarkId::new("Local_sf1e-2", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(local_attention(&pool, w, &q, &k, &v, &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

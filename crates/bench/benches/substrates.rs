@@ -1,0 +1,69 @@
+//! Substrate microbenchmarks: the building blocks under the kernels —
+//! online softmax, sparse-format conversion, mask materialization, the
+//! thread-pool launch overhead, and the dense matmul used by projections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpa_masks::{LocalWindow, MaskPattern};
+use gpa_parallel::{parallel_for, Schedule, ThreadPool};
+use gpa_sparse::CsrMask;
+use gpa_tensor::init::uniform_matrix;
+use gpa_tensor::ops::matmul;
+use gpa_tensor::softmax::{online_softmax_slice, softmax_slice};
+use gpa_tensor::Matrix;
+use std::time::Duration;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    // Softmax: two-pass vs streaming.
+    let scores: Vec<f32> = (0..4096).map(|i| ((i * 37) % 100) as f32 * 0.1).collect();
+    let mut out = vec![0.0f32; scores.len()];
+    group.bench_function("softmax_two_pass_4096", |b| {
+        b.iter(|| softmax_slice(&scores, &mut out));
+    });
+    group.bench_function("softmax_online_4096", |b| {
+        b.iter(|| online_softmax_slice(&scores, &mut out));
+    });
+
+    // Mask materialization and conversion.
+    let pattern = LocalWindow::new(4096, 64);
+    group.bench_function("mask_local_to_csr_L4096_w64", |b| {
+        b.iter(|| std::hint::black_box(pattern.to_csr()));
+    });
+    let coo = pattern.to_coo();
+    group.bench_function("coo_to_csr_conversion", |b| {
+        b.iter(|| std::hint::black_box(CsrMask::from_coo(&coo)));
+    });
+
+    // Pool launch overhead at varying grain.
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    for grain in [1usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_for_noop_4096", grain),
+            &grain,
+            |b, &grain| {
+                b.iter(|| {
+                    parallel_for(&pool, 4096, Schedule::Dynamic { grain }, |range| {
+                        std::hint::black_box(range.len());
+                    })
+                });
+            },
+        );
+    }
+
+    // Projection matmul (multi-head layer building block).
+    let a: Matrix<f32> = uniform_matrix(512, 256, 1);
+    let bmat: Matrix<f32> = uniform_matrix(256, 256, 2);
+    group.bench_function("matmul_512x256x256", |b| {
+        b.iter(|| std::hint::black_box(matmul(&a, &bmat)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion mirror of Table III: flash vs local vs CSR under the LongNet
+//! sparsity schedule at two rungs of the ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpa_core::{csr_attention, flash_attention, local_attention, KernelOptions};
+use gpa_masks::{local_window_for_sparsity, longnet_sparsity_factor, LocalWindow, MaskPattern};
+use gpa_parallel::ThreadPool;
+use gpa_tensor::init::qkv;
+use gpa_tensor::Matrix;
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let dk = 64;
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let opts = KernelOptions::new();
+
+    let mut group = c.benchmark_group("table3_ladder");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for l in [4096usize, 8192] {
+        let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 13);
+        let sf = longnet_sparsity_factor(l);
+        let window = local_window_for_sparsity(l, sf);
+        let mask = LocalWindow::new(l, window).to_csr();
+
+        group.bench_with_input(BenchmarkId::new("FlashAttention", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(flash_attention(&pool, &q, &k, &v, &opts).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("Local_longnet_sf", l), &l, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(local_attention(&pool, window, &q, &k, &v, &opts).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("CSR_longnet_sf", l), &l, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(csr_attention(&pool, &mask, &q, &k, &v, &opts).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+//!
+//! Flags understood by every binary:
+//!
+//! - `--paper`      run the paper's sizes and 10+15 protocol (slow on CPU);
+//! - `--quick`      tiny smoke-test sizes (seconds);
+//! - `--threads N`  worker count (default: `GPA_THREADS` or all cores);
+//! - `--out DIR`    CSV output directory (default `results/`);
+//! - `--seed S`     workload seed.
+
+use std::path::PathBuf;
+
+/// Size/protocol scaling selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes.
+    Quick,
+    /// CPU-feasible defaults (minutes).
+    Default,
+    /// The paper's exact sizes and protocol (hours on CPU).
+    Paper,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Worker threads (None = library default).
+    pub threads: Option<usize>,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: Scale::Default,
+            threads: None,
+            out_dir: PathBuf::from("results"),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding argv[0]).
+    /// Unknown flags produce an error message listing valid options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper" => out.scale = Scale::Paper,
+                "--quick" => out.scale = Scale::Quick,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads requires a value")?;
+                    out.threads =
+                        Some(v.parse().map_err(|_| format!("bad thread count: {v}"))?);
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out requires a directory")?;
+                    out.out_dir = PathBuf::from(v);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed requires a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --paper | --quick | --threads N | --out DIR | --seed S".into(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other}; try --help")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process's real command line, exiting with a message on
+    /// error.
+    pub fn from_env() -> Args {
+        match Args::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Build the worker pool this run should use.
+    pub fn make_pool(&self) -> gpa_parallel::ThreadPool {
+        let threads = self.threads.unwrap_or_else(gpa_parallel::default_threads);
+        gpa_parallel::ThreadPool::new(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Default);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+        assert!(a.threads.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--paper", "--threads", "8", "--out", "/tmp/x", "--seed", "42"]).unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn quick_flag() {
+        assert_eq!(parse(&["--quick"]).unwrap().scale, Scale::Quick);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation studies A1–A4 (DESIGN.md §3): COO search strategy, block
+//! scheduling under load imbalance, flash tile size, and generic-vs-
+//! specialized neighbor enumeration.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin ablations [--quick]
+//! ```
+
+use gpa_bench::experiments::{run_ablations, AblationConfig};
+use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let pool = args.make_pool();
+    let cfg = AblationConfig::for_scale(args.scale);
+
+    println!("Ablations A1–A4 on {}\n", HostInfo::detect().summary());
+
+    let records = run_ablations(&pool, &cfg, |r| {
+        eprintln!(
+            "  measured {:<32} [{}] -> {}",
+            r.algo,
+            r.experiment,
+            fmt_seconds(r.mean_s)
+        );
+    });
+
+    for (exp, title) in [
+        ("ablation_a1", "A1 — COO row-bound search (linear = paper, binary = fix)"),
+        ("ablation_a2", "A2 — scheduling on the imbalanced global mask"),
+        ("ablation_a3", "A3 — FlashAttention K/V tile size"),
+        ("ablation_a4", "A4 — generic pattern driver vs specialized kernel"),
+    ] {
+        let rows: Vec<Vec<String>> = records
+            .iter()
+            .filter(|r| r.experiment == exp)
+            .map(|r| {
+                vec![
+                    r.algo.clone(),
+                    format!("L={}", r.l),
+                    if r.sf_target.is_nan() {
+                        "—".into()
+                    } else {
+                        format!("Sf={:.0e}", r.sf_target)
+                    },
+                    fmt_seconds(r.mean_s),
+                    r.note.clone(),
+                ]
+            })
+            .collect();
+        println!("\n{title}:");
+        print!(
+            "{}",
+            ascii_table(&["variant", "L", "Sf", "mean runtime", "note"], &rows)
+        );
+    }
+
+    match write_csv(&args.out_dir, "ablations", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write CSV: {e}"),
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 4 + Table II — theoretical context-length limits from the
+//! accelerator memory model (analytic; runs in milliseconds at any scale).
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin fig4_table2_memlimits
+//! ```
+
+use gpa_bench::{ascii_table, fmt_count, Args};
+use gpa_memmodel::{
+    fig4_all_panels, sparsity_grid, table2_row, Accounting, MemAlgorithm, A100_80GB, TABLE2_ROWS,
+};
+use std::io::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+
+    // ---- Table II: ours (paper-calibrated + principled) vs paper --------
+    println!("Table II — max context length on one {} at Sf = 1e-4\n", A100_80GB.name);
+    for spec in &TABLE2_ROWS {
+        let calibrated = table2_row(spec, Accounting::PaperCalibrated);
+        let principled = table2_row(spec, Accounting::Principled);
+        println!(
+            "{} dk={} heads={}:",
+            spec.dtype.label(),
+            spec.d_total,
+            spec.heads
+        );
+        let rows: Vec<Vec<String>> = calibrated
+            .iter()
+            .zip(principled.iter())
+            .map(|(c, p)| {
+                let fmt = |v: Option<u64>| {
+                    v.map(fmt_count).unwrap_or_else(|| "Unsupported".into())
+                };
+                let err = c
+                    .relative_error()
+                    .map(|e| format!("{:.2}%", e * 100.0))
+                    .unwrap_or_else(|| "—".into());
+                vec![
+                    c.algo.label().to_string(),
+                    fmt(c.paper),
+                    fmt(c.ours),
+                    err,
+                    fmt(p.ours),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            ascii_table(
+                &["algorithm", "paper", "calibrated model", "rel err", "principled (this repo)"],
+                &rows
+            )
+        );
+        println!();
+    }
+
+    // ---- Fig. 4: capacity curves ----------------------------------------
+    let sfs = sparsity_grid(8);
+    let panels = fig4_all_panels(&A100_80GB, Accounting::PaperCalibrated, &sfs);
+
+    std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+    let path = args.out_dir.join("fig4.csv");
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create(&path).expect("create fig4.csv"));
+    writeln!(file, "dtype,dk,algo,sf,max_context_length").unwrap();
+    for panel in &panels {
+        for series in &panel.series {
+            for (sf, max_l) in &series.points {
+                writeln!(
+                    file,
+                    "{},{},{},{:.6e},{}",
+                    panel.dtype.label(),
+                    panel.d_total,
+                    series.algo.label(),
+                    sf,
+                    max_l.map(|l| l.to_string()).unwrap_or_default()
+                )
+                .unwrap();
+            }
+        }
+    }
+    drop(file);
+    println!("Fig. 4 curves ({} panels × {} algorithms × {} sparsity points)", panels.len(), MemAlgorithm::ALL.len(), sfs.len());
+
+    // Compact preview of one panel (FP16, dk = 64 — the paper's headline).
+    let panel = panels
+        .iter()
+        .find(|p| p.d_total == 64 && p.dtype.label() == "FP16")
+        .expect("FP16/64 panel");
+    let preview_sfs = [1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+    let mut headers = vec!["algo".to_string()];
+    headers.extend(preview_sfs.iter().map(|sf| format!("Sf={sf:.0e}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = panel
+        .series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.algo.label().to_string()];
+            for &sf in &preview_sfs {
+                let cell = s
+                    .points
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.0 - sf).abs().partial_cmp(&(b.0 - sf).abs()).unwrap()
+                    })
+                    .and_then(|(_, l)| *l)
+                    .map(fmt_count)
+                    .unwrap_or_else(|| "Unsupported".into());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    println!("\nFP16, dk = 64 preview (max L):");
+    print!("{}", ascii_table(&header_refs, &rows));
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,70 @@
+//! Table III — long-context runtimes under the LongNet sparsity schedule
+//! (`Sf = 2730/L`): FlashAttention vs Local vs CSR.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin table3_longcontext [--quick|--paper]
+//! ```
+
+use gpa_bench::experiments::{run_table3, Table3Config};
+use gpa_bench::{ascii_table, fmt_seconds, speedup, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let pool = args.make_pool();
+    let mut cfg = Table3Config::for_scale(args.scale);
+    cfg.seed = args.seed;
+
+    println!(
+        "Table III — long-context ladder on {} (LongNet schedule Sf = 2730/L)\n",
+        HostInfo::detect().summary()
+    );
+
+    let records = run_table3(&pool, &cfg, |r| {
+        eprintln!(
+            "  measured {:<16} L={:<9} -> {} {}",
+            r.algo,
+            r.l,
+            fmt_seconds(r.mean_s),
+            r.note
+        );
+    });
+
+    let mut rows = Vec::new();
+    for &l in &cfg.ls {
+        let flash = records
+            .iter()
+            .find(|r| r.l == l && r.algo == "FlashAttention")
+            .unwrap();
+        for algo in ["FlashAttention", "Local", "CSR"] {
+            let r = records.iter().find(|r| r.l == l && r.algo == algo).unwrap();
+            rows.push(vec![
+                if algo == "FlashAttention" {
+                    format!("{l}")
+                } else {
+                    String::new()
+                },
+                r.algo.clone(),
+                if r.sf_target.is_nan() {
+                    "—".into()
+                } else {
+                    format!("{:.1e}", r.sf_achieved)
+                },
+                fmt_seconds(r.mean_s),
+                format!("{:.2}x", speedup(flash.mean_s, r.mean_s)),
+                r.note.clone(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        ascii_table(
+            &["L", "algorithm", "Sf", "mean runtime", "speedup vs Flash", "note"],
+            &rows
+        )
+    );
+
+    match write_csv(&args.out_dir, "table3", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write CSV: {e}"),
+    }
+}

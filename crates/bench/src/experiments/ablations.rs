@@ -1,0 +1,263 @@
+//! Design-choice ablations called out in DESIGN.md §3 (not in the paper):
+//!
+//! - **A1** COO row-bound search: the paper's linear prefix scan vs binary
+//!   search — quantifies how much of COO's Fig. 3 pathology is the search;
+//! - **A2** block scheduling on the imbalanced global mask: static
+//!   contiguous vs CUDA-like block-cyclic vs dynamic work-sharing — the
+//!   "slowest block" phenomenon of Section V-C;
+//! - **A3** FlashAttention K/V tile size;
+//! - **A4** generic `pattern_attention` vs the specialized local kernel —
+//!   the cost of neighbor enumeration through a trait object.
+
+use crate::args::Scale;
+use crate::protocol::{measure_auto, Protocol};
+use crate::report::Record;
+use gpa_core::{
+    coo_attention, flash_attention_tiled, global_attention, local_attention, pattern_attention,
+    CooSearch, KernelOptions,
+};
+use gpa_masks::{global_count_for_sparsity, GlobalSet, LocalWindow, MaskPattern};
+use gpa_parallel::{Schedule, ThreadPool};
+use gpa_tensor::init::qkv;
+use gpa_tensor::Matrix;
+
+/// Ablation study configuration.
+#[derive(Clone, Debug)]
+pub struct AblationConfig {
+    /// Context length for A1/A2/A4.
+    pub l: usize,
+    /// Context length for A3 (dense flash).
+    pub l_flash: usize,
+    /// Embedding dimension.
+    pub dk: usize,
+    /// COO sparsity sweep for A1.
+    pub coo_sfs: Vec<f64>,
+    /// Global-mask sparsity for A2.
+    pub global_sf: f64,
+    /// Tile sizes for A3.
+    pub tiles: Vec<usize>,
+    /// Measurement protocol ceiling.
+    pub protocol: Protocol,
+    /// Per-case budget (seconds).
+    pub budget_s: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl AblationConfig {
+    /// Configuration for a CLI scale.
+    pub fn for_scale(scale: Scale) -> AblationConfig {
+        match scale {
+            Scale::Quick => AblationConfig {
+                l: 256,
+                l_flash: 512,
+                dk: 32,
+                coo_sfs: vec![0.2],
+                global_sf: 0.05,
+                tiles: vec![16, 64],
+                protocol: Protocol { warmup: 1, iters: 2 },
+                budget_s: 3.0,
+                seed: 0x5EED,
+            },
+            Scale::Default | Scale::Paper => AblationConfig {
+                l: 1024,
+                l_flash: 4096,
+                dk: 64,
+                coo_sfs: vec![0.4, 0.1, 0.01],
+                global_sf: 0.02,
+                tiles: vec![8, 16, 32, 64, 128, 256],
+                protocol: Protocol::cpu_default(),
+                budget_s: 10.0,
+                seed: 0x5EED,
+            },
+        }
+    }
+}
+
+fn record(
+    experiment: &str,
+    algo: String,
+    l: usize,
+    dk: usize,
+    sf: f64,
+    stat: crate::protocol::BenchStat,
+    note: String,
+) -> Record {
+    Record {
+        experiment: experiment.into(),
+        algo,
+        l,
+        dk,
+        sf_target: sf,
+        sf_achieved: f64::NAN,
+        mean_s: stat.mean,
+        min_s: stat.min,
+        max_s: stat.max,
+        std_s: stat.std,
+        iters: stat.iters,
+        note,
+    }
+}
+
+/// Run all four ablations; streams records through `on_record`.
+pub fn run_ablations(
+    pool: &ThreadPool,
+    cfg: &AblationConfig,
+    mut on_record: impl FnMut(&Record),
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    let opts = KernelOptions::new();
+    let (q, k, v): (Matrix<f32>, _, _) = qkv(cfg.l, cfg.dk, cfg.seed);
+
+    // --- A1: COO search strategy ---------------------------------------
+    for &sf in &cfg.coo_sfs {
+        let window = gpa_masks::local_window_for_sparsity(cfg.l, sf);
+        let mask = LocalWindow::new(cfg.l, window).to_coo();
+        for (search, name) in [
+            (CooSearch::Linear, "COO linear search"),
+            (CooSearch::Binary, "COO binary search"),
+        ] {
+            let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+                std::hint::black_box(
+                    coo_attention(pool, &mask, search, &q, &k, &v, &opts).unwrap(),
+                );
+            });
+            let rec = record("ablation_a1", name.into(), cfg.l, cfg.dk, sf, stat, String::new());
+            on_record(&rec);
+            records.push(rec);
+        }
+    }
+
+    // --- A2: scheduling on the global (imbalanced) mask ------------------
+    let g = global_count_for_sparsity(cfg.l, cfg.global_sf);
+    let globals = GlobalSet::evenly_spaced(cfg.l, g);
+    for (schedule, name) in [
+        (Schedule::StaticContiguous, "Global / static-contiguous"),
+        (Schedule::cuda_like(), "Global / block-cyclic"),
+        (Schedule::Dynamic { grain: 4 }, "Global / dynamic"),
+    ] {
+        let sched_opts = KernelOptions::new().with_schedule(schedule);
+        let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+            std::hint::black_box(
+                global_attention(pool, &globals, 0, &q, &k, &v, &sched_opts).unwrap(),
+            );
+        });
+        let rec = record(
+            "ablation_a2",
+            name.into(),
+            cfg.l,
+            cfg.dk,
+            cfg.global_sf,
+            stat,
+            format!("{} global tokens", globals.len()),
+        );
+        on_record(&rec);
+        records.push(rec);
+    }
+
+    // --- A3: flash tile size ---------------------------------------------
+    let (qf, kf, vf): (Matrix<f32>, _, _) = qkv(cfg.l_flash, cfg.dk, cfg.seed ^ 1);
+    for &tile in &cfg.tiles {
+        let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+            std::hint::black_box(
+                flash_attention_tiled(pool, &qf, &kf, &vf, tile, &opts).unwrap(),
+            );
+        });
+        let rec = record(
+            "ablation_a3",
+            format!("Flash tile={tile}"),
+            cfg.l_flash,
+            cfg.dk,
+            f64::NAN,
+            stat,
+            String::new(),
+        );
+        on_record(&rec);
+        records.push(rec);
+    }
+
+    // --- A4: generic pattern driver vs specialized local kernel ----------
+    let window = gpa_masks::local_window_for_sparsity(cfg.l, 0.05);
+    let pattern = LocalWindow::new(cfg.l, window);
+    let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+        std::hint::black_box(pattern_attention(pool, &pattern, &q, &k, &v, &opts).unwrap());
+    });
+    let rec = record(
+        "ablation_a4",
+        "pattern_attention (generic)".into(),
+        cfg.l,
+        cfg.dk,
+        0.05,
+        stat,
+        String::new(),
+    );
+    on_record(&rec);
+    records.push(rec);
+    let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+        std::hint::black_box(local_attention(pool, window, &q, &k, &v, &opts).unwrap());
+    });
+    let rec = record(
+        "ablation_a4",
+        "local_attention (specialized)".into(),
+        cfg.l,
+        cfg.dk,
+        0.05,
+        stat,
+        String::new(),
+    );
+    on_record(&rec);
+    records.push(rec);
+
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_emit_records() {
+        let pool = ThreadPool::new(2);
+        let cfg = AblationConfig::for_scale(Scale::Quick);
+        let records = run_ablations(&pool, &cfg, |_| {});
+        // A1: 1 sf × 2; A2: 3; A3: 2 tiles; A4: 2.
+        assert_eq!(records.len(), 2 + 3 + 2 + 2);
+        for exp in ["ablation_a1", "ablation_a2", "ablation_a3", "ablation_a4"] {
+            assert!(records.iter().any(|r| r.experiment == exp), "missing {exp}");
+        }
+        assert!(records.iter().all(|r| r.mean_s > 0.0));
+    }
+
+    #[test]
+    fn binary_search_beats_linear_on_large_coo() {
+        // With enough rows the prefix scan's O(L·nnz) cost must dominate.
+        // dk is kept tiny so per-edge arithmetic cannot mask the search.
+        let pool = ThreadPool::new(4);
+        let cfg = AblationConfig {
+            l: 2048,
+            l_flash: 256,
+            dk: 4,
+            coo_sfs: vec![0.1],
+            global_sf: 0.05,
+            tiles: vec![64],
+            protocol: Protocol { warmup: 1, iters: 3 },
+            budget_s: 30.0,
+            seed: 2,
+        };
+        let records = run_ablations(&pool, &cfg, |_| {});
+        let linear = records
+            .iter()
+            .find(|r| r.algo == "COO linear search")
+            .unwrap()
+            .mean_s;
+        let binary = records
+            .iter()
+            .find(|r| r.algo == "COO binary search")
+            .unwrap()
+            .mean_s;
+        assert!(
+            linear > binary * 1.5,
+            "linear {linear} should be ≫ binary {binary}"
+        );
+    }
+}

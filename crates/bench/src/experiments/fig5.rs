@@ -1,0 +1,223 @@
+//! Fig. 5 — FlashAttention vs local attention as context grows, under a
+//! constant window (left panel: sparsity increases with `L`) and a constant
+//! sparsity factor (right panel: window grows with `L`).
+//!
+//! Paper setup (Section V-E): A100, FP16, `L` from 65k to 2.1M, windows
+//! {5, 50, 500}, sparsity factors {1e-2, 1e-3, 1e-4}.
+
+use crate::args::Scale;
+use crate::protocol::{measure_auto, Protocol};
+use crate::report::Record;
+use gpa_core::{flash_attention, local_attention, KernelOptions};
+use gpa_masks::{local_window_for_sparsity, LocalWindow, MaskPattern};
+use gpa_parallel::ThreadPool;
+use gpa_tensor::init::qkv;
+use gpa_tensor::Matrix;
+
+/// Sweep configuration for Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Fig5Config {
+    /// Context-length ladder (x-axis).
+    pub ls: Vec<usize>,
+    /// Constant windows for the left panel.
+    pub windows: Vec<usize>,
+    /// Constant sparsity factors for the right panel.
+    pub sfs: Vec<f64>,
+    /// Embedding dimension.
+    pub dk: usize,
+    /// FlashAttention is measured up to this length; larger entries are
+    /// extrapolated from the largest measurement via its `O(L²)` work
+    /// (marked "estimated" in the record note).
+    pub flash_max_l: usize,
+    /// Measurement protocol ceiling.
+    pub protocol: Protocol,
+    /// Per-case time budget (seconds).
+    pub budget_s: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Fig5Config {
+    /// Configuration for a CLI scale.
+    pub fn for_scale(scale: Scale) -> Fig5Config {
+        match scale {
+            Scale::Quick => Fig5Config {
+                ls: vec![512, 1024],
+                windows: vec![5, 50],
+                sfs: vec![1e-2],
+                dk: 32,
+                flash_max_l: 1024,
+                protocol: Protocol { warmup: 1, iters: 2 },
+                budget_s: 2.0,
+                seed: 0x5EED,
+            },
+            Scale::Default => Fig5Config {
+                ls: vec![2048, 4096, 8192, 16384, 32768],
+                windows: vec![5, 50, 500],
+                sfs: vec![1e-2, 1e-3, 1e-4],
+                dk: 64,
+                flash_max_l: 8192,
+                protocol: Protocol::cpu_default(),
+                budget_s: 15.0,
+                seed: 0x5EED,
+            },
+            Scale::Paper => Fig5Config {
+                ls: vec![65_536, 131_072, 262_144, 524_288, 1_048_576, 2_097_152],
+                windows: vec![5, 50, 500],
+                sfs: vec![1e-2, 1e-3, 1e-4],
+                dk: 64,
+                flash_max_l: 2_097_152,
+                protocol: Protocol::paper(),
+                budget_s: f64::INFINITY,
+                seed: 0x5EED,
+            },
+        }
+    }
+}
+
+/// Run the two sweeps; streams records through `on_record`.
+pub fn run_fig5(
+    pool: &ThreadPool,
+    cfg: &Fig5Config,
+    mut on_record: impl FnMut(&Record),
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    let opts = KernelOptions::new();
+    // Largest measured flash point, for O(L²) extrapolation.
+    let mut flash_ref: Option<(usize, f64)> = None;
+
+    for &l in &cfg.ls {
+        let (q, k, v): (Matrix<f32>, _, _) = qkv(l, cfg.dk, cfg.seed);
+
+        // FlashAttention series (both panels share it).
+        let rec = if l <= cfg.flash_max_l {
+            let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+                std::hint::black_box(flash_attention(pool, &q, &k, &v, &opts).unwrap());
+            });
+            flash_ref = Some((l, stat.mean));
+            Record {
+                experiment: "fig5".into(),
+                algo: "FlashAttention".into(),
+                l,
+                dk: cfg.dk,
+                sf_target: f64::NAN,
+                sf_achieved: 1.0,
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                note: String::new(),
+            }
+        } else {
+            let (l0, t0) = flash_ref.expect("ladder must start below flash_max_l");
+            let scale = (l as f64 / l0 as f64).powi(2);
+            Record {
+                experiment: "fig5".into(),
+                algo: "FlashAttention".into(),
+                l,
+                dk: cfg.dk,
+                sf_target: f64::NAN,
+                sf_achieved: 1.0,
+                mean_s: t0 * scale,
+                min_s: f64::NAN,
+                max_s: f64::NAN,
+                std_s: f64::NAN,
+                iters: 0,
+                note: format!("estimated from L={l0} via O(L^2) work scaling"),
+            }
+        };
+        on_record(&rec);
+        records.push(rec);
+
+        // Left panel: constant windows.
+        for &w in &cfg.windows {
+            let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+                std::hint::black_box(local_attention(pool, w, &q, &k, &v, &opts).unwrap());
+            });
+            let rec = Record {
+                experiment: "fig5".into(),
+                algo: format!("Local (window={w})"),
+                l,
+                dk: cfg.dk,
+                sf_target: f64::NAN,
+                sf_achieved: LocalWindow::new(l, w).sparsity_factor(),
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                note: "constant window".into(),
+            };
+            on_record(&rec);
+            records.push(rec);
+        }
+
+        // Right panel: constant sparsity (window grows with L).
+        for &sf in &cfg.sfs {
+            let w = local_window_for_sparsity(l, sf);
+            let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
+                std::hint::black_box(local_attention(pool, w, &q, &k, &v, &opts).unwrap());
+            });
+            let rec = Record {
+                experiment: "fig5".into(),
+                algo: format!("Local (Sf={sf})"),
+                l,
+                dk: cfg.dk,
+                sf_target: sf,
+                sf_achieved: LocalWindow::new(l, w).sparsity_factor(),
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                note: "constant sparsity".into(),
+            };
+            on_record(&rec);
+            records.push(rec);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_panels() {
+        let pool = ThreadPool::new(2);
+        let cfg = Fig5Config::for_scale(Scale::Quick);
+        let records = run_fig5(&pool, &cfg, |_| {});
+        // Per L: 1 flash + 2 windows + 1 sf.
+        assert_eq!(records.len(), 2 * 4);
+        assert!(records.iter().any(|r| r.algo == "FlashAttention"));
+        assert!(records.iter().any(|r| r.algo.starts_with("Local (window=")));
+        assert!(records.iter().any(|r| r.algo.starts_with("Local (Sf=")));
+    }
+
+    #[test]
+    fn flash_extrapolation_scales_quadratically() {
+        let pool = ThreadPool::new(2);
+        let cfg = Fig5Config {
+            ls: vec![256, 512, 1024],
+            windows: vec![5],
+            sfs: vec![1e-2],
+            dk: 32,
+            flash_max_l: 512,
+            protocol: Protocol { warmup: 1, iters: 2 },
+            budget_s: 5.0,
+            seed: 3,
+        };
+        let records = run_fig5(&pool, &cfg, |_| {});
+        let flash: Vec<&Record> = records
+            .iter()
+            .filter(|r| r.algo == "FlashAttention")
+            .collect();
+        assert_eq!(flash.len(), 3);
+        let measured_512 = flash.iter().find(|r| r.l == 512).unwrap();
+        let est_1024 = flash.iter().find(|r| r.l == 1024).unwrap();
+        assert!(est_1024.note.contains("estimated"));
+        assert!((est_1024.mean_s / measured_512.mean_s - 4.0).abs() < 1e-9);
+    }
+}

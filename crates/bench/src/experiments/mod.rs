@@ -1,0 +1,14 @@
+//! Experiment runners — one module per paper table/figure (see DESIGN.md
+//! §4 for the experiment index) plus the ablation studies.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod table3;
+
+pub use ablations::{run_ablations, AblationConfig};
+pub use fig3::{run_fig3, Fig3Config};
+pub use fig5::{run_fig5, Fig5Config};
+pub use fig6::{run_fig6, Fig6Config};
+pub use table3::{run_table3, Table3Config};

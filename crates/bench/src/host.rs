@@ -1,0 +1,66 @@
+//! Host introspection for benchmark provenance (our analogue of the
+//! paper's Table I system descriptions).
+
+/// Description of the machine a benchmark ran on.
+#[derive(Clone, Debug)]
+pub struct HostInfo {
+    /// CPU model string (best effort).
+    pub cpu: String,
+    /// Logical cores available.
+    pub cores: usize,
+    /// Operating system.
+    pub os: String,
+    /// Architecture.
+    pub arch: String,
+}
+
+impl HostInfo {
+    /// Detect the current host.
+    pub fn detect() -> HostInfo {
+        HostInfo {
+            cpu: cpu_model(),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    /// One-line summary for table headers.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ({} cores, {}-{})",
+            self.cpu, self.cores, self.os, self.arch
+        )
+    }
+}
+
+/// Best-effort CPU model name (Linux `/proc/cpuinfo`, else a generic tag).
+fn cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, name)) = rest.split_once(':') {
+                    return name.trim().to_string();
+                }
+            }
+        }
+    }
+    format!("{}-cpu", std::env::consts::ARCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_populated() {
+        let h = HostInfo::detect();
+        assert!(h.cores >= 1);
+        assert!(!h.cpu.is_empty());
+        assert!(!h.os.is_empty());
+        let s = h.summary();
+        assert!(s.contains("cores"));
+    }
+}

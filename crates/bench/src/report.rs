@@ -1,0 +1,225 @@
+//! Result records, ASCII tables, and CSV output.
+//!
+//! Every experiment binary emits two artifacts: a human-readable table on
+//! stdout (shaped like the paper's tables/figure series) and a CSV file
+//! under `results/` for plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One measured configuration — a row of an experiment's CSV.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Experiment id (e.g. "fig3").
+    pub experiment: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// Context length.
+    pub l: usize,
+    /// Embedding dimension.
+    pub dk: usize,
+    /// Target sparsity factor (NaN when not applicable).
+    pub sf_target: f64,
+    /// Achieved sparsity factor (NaN when not applicable).
+    pub sf_achieved: f64,
+    /// Mean runtime in seconds.
+    pub mean_s: f64,
+    /// Fastest run.
+    pub min_s: f64,
+    /// Slowest run.
+    pub max_s: f64,
+    /// Standard deviation.
+    pub std_s: f64,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Free-form note ("estimated", "skipped: …", mask name, …).
+    pub note: String,
+}
+
+impl Record {
+    /// CSV header matching [`Record::to_csv_row`].
+    pub const CSV_HEADER: &'static str =
+        "experiment,algo,L,dk,sf_target,sf_achieved,mean_s,min_s,max_s,std_s,iters,note";
+
+    /// Serialize as one CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.experiment,
+            self.algo.replace(',', ";"),
+            self.l,
+            self.dk,
+            fmt_f64(self.sf_target),
+            fmt_f64(self.sf_achieved),
+            fmt_f64(self.mean_s),
+            fmt_f64(self.min_s),
+            fmt_f64(self.max_s),
+            fmt_f64(self.std_s),
+            self.iters,
+            self.note.replace(',', ";"),
+        )
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "".to_string()
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+/// Write records as CSV under `dir/name.csv`, creating the directory.
+pub fn write_csv(dir: &Path, name: &str, records: &[Record]) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = std::io::BufWriter::new(fs::File::create(&path)?);
+    writeln!(file, "{}", Record::CSV_HEADER)?;
+    for r in records {
+        writeln!(file, "{}", r.to_csv_row())?;
+    }
+    file.flush()?;
+    Ok(path)
+}
+
+/// Render an ASCII table with a header row and alignment.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (c, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {h:width$} ", width = widths[c]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for c in 0..cols {
+            let empty = String::new();
+            let cell = row.get(c).unwrap_or(&empty);
+            let _ = write!(out, "| {cell:width$} ", width = widths[c]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Human-friendly seconds: "1.234 s", "12.3 ms", "456 µs".
+pub fn fmt_seconds(s: f64) -> String {
+    if s.is_nan() {
+        return "—".to_string();
+    }
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Human-friendly large integer with thousands separators.
+pub fn fmt_count(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Record {
+        Record {
+            experiment: "fig3".into(),
+            algo: "CSR".into(),
+            l: 1024,
+            dk: 64,
+            sf_target: 0.01,
+            sf_achieved: 0.0101,
+            mean_s: 0.5,
+            min_s: 0.4,
+            max_s: 0.6,
+            std_s: 0.05,
+            iters: 5,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_field_count() {
+        let row = rec().to_csv_row();
+        assert_eq!(row.split(',').count(), Record::CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn csv_nan_becomes_empty() {
+        let mut r = rec();
+        r.sf_target = f64::NAN;
+        let row = r.to_csv_row();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[4], "");
+    }
+
+    #[test]
+    fn csv_commas_in_text_are_escaped() {
+        let mut r = rec();
+        r.note = "skipped, too big".into();
+        assert_eq!(r.to_csv_row().split(',').count(), 12);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("gpa_bench_test_csv");
+        let path = write_csv(&dir, "unit", &[rec(), rec()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        assert!(content.starts_with("experiment,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = ascii_table(
+            &["algo", "time"],
+            &[
+                vec!["CSR".into(), "1.0 ms".into()],
+                vec!["FlashAttention".into(), "2.0 ms".into()],
+            ],
+        );
+        assert!(t.contains("| CSR "));
+        assert!(t.contains("| FlashAttention "));
+        let first_line_len = t.lines().next().unwrap().len();
+        assert!(t.lines().all(|l| l.len() == first_line_len));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_seconds(1.5), "1.500 s");
+        assert_eq!(fmt_seconds(0.0123), "12.300 ms");
+        assert_eq!(fmt_seconds(1e-5), "10.0 µs");
+        assert_eq!(fmt_seconds(f64::NAN), "—");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+}

@@ -1,0 +1,8 @@
+//! Dense baselines the paper compares against: masked SDP (PyTorch-style)
+//! and dense FlashAttention.
+
+pub mod flash;
+pub mod sdp;
+
+pub use flash::{flash_attention, flash_attention_tiled, DEFAULT_TILE};
+pub use sdp::{masked_sdp, masked_sdp_skipping};

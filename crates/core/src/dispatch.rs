@@ -1,0 +1,277 @@
+//! Uniform kernel dispatch — one name per algorithm the paper benchmarks.
+//!
+//! The benchmark harness, the multi-head layer, and the examples all select
+//! algorithms at runtime; [`AttentionKernel`] is that selector. Graph
+//! kernels (everything except the dense baselines) are *composable*: a
+//! sequence of them can be run against one shared [`AttentionState`], which
+//! is how Fig. 6's "Loc + Glo" and "Loc + Glo + CSR" series are produced.
+
+use crate::baselines::{flash_attention, masked_sdp};
+use crate::error::AttnError;
+use crate::kernels::{
+    coo_attention_into, csr_attention_into, dilated1d_attention_into, dilated2d_attention_into,
+    global_attention_into, local_attention_into, CooSearch,
+};
+use crate::options::KernelOptions;
+use crate::state::AttentionState;
+use gpa_masks::GlobalSet;
+use gpa_parallel::ThreadPool;
+use gpa_sparse::{CooMask, CsrMask, DenseMask};
+use gpa_tensor::{Matrix, Real};
+
+/// An attention algorithm selection.
+pub enum AttentionKernel<'a> {
+    /// Explicit COO mask with the given row-bound search strategy.
+    Coo(&'a CooMask, CooSearch),
+    /// Explicit CSR mask.
+    Csr(&'a CsrMask),
+    /// Implicit local window (`|i−j| ≤ n`).
+    Local {
+        /// Window per direction.
+        n: usize,
+    },
+    /// Implicit 1-D dilated window.
+    Dilated1d {
+        /// Window width (strict).
+        w: usize,
+        /// Dilation factor.
+        r: usize,
+    },
+    /// Implicit 2-D dilated diagonal blocks.
+    Dilated2d {
+        /// Block edge length.
+        block_size: usize,
+        /// Dilation factor.
+        r: usize,
+    },
+    /// Implicit global-minus-local attention.
+    Global {
+        /// Global token set.
+        globals: &'a GlobalSet,
+        /// Local window subtracted from the global rows/columns.
+        n_sub: usize,
+    },
+    /// Dense masked SDP baseline (not composable).
+    SdpMasked(&'a DenseMask),
+    /// Dense FlashAttention baseline (not composable).
+    Flash,
+}
+
+impl AttentionKernel<'_> {
+    /// Short display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttentionKernel::Coo(_, CooSearch::Linear) => "COO",
+            AttentionKernel::Coo(_, CooSearch::Binary) => "COO (binary search)",
+            AttentionKernel::Csr(_) => "CSR",
+            AttentionKernel::Local { .. } => "Local",
+            AttentionKernel::Dilated1d { .. } => "Dilated-1D",
+            AttentionKernel::Dilated2d { .. } => "Dilated-2D",
+            AttentionKernel::Global { .. } => "Global",
+            AttentionKernel::SdpMasked(_) => "PyTorch SDP (Masked)",
+            AttentionKernel::Flash => "FlashAttention",
+        }
+    }
+
+    /// True for graph kernels that can share an [`AttentionState`].
+    pub fn is_composable(&self) -> bool {
+        !matches!(
+            self,
+            AttentionKernel::SdpMasked(_) | AttentionKernel::Flash
+        )
+    }
+
+    /// Run into an existing state (graph kernels only).
+    pub fn run_into<T: Real>(
+        &self,
+        pool: &ThreadPool,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+        opts: &KernelOptions<'_>,
+        state: &mut AttentionState<T>,
+    ) -> Result<(), AttnError> {
+        match self {
+            AttentionKernel::Coo(mask, search) => {
+                coo_attention_into(pool, mask, *search, q, k, v, opts, state)
+            }
+            AttentionKernel::Csr(mask) => csr_attention_into(pool, mask, q, k, v, opts, state),
+            AttentionKernel::Local { n } => local_attention_into(pool, *n, q, k, v, opts, state),
+            AttentionKernel::Dilated1d { w, r } => {
+                dilated1d_attention_into(pool, *w, *r, q, k, v, opts, state)
+            }
+            AttentionKernel::Dilated2d { block_size, r } => {
+                dilated2d_attention_into(pool, *block_size, *r, q, k, v, opts, state)
+            }
+            AttentionKernel::Global { globals, n_sub } => {
+                global_attention_into(pool, globals, *n_sub, q, k, v, opts, state)
+            }
+            AttentionKernel::SdpMasked(_) | AttentionKernel::Flash => {
+                Err(AttnError::BadParameter {
+                    what: "dense baselines cannot run into a shared state",
+                })
+            }
+        }
+    }
+
+    /// Run standalone and return the output.
+    pub fn run<T: Real>(
+        &self,
+        pool: &ThreadPool,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+        opts: &KernelOptions<'_>,
+    ) -> Result<Matrix<T>, AttnError> {
+        match self {
+            AttentionKernel::SdpMasked(mask) => masked_sdp(pool, mask, q, k, v, opts),
+            AttentionKernel::Flash => flash_attention(pool, q, k, v, opts),
+            _ => {
+                let mut state = AttentionState::new(q.rows(), v.cols());
+                self.run_into(pool, q, k, v, opts, &mut state)?;
+                Ok(state.into_output())
+            }
+        }
+    }
+}
+
+/// Run a sequence of composable kernels against one shared state — the
+/// paper's "sequential kernel call" evaluation mode (Fig. 6). The masks
+/// must be pairwise disjoint for the result to equal single-kernel
+/// attention over their union (otherwise shared edges are double-counted).
+pub fn run_composed<T: Real>(
+    pool: &ThreadPool,
+    kernels: &[AttentionKernel<'_>],
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+) -> Result<Matrix<T>, AttnError> {
+    let mut state = AttentionState::new(q.rows(), v.cols());
+    for kernel in kernels {
+        kernel.run_into(pool, q, k, v, opts, &mut state)?;
+    }
+    Ok(state.into_output())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_masks::{GlobalMinusLocal, LocalWindow, MaskPattern, RandomUniform, Union};
+    use gpa_tensor::init::qkv;
+    use gpa_tensor::paper_allclose;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn names_and_composability() {
+        let csr = LocalWindow::new(4, 1).to_csr();
+        assert_eq!(AttentionKernel::Csr(&csr).name(), "CSR");
+        assert!(AttentionKernel::Csr(&csr).is_composable());
+        assert!(!AttentionKernel::Flash.is_composable());
+        assert_eq!(AttentionKernel::Local { n: 1 }.name(), "Local");
+    }
+
+    #[test]
+    fn local_then_global_equals_csr_of_longformer_union() {
+        // The Fig. 6 equivalence: Loc ∘ Glo == CSR(local ∪ global).
+        let l = 40;
+        let n = 3;
+        let (q, k, v) = qkv::<f64>(l, 8, 55);
+        let p = pool();
+        let globals = GlobalSet::new(l, vec![0, 17, 29]);
+
+        let composed = run_composed(
+            &p,
+            &[
+                AttentionKernel::Local { n },
+                AttentionKernel::Global {
+                    globals: &globals,
+                    n_sub: n,
+                },
+            ],
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+        )
+        .unwrap();
+
+        let union = Union::new(
+            LocalWindow::new(l, n),
+            gpa_masks::GlobalMask::new(globals.clone()),
+        )
+        .to_csr();
+        let single = AttentionKernel::Csr(&union)
+            .run(&p, &q, &k, &v, &KernelOptions::new())
+            .unwrap();
+        assert!(paper_allclose(&composed, &single));
+    }
+
+    #[test]
+    fn three_way_bigbird_composition_matches_union() {
+        // Loc ∘ Glo ∘ CSR(random ∖ covered) == CSR(local ∪ global ∪ random).
+        let l = 36;
+        let n = 2;
+        let (q, k, v) = qkv::<f64>(l, 8, 56);
+        let p = pool();
+        let globals = GlobalSet::new(l, vec![0, 18]);
+        let local = LocalWindow::new(l, n);
+        let gml = GlobalMinusLocal::new(globals.clone(), n);
+        let random = RandomUniform::new(l, 0.05, 4);
+
+        // Random edges not already covered by local/global parts.
+        let covered = local.to_csr().union(&gml.to_csr());
+        let random_rest = random.to_csr().difference(&covered);
+
+        let composed = run_composed(
+            &p,
+            &[
+                AttentionKernel::Local { n },
+                AttentionKernel::Global {
+                    globals: &globals,
+                    n_sub: n,
+                },
+                AttentionKernel::Csr(&random_rest),
+            ],
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+        )
+        .unwrap();
+
+        let union = covered.union(&random.to_csr());
+        let single = AttentionKernel::Csr(&union)
+            .run(&p, &q, &k, &v, &KernelOptions::new())
+            .unwrap();
+        assert!(paper_allclose(&composed, &single));
+    }
+
+    #[test]
+    fn baselines_refuse_shared_state() {
+        let (q, k, v) = qkv::<f64>(8, 4, 0);
+        let mut state = AttentionState::new(8, 4);
+        let err = AttentionKernel::Flash
+            .run_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut state)
+            .unwrap_err();
+        assert!(matches!(err, AttnError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn dispatch_run_matches_direct_calls() {
+        let l = 24;
+        let (q, k, v) = qkv::<f64>(l, 8, 57);
+        let p = pool();
+        let pat = LocalWindow::new(l, 2);
+        let csr = pat.to_csr();
+        let via_dispatch = AttentionKernel::Csr(&csr)
+            .run(&p, &q, &k, &v, &KernelOptions::new())
+            .unwrap();
+        let via_direct =
+            crate::kernels::csr_attention(&p, &csr, &q, &k, &v, &KernelOptions::new()).unwrap();
+        assert_eq!(via_dispatch, via_direct);
+    }
+}

@@ -1,0 +1,351 @@
+//! The Algorithm 1 driver: row-parallel neighbor streaming with online
+//! softmax.
+//!
+//! Every graph kernel in this crate is an instantiation of
+//! [`graph_attention_into`] with a different neighbor-enumeration rule —
+//! exactly the role `Get_Neighbors(G, i, Pa)` plays in the paper's
+//! Algorithm 1. The per-edge update [`absorb_edge`] is the normalized
+//! output recurrence written in the paper:
+//!
+//! ```text
+//! W      = Qi · Kj / √dk
+//! m_new  = max(m, W)
+//! l_new  = l·exp(m − m_new) + exp(W − m_new)
+//! Oi     = (l_new)⁻¹ · [ l·exp(m − m_new)·Oi + exp(W − m_new)·Vj ]
+//! ```
+//!
+//! Because `O` stays normalized after every edge, kernels can be chained on
+//! one [`AttentionState`] (local ∘ global composition, Section V-F).
+
+use crate::error::AttnError;
+use crate::options::KernelOptions;
+use crate::state::AttentionState;
+use gpa_masks::MaskPattern;
+use gpa_parallel::{parallel_for, CellWriter, LocalTally, RowWriter, ThreadPool};
+use gpa_tensor::ops::dot;
+use gpa_tensor::{attention_scale, Matrix, Real};
+
+/// Absorb one edge `(i → j)` into row `i`'s normalized accumulator.
+///
+/// `q_row`/`o_row` are row `i` of `Q`/`O`; `k_row`/`v_row` are row `j` of
+/// `K`/`V`; `m`/`l` are row `i`'s running softmax statistics.
+#[inline(always)]
+pub fn absorb_edge<T: Real>(
+    q_row: &[T],
+    k_row: &[T],
+    v_row: &[T],
+    scale: T,
+    m: &mut T,
+    l: &mut T,
+    o_row: &mut [T],
+) {
+    let w = dot(q_row, k_row) * scale;
+    let m_new = (*m).max(w);
+    // First edge: m = −∞ ⇒ alpha = exp(−∞ − w) = 0, so the old (zero)
+    // accumulator is dropped and O becomes exactly Vj.
+    let alpha = (*m - m_new).exp();
+    let p = (w - m_new).exp();
+    let l_new = *l * alpha + p;
+    let c_old = *l * alpha / l_new;
+    let c_new = p / l_new;
+    for (o, &vv) in o_row.iter_mut().zip(v_row.iter()) {
+        *o = *o * c_old + c_new * vv;
+    }
+    *m = m_new;
+    *l = l_new;
+}
+
+/// Validate `Q`, `K`, `V`, and the state, returning `(L_q, dv, scale)`.
+///
+/// `Q` may have a different row count than `K`/`V` (rectangular masks:
+/// cross-attention, or a distributed device's row slice against the full
+/// key/value set); `K` and `V` must pair up. Kernels that require a square
+/// geometry (the implicit patterns and dense baselines) enforce
+/// `Q.rows == K.rows` themselves.
+pub(crate) fn validate<T: Real>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &AttentionState<T>,
+) -> Result<(usize, usize, T), AttnError> {
+    if k.rows() != v.rows() {
+        return Err(AttnError::ContextLengthMismatch {
+            q: q.rows(),
+            k: k.rows(),
+            v: v.rows(),
+        });
+    }
+    if q.cols() != k.cols() {
+        return Err(AttnError::KeyDimMismatch {
+            q: q.cols(),
+            k: k.cols(),
+        });
+    }
+    if q.cols() == 0 {
+        return Err(AttnError::BadParameter {
+            what: "dk must be positive",
+        });
+    }
+    state.check_shape(q.rows(), v.cols())?;
+    let scale = match opts.scale {
+        Some(s) => T::from_f64(s),
+        None => attention_scale(q.cols()),
+    };
+    Ok((q.rows(), v.cols(), scale))
+}
+
+/// Run Algorithm 1 with a custom neighbor rule.
+///
+/// `neighbors(i, absorb)` must invoke `absorb(j)` once per mask non-zero
+/// `(i, j)`; edges may arrive in any order (online softmax is
+/// order-insensitive up to rounding). The rule is consulted once per row,
+/// from worker threads.
+pub fn graph_attention_into<T, F>(
+    pool: &ThreadPool,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+    neighbors: F,
+) -> Result<(), AttnError>
+where
+    T: Real,
+    F: Fn(usize, &mut dyn FnMut(usize)) + Sync,
+{
+    let (l_ctx, dv, scale) = validate(q, k, v, opts, state)?;
+    let kv_len = k.rows();
+    let o_writer = RowWriter::new(state.o.as_mut_slice(), l_ctx, dv);
+    let l_cells = CellWriter::new(&mut state.l);
+    let m_cells = CellWriter::new(&mut state.m);
+
+    parallel_for(pool, l_ctx, opts.schedule, |range| {
+        let mut tally = opts.counter.map(LocalTally::new);
+        for i in range {
+            let q_row = q.row(i);
+            // SAFETY: `parallel_for` dispatches each row index to exactly
+            // one block, so row i's output/stat cells are accessed by this
+            // worker only.
+            let o_row = unsafe { o_writer.row_mut(i) };
+            let m_i = unsafe { m_cells.cell_mut(i) };
+            let l_i = unsafe { l_cells.cell_mut(i) };
+            let mut absorb = |j: usize| {
+                debug_assert!(j < kv_len, "neighbor {j} out of key/value set {kv_len}");
+                absorb_edge(q_row, k.row(j), v.row(j), scale, m_i, l_i, o_row);
+                if let Some(t) = tally.as_mut() {
+                    t.dot();
+                    t.update();
+                }
+            };
+            neighbors(i, &mut absorb);
+        }
+    });
+    Ok(())
+}
+
+/// Attention over *any* [`MaskPattern`] without materializing it: rows are
+/// enumerated through the pattern's implicit rule. This is the
+/// "work-optimal over arbitrary attention masks" entry point; the named
+/// kernels in [`crate::kernels`] are specializations with cheaper
+/// per-row enumeration.
+pub fn pattern_attention_into<T: Real>(
+    pool: &ThreadPool,
+    pattern: &dyn MaskPattern,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    if pattern.context_len() != q.rows() || pattern.context_len() != k.rows() {
+        return Err(AttnError::MaskShapeMismatch {
+            mask: (pattern.context_len(), pattern.context_len()),
+            l: q.rows(),
+        });
+    }
+    // Reusing one neighbor buffer per absorb call would race across rows of
+    // a chunk; a thread-local buffer per call keeps this allocation-light
+    // without unsafety. Rows are typically sparse, so the buffer is small.
+    graph_attention_into(pool, q, k, v, opts, state, |i, absorb| {
+        let mut buf = Vec::new();
+        pattern.append_row(i, &mut buf);
+        for &j in &buf {
+            absorb(j as usize);
+        }
+    })
+}
+
+/// Convenience wrapper: fresh state, returns the output matrix.
+pub fn pattern_attention<T: Real>(
+    pool: &ThreadPool,
+    pattern: &dyn MaskPattern,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+) -> Result<Matrix<T>, AttnError> {
+    let mut state = AttentionState::new(q.rows(), v.cols());
+    pattern_attention_into(pool, pattern, q, k, v, opts, &mut state)?;
+    Ok(state.into_output())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_masks::LocalWindow;
+    use gpa_parallel::ThreadPool;
+    use gpa_tensor::init::qkv;
+    use gpa_tensor::softmax::softmax_slice;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    /// Brute-force masked attention for a single row.
+    fn reference_row(
+        q: &Matrix<f64>,
+        k: &Matrix<f64>,
+        v: &Matrix<f64>,
+        i: usize,
+        cols: &[usize],
+    ) -> Vec<f64> {
+        let scale = 1.0 / (q.cols() as f64).sqrt();
+        let scores: Vec<f64> = cols.iter().map(|&j| dot(q.row(i), k.row(j)) * scale).collect();
+        let mut w = vec![0.0; scores.len()];
+        softmax_slice(&scores, &mut w);
+        let mut out = vec![0.0; v.cols()];
+        for (wi, &j) in w.iter().zip(cols.iter()) {
+            for (o, &vv) in out.iter_mut().zip(v.row(j).iter()) {
+                *o += wi * vv;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn absorb_edge_single_matches_softmax_of_one() {
+        let q = [1.0f64, 0.0];
+        let k = [0.5f64, 0.5];
+        let v = [2.0f64, -1.0];
+        let mut m = f64::NEG_INFINITY;
+        let mut l = 0.0;
+        let mut o = [0.0f64, 0.0];
+        absorb_edge(&q, &k, &v, 1.0, &mut m, &mut l, &mut o);
+        // One edge: softmax weight 1 → O = V.
+        assert_eq!(o, v);
+        assert_eq!(m, 0.5);
+        assert!((l - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absorb_is_order_insensitive() {
+        let (q, _k, _v) = qkv::<f64>(1, 4, 5);
+        // Stream the same 3 synthetic edges in two orders.
+        let edges: Vec<(Vec<f64>, Vec<f64>)> = (0..3)
+            .map(|t| {
+                (
+                    (0..4).map(|j| ((t * 4 + j) as f64).sin()).collect(),
+                    (0..4).map(|j| ((t * 4 + j) as f64).cos()).collect(),
+                )
+            })
+            .collect();
+        let run = |order: &[usize]| {
+            let mut m = f64::NEG_INFINITY;
+            let mut l = 0.0;
+            let mut o = vec![0.0f64; 4];
+            for &e in order {
+                absorb_edge(q.row(0), &edges[e].0, &edges[e].1, 0.5, &mut m, &mut l, &mut o);
+            }
+            o
+        };
+        let a = run(&[0, 1, 2]);
+        let b = run(&[2, 0, 1]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pattern_attention_matches_row_reference() {
+        let l = 32;
+        let (q, k, v) = qkv::<f64>(l, 8, 42);
+        let pat = LocalWindow::new(l, 3);
+        let out = pattern_attention(&pool(), &pat, &q, &k, &v, &KernelOptions::new()).unwrap();
+        for i in 0..l {
+            let cols: Vec<usize> = (0..l).filter(|&j| pat.contains(i, j)).collect();
+            let expect = reference_row(&q, &k, &v, i, &cols);
+            for (a, b) in out.row(i).iter().zip(expect.iter()) {
+                assert!((a - b).abs() < 1e-12, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mask_rows_stay_zero() {
+        // Window 0 on row 0 only … use a pattern with an empty row: local
+        // window 0 has the diagonal, so build a custom empty-row pattern via
+        // Dilated2d where unselected rows attend nothing.
+        use gpa_masks::Dilated2d;
+        let l = 12;
+        let (q, k, v) = qkv::<f64>(l, 4, 1);
+        let pat = Dilated2d::new(l, 4, 1); // odd in-block offsets attend nothing
+        let out = pattern_attention(&pool(), &pat, &q, &k, &v, &KernelOptions::new()).unwrap();
+        for i in 0..l {
+            if (i % 4) % 2 != 0 {
+                assert!(out.row(i).iter().all(|&x| x == 0.0), "row {i} must be zero");
+            } else {
+                assert!(out.row(i).iter().any(|&x| x != 0.0), "row {i} must be nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let q: Matrix<f64> = Matrix::zeros(4, 8);
+        let k: Matrix<f64> = Matrix::zeros(5, 8);
+        let v: Matrix<f64> = Matrix::zeros(4, 8);
+        let mut state = AttentionState::new(4, 8);
+        let err = graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut state, |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, AttnError::ContextLengthMismatch { .. }));
+
+        let k: Matrix<f64> = Matrix::zeros(4, 6);
+        let err = graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut state, |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, AttnError::KeyDimMismatch { .. }));
+
+        let k: Matrix<f64> = Matrix::zeros(4, 8);
+        let mut bad_state = AttentionState::new(3, 8);
+        let err =
+            graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut bad_state, |_, _| {})
+                .unwrap_err();
+        assert!(matches!(err, AttnError::StateShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn work_counter_counts_every_edge() {
+        use gpa_parallel::WorkCounter;
+        let l = 20;
+        let (q, k, v) = qkv::<f64>(l, 4, 9);
+        let pat = LocalWindow::new(l, 2);
+        let counter = WorkCounter::new();
+        let opts = KernelOptions::new().with_counter(&counter);
+        let _ = pattern_attention(&pool(), &pat, &q, &k, &v, &opts).unwrap();
+        assert_eq!(counter.dot_products(), pat.nnz() as u64);
+        assert_eq!(counter.output_updates(), pat.nnz() as u64);
+    }
+
+    #[test]
+    fn scale_override_changes_result() {
+        let l = 8;
+        let (q, k, v) = qkv::<f64>(l, 4, 2);
+        let pat = LocalWindow::new(l, 2);
+        let p = pool();
+        let a = pattern_attention(&p, &pat, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let b =
+            pattern_attention(&p, &pat, &q, &k, &v, &KernelOptions::new().with_scale(0.0)).unwrap();
+        // Scale 0 ⇒ uniform weights; results must differ from scaled ones.
+        assert!(a.max_abs_diff(&b) > 1e-9);
+    }
+}

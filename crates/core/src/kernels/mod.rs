@@ -1,0 +1,21 @@
+//! The six graph-processing attention kernels of Section IV-B.
+//!
+//! | Kernel | Mask | Module |
+//! |---|---|---|
+//! | COO (linear / binary search) | explicit | [`explicit`] |
+//! | CSR | explicit | [`explicit`] |
+//! | Local | implicit | [`implicit`] |
+//! | 1-D Dilated | implicit | [`implicit`] |
+//! | 2-D Dilated | implicit | [`implicit`] |
+//! | Global (non-local) | implicit | [`implicit`] |
+
+pub mod dia;
+pub mod explicit;
+pub mod implicit;
+
+pub use dia::{dia_attention, dia_attention_into};
+pub use explicit::{coo_attention, coo_attention_into, csr_attention, csr_attention_into, CooSearch};
+pub use implicit::{
+    dilated1d_attention, dilated1d_attention_into, dilated2d_attention, dilated2d_attention_into,
+    global_attention, global_attention_into, local_attention, local_attention_into,
+};

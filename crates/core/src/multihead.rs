@@ -1,0 +1,242 @@
+//! Multi-head attention on top of the single-head graph kernels.
+//!
+//! The paper's kernels are "single-batch and single-headed … though it is
+//! trivial to scale them to a multi-headed approach" (Section IV-B) and
+//! lists multi-head support as the immediate next step (Section VI-A).
+//! This module is that extension: head-sliced projections, one kernel run
+//! per head (the mask is shared across heads, as in Longformer/BigBird),
+//! concatenation, and an output projection — a full transformer attention
+//! sub-layer usable by the examples.
+
+use crate::dispatch::AttentionKernel;
+use crate::error::AttnError;
+use crate::options::KernelOptions;
+use gpa_parallel::ThreadPool;
+use gpa_tensor::init::xavier_uniform;
+use gpa_tensor::ops::matmul;
+use gpa_tensor::{Matrix, Real};
+
+/// Per-head slices of a packed `L × (heads·dk)` projection.
+pub fn split_heads<T: Real>(packed: &Matrix<T>, heads: usize) -> Vec<Matrix<T>> {
+    assert!(heads > 0, "heads must be positive");
+    assert_eq!(
+        packed.cols() % heads,
+        0,
+        "packed width {} not divisible by {heads} heads",
+        packed.cols()
+    );
+    let dk = packed.cols() / heads;
+    (0..heads)
+        .map(|h| {
+            Matrix::from_fn(packed.rows(), dk, |i, j| packed.get(i, h * dk + j))
+        })
+        .collect()
+}
+
+/// Concatenate per-head outputs back into `L × (heads·dk)`.
+pub fn concat_heads<T: Real>(heads: &[Matrix<T>]) -> Matrix<T> {
+    assert!(!heads.is_empty(), "no heads to concatenate");
+    let l = heads[0].rows();
+    let dk = heads[0].cols();
+    assert!(
+        heads.iter().all(|h| h.shape() == (l, dk)),
+        "head shapes differ"
+    );
+    Matrix::from_fn(l, heads.len() * dk, |i, j| heads[j / dk].get(i, j % dk))
+}
+
+/// A multi-head attention layer with learned (randomly initialized)
+/// projections.
+pub struct MultiHeadAttention<T> {
+    wq: Matrix<T>,
+    wk: Matrix<T>,
+    wv: Matrix<T>,
+    wo: Matrix<T>,
+    heads: usize,
+}
+
+impl<T: Real> MultiHeadAttention<T> {
+    /// Layer with `heads` heads of dimension `dk` over a `d_model` stream,
+    /// Xavier-initialized from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `heads == 0` or `dk == 0`.
+    pub fn new_random(d_model: usize, heads: usize, dk: usize, seed: u64) -> Self {
+        assert!(heads > 0 && dk > 0, "heads and dk must be positive");
+        let inner = heads * dk;
+        MultiHeadAttention {
+            wq: xavier_uniform(d_model, inner, seed),
+            wk: xavier_uniform(d_model, inner, seed.wrapping_add(1)),
+            wv: xavier_uniform(d_model, inner, seed.wrapping_add(2)),
+            wo: xavier_uniform(inner, d_model, seed.wrapping_add(3)),
+            heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Head dimension.
+    pub fn dk(&self) -> usize {
+        self.wq.cols() / self.heads
+    }
+
+    /// Model dimension.
+    pub fn d_model(&self) -> usize {
+        self.wq.rows()
+    }
+
+    /// Forward pass: project, run `kernel` per head (same mask every head),
+    /// concatenate, project out. Input and output are `L × d_model`.
+    pub fn forward(
+        &self,
+        pool: &ThreadPool,
+        x: &Matrix<T>,
+        kernel: &AttentionKernel<'_>,
+        opts: &KernelOptions<'_>,
+    ) -> Result<Matrix<T>, AttnError> {
+        if x.cols() != self.d_model() {
+            return Err(AttnError::StateShapeMismatch {
+                expected: (x.rows(), self.d_model()),
+                actual: x.shape(),
+            });
+        }
+        let q = matmul(x, &self.wq);
+        let k = matmul(x, &self.wk);
+        let v = matmul(x, &self.wv);
+        let qh = split_heads(&q, self.heads);
+        let kh = split_heads(&k, self.heads);
+        let vh = split_heads(&v, self.heads);
+
+        let mut outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            outs.push(kernel.run(pool, &qh[h], &kh[h], &vh[h], opts)?);
+        }
+        let packed = concat_heads(&outs);
+        Ok(matmul(&packed, &self.wo))
+    }
+}
+
+/// Run one kernel independently per pre-projected head triple — the
+/// "trivial extension" form for callers that manage their own projections.
+pub fn multi_head_attention<T: Real>(
+    pool: &ThreadPool,
+    kernel: &AttentionKernel<'_>,
+    qs: &[Matrix<T>],
+    ks: &[Matrix<T>],
+    vs: &[Matrix<T>],
+    opts: &KernelOptions<'_>,
+) -> Result<Vec<Matrix<T>>, AttnError> {
+    assert_eq!(qs.len(), ks.len());
+    assert_eq!(qs.len(), vs.len());
+    qs.iter()
+        .zip(ks.iter())
+        .zip(vs.iter())
+        .map(|((q, k), v)| kernel.run(pool, q, k, v, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_masks::{LocalWindow, MaskPattern};
+    use gpa_tensor::init::{gaussian_matrix, qkv};
+    use gpa_tensor::paper_allclose;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let m: Matrix<f64> = Matrix::from_fn(6, 12, |i, j| (i * 12 + j) as f64);
+        let heads = split_heads(&m, 3);
+        assert_eq!(heads.len(), 3);
+        assert_eq!(heads[0].shape(), (6, 4));
+        assert_eq!(heads[2].get(1, 0), m.get(1, 8));
+        let back = concat_heads(&heads);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn split_requires_divisible_width() {
+        let m: Matrix<f32> = Matrix::zeros(2, 10);
+        let _ = split_heads(&m, 3);
+    }
+
+    #[test]
+    fn multi_head_equals_per_head_single_calls() {
+        let l = 20;
+        let heads = 4;
+        let per: Vec<(Matrix<f64>, Matrix<f64>, Matrix<f64>)> =
+            (0..heads).map(|h| qkv(l, 8, 100 + h as u64)).collect();
+        let qs: Vec<_> = per.iter().map(|t| t.0.clone()).collect();
+        let ks: Vec<_> = per.iter().map(|t| t.1.clone()).collect();
+        let vs: Vec<_> = per.iter().map(|t| t.2.clone()).collect();
+        let p = pool();
+        let kernel = AttentionKernel::Local { n: 2 };
+        let multi =
+            multi_head_attention(&p, &kernel, &qs, &ks, &vs, &KernelOptions::new()).unwrap();
+        for h in 0..heads {
+            let single = kernel
+                .run(&p, &qs[h], &ks[h], &vs[h], &KernelOptions::new())
+                .unwrap();
+            assert!(paper_allclose(&multi[h], &single), "head {h}");
+        }
+    }
+
+    #[test]
+    fn layer_forward_shapes_and_determinism() {
+        let l = 16;
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(32, 4, 8, 9);
+        assert_eq!(layer.heads(), 4);
+        assert_eq!(layer.dk(), 8);
+        assert_eq!(layer.d_model(), 32);
+        let x = gaussian_matrix(l, 32, 1.0, 77);
+        let p = pool();
+        let a = layer
+            .forward(&p, &x, &AttentionKernel::Local { n: 3 }, &KernelOptions::new())
+            .unwrap();
+        assert_eq!(a.shape(), (l, 32));
+        let b = layer
+            .forward(&p, &x, &AttentionKernel::Local { n: 3 }, &KernelOptions::new())
+            .unwrap();
+        assert_eq!(a, b, "forward must be deterministic");
+    }
+
+    #[test]
+    fn layer_kernel_choice_changes_output_but_not_shape() {
+        let l = 12;
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(16, 2, 4, 3);
+        let x = gaussian_matrix(l, 16, 1.0, 5);
+        let p = pool();
+        let mask = LocalWindow::new(l, 1).to_csr();
+        let local = layer
+            .forward(&p, &x, &AttentionKernel::Local { n: 1 }, &KernelOptions::new())
+            .unwrap();
+        let csr = layer
+            .forward(&p, &x, &AttentionKernel::Csr(&mask), &KernelOptions::new())
+            .unwrap();
+        // Same mask, different kernel → same numbers.
+        assert!(paper_allclose(&local, &csr));
+        let flash = layer
+            .forward(&p, &x, &AttentionKernel::Flash, &KernelOptions::new())
+            .unwrap();
+        // Different (dense) mask → different numbers, same shape.
+        assert_eq!(flash.shape(), (l, 16));
+        assert!(flash.max_abs_diff(&local) > 1e-9);
+    }
+
+    #[test]
+    fn wrong_input_width_rejected() {
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(16, 2, 4, 3);
+        let x: Matrix<f64> = Matrix::zeros(4, 15);
+        assert!(matches!(
+            layer.forward(&pool(), &x, &AttentionKernel::Flash, &KernelOptions::new()),
+            Err(AttnError::StateShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,117 @@
+//! Resumable attention state — Algorithm 1's `(O, l, m)` triple.
+//!
+//! Every graph kernel updates an [`AttentionState`] in place. Because the
+//! output accumulator is kept in the *normalized* form of Algorithm 1
+//! (`O` is always the exact attention output over the edges absorbed so
+//! far), sequential kernel calls over disjoint masks compose exactly:
+//! running the local kernel and then the global kernel on the same state
+//! yields precisely Longformer attention (Fig. 6's "Loc + Glo" series).
+
+use crate::error::AttnError;
+use gpa_tensor::{Matrix, Real};
+
+/// Per-row online-softmax statistics plus the normalized output accumulator.
+#[derive(Clone)]
+pub struct AttentionState<T> {
+    /// Normalized output accumulator, `L × dv`.
+    pub o: Matrix<T>,
+    /// Row normalizers: `l[i] = Σ exp(w − m[i])` over absorbed edges.
+    pub l: Vec<T>,
+    /// Row running maxima of attention scores.
+    pub m: Vec<T>,
+}
+
+impl<T: Real> std::fmt::Debug for AttentionState<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttentionState")
+            .field("rows", &self.o.rows())
+            .field("dv", &self.o.cols())
+            .field("absorbed_rows", &self.l.iter().filter(|&&l| l != T::ZERO).count())
+            .finish()
+    }
+}
+
+impl<T: Real> AttentionState<T> {
+    /// Fresh state for `l_ctx` rows and value dimension `dv`:
+    /// `O = 0`, `l = 0`, `m = −∞` (Algorithm 1's initialization).
+    pub fn new(l_ctx: usize, dv: usize) -> Self {
+        AttentionState {
+            o: Matrix::zeros(l_ctx, dv),
+            l: vec![T::ZERO; l_ctx],
+            m: vec![T::neg_infinity(); l_ctx],
+        }
+    }
+
+    /// Context length `L`.
+    pub fn context_len(&self) -> usize {
+        self.o.rows()
+    }
+
+    /// Value dimension `dv`.
+    pub fn dv(&self) -> usize {
+        self.o.cols()
+    }
+
+    /// The attention output. Because updates keep `O` normalized, this is
+    /// a free conversion — rows with no absorbed edges are zero, matching
+    /// the masked-SDP convention for fully masked rows.
+    pub fn into_output(self) -> Matrix<T> {
+        self.o
+    }
+
+    /// Borrowed view of the current output.
+    pub fn output(&self) -> &Matrix<T> {
+        &self.o
+    }
+
+    /// Validate this state against expected dimensions.
+    pub fn check_shape(&self, l_ctx: usize, dv: usize) -> Result<(), AttnError> {
+        if self.o.shape() != (l_ctx, dv) || self.l.len() != l_ctx || self.m.len() != l_ctx {
+            return Err(AttnError::StateShapeMismatch {
+                expected: (l_ctx, dv),
+                actual: self.o.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// True if no edges have been absorbed into any row.
+    pub fn is_fresh(&self) -> bool {
+        self.l.iter().all(|&l| l == T::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_matches_algorithm1_init() {
+        let s: AttentionState<f64> = AttentionState::new(4, 3);
+        assert_eq!(s.context_len(), 4);
+        assert_eq!(s.dv(), 3);
+        assert!(s.is_fresh());
+        assert!(s.m.iter().all(|&m| m == f64::NEG_INFINITY));
+        assert!(s.l.iter().all(|&l| l == 0.0));
+        assert!(s.output().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shape_check() {
+        let s: AttentionState<f32> = AttentionState::new(4, 3);
+        assert!(s.check_shape(4, 3).is_ok());
+        assert!(matches!(
+            s.check_shape(5, 3),
+            Err(AttnError::StateShapeMismatch { .. })
+        ));
+        assert!(s.check_shape(4, 2).is_err());
+    }
+
+    #[test]
+    fn into_output_is_the_accumulator() {
+        let mut s: AttentionState<f64> = AttentionState::new(2, 2);
+        s.o.set(1, 1, 7.0);
+        let out = s.into_output();
+        assert_eq!(out.get(1, 1), 7.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Block-sparse and causal masks.
+//!
+//! Block sparsity is the resolution-limited format the paper positions
+//! itself against ("these and other forms of attention are often
+//! represented by blocks larger than 1 token … it restricts the resolution
+//! of sparsity", Section II-C): [`BlockDiagonal`] is the simplest
+//! representative and serves as the block-granular comparison point.
+//!
+//! Causal masks (lower-triangular, and the banded causal window of Sparse
+//! Transformers [12]) are the autoregressive-decoding patterns every
+//! deployed LLM uses; they compose with every kernel in `gpa-core`.
+
+use crate::pattern::MaskPattern;
+use gpa_sparse::Idx;
+
+/// Diagonal blocks of fixed size: `mask(i, j) = 1 ⇔ ⌊i/bs⌋ = ⌊j/bs⌋`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDiagonal {
+    l: usize,
+    block_size: usize,
+}
+
+impl BlockDiagonal {
+    /// Diagonal blocks of `block_size`.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn new(l: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block_size must be positive");
+        BlockDiagonal { l, block_size }
+    }
+
+    /// Block edge length.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Closed-form nnz: full blocks contribute `bs²`, the tail `t²`.
+    pub fn nnz_closed_form(l: usize, bs: usize) -> u128 {
+        let full = (l / bs) as u128;
+        let tail = (l % bs) as u128;
+        full * (bs as u128) * (bs as u128) + tail * tail
+    }
+}
+
+impl MaskPattern for BlockDiagonal {
+    fn context_len(&self) -> usize {
+        self.l
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.l && j < self.l && i / self.block_size == j / self.block_size
+    }
+
+    fn append_row(&self, i: usize, out: &mut Vec<Idx>) {
+        let start = (i / self.block_size) * self.block_size;
+        let end = (start + self.block_size).min(self.l);
+        out.extend((start..end).map(|j| j as Idx));
+    }
+
+    fn nnz(&self) -> usize {
+        Self::nnz_closed_form(self.l, self.block_size) as usize
+    }
+}
+
+/// Full causal (lower-triangular) mask: `j ≤ i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Causal {
+    l: usize,
+}
+
+impl Causal {
+    /// Lower-triangular mask over a length-`l` context.
+    pub fn new(l: usize) -> Self {
+        Causal { l }
+    }
+
+    /// Closed-form nnz: `L(L+1)/2`.
+    pub fn nnz_closed_form(l: usize) -> u128 {
+        let l = l as u128;
+        l * (l + 1) / 2
+    }
+}
+
+impl MaskPattern for Causal {
+    fn context_len(&self) -> usize {
+        self.l
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.l && j <= i
+    }
+
+    fn append_row(&self, i: usize, out: &mut Vec<Idx>) {
+        out.extend((0..=i).map(|j| j as Idx));
+    }
+
+    fn nnz(&self) -> usize {
+        Self::nnz_closed_form(self.l) as usize
+    }
+}
+
+/// Causal sliding window (Sparse Transformers [12]): `i − n ≤ j ≤ i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalLocal {
+    l: usize,
+    n: usize,
+}
+
+impl CausalLocal {
+    /// Look back at most `n` tokens (plus self).
+    pub fn new(l: usize, n: usize) -> Self {
+        CausalLocal { l, n }
+    }
+
+    /// Backward window size.
+    pub fn window(&self) -> usize {
+        self.n
+    }
+
+    /// Closed-form nnz: `(n+1)·L − n(n+1)/2`, clipped at the start.
+    pub fn nnz_closed_form(l: usize, n: usize) -> u128 {
+        if l == 0 {
+            return 0;
+        }
+        let l128 = l as u128;
+        let n = (n as u128).min(l128 - 1);
+        (n + 1) * l128 - n * (n + 1) / 2
+    }
+}
+
+impl MaskPattern for CausalLocal {
+    fn context_len(&self) -> usize {
+        self.l
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.l && j <= i && i - j <= self.n
+    }
+
+    fn append_row(&self, i: usize, out: &mut Vec<Idx>) {
+        let lo = i.saturating_sub(self.n);
+        out.extend((lo..=i).map(|j| j as Idx));
+    }
+
+    fn nnz(&self) -> usize {
+        Self::nnz_closed_form(self.l, self.n) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::check_pattern_laws;
+
+    #[test]
+    fn block_diagonal_laws_and_nnz() {
+        for l in [1usize, 7, 16, 33] {
+            for bs in [1usize, 2, 8, 50] {
+                check_pattern_laws(&BlockDiagonal::new(l, bs));
+            }
+        }
+        // 33 = 4 blocks of 8 + tail 1 → 4·64 + 1.
+        assert_eq!(BlockDiagonal::new(33, 8).nnz(), 257);
+    }
+
+    #[test]
+    fn causal_laws_and_count() {
+        for l in [0usize, 1, 10, 31] {
+            check_pattern_laws(&Causal::new(l));
+        }
+        assert_eq!(Causal::new(10).nnz(), 55);
+        let c = Causal::new(5);
+        assert!(c.contains(4, 0));
+        assert!(!c.contains(0, 4));
+    }
+
+    #[test]
+    fn causal_local_laws() {
+        for l in [1usize, 9, 24] {
+            for n in [0usize, 1, 5, 30] {
+                check_pattern_laws(&CausalLocal::new(l, n));
+            }
+        }
+        // n=0: self-attention only.
+        assert_eq!(CausalLocal::new(6, 0).nnz(), 6);
+        // n ≥ L−1 degenerates to full causal.
+        assert_eq!(
+            CausalLocal::new(12, 100).nnz(),
+            Causal::new(12).nnz()
+        );
+    }
+
+    #[test]
+    fn causal_local_is_intersection_of_parts() {
+        use crate::local::LocalWindow;
+        let l = 14;
+        let n = 3;
+        let cl = CausalLocal::new(l, n).to_csr();
+        let both = Causal::new(l).to_csr().intersection(&LocalWindow::new(l, n).to_csr());
+        assert_eq!(cl, both);
+    }
+
+    #[test]
+    fn block_diagonal_equals_dilated2d_r0() {
+        use crate::dilated::Dilated2d;
+        let a = BlockDiagonal::new(20, 6).to_csr();
+        let b = Dilated2d::new(20, 6, 0).to_csr();
+        assert_eq!(a, b);
+    }
+}

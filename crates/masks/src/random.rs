@@ -1,0 +1,221 @@
+//! Random attention (Fig. 2, orange cells; Section II-C).
+//!
+//! "Token-token relationships that are chosen from a uniform random
+//! distribution". Two variants are provided:
+//!
+//! - [`RandomUniform`]: each `(i, j)` pair is an edge independently with
+//!   probability `p` (so `E[Sf] = p`) — the form the BigBird benchmark in
+//!   Fig. 6 uses with `Sf = 0.001`;
+//! - [`RandomPerRow`]: exactly `k` random neighbors per row — BigBird's
+//!   original "r random keys per query" formulation, which gives perfectly
+//!   balanced row degrees.
+//!
+//! Both are *stateless*: membership is recomputed from a seeded hash /
+//! seeded per-row sample, so `contains` and `append_row` stay consistent
+//! without materializing anything.
+
+use crate::pattern::MaskPattern;
+use gpa_sparse::Idx;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// SplitMix64 — a small, high-quality stateless mixer. Used to derive an
+/// i.i.d. uniform per-cell decision from `(seed, i, j)`.
+#[inline(always)]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Bernoulli(p) mask: every cell is a non-zero independently with
+/// probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomUniform {
+    l: usize,
+    p: f64,
+    seed: u64,
+}
+
+impl RandomUniform {
+    /// i.i.d. mask with edge probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(l: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        RandomUniform { l, p, seed }
+    }
+
+    /// Edge probability (the expected sparsity factor).
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    #[inline(always)]
+    fn cell_on(&self, i: usize, j: usize) -> bool {
+        // Threshold a 53-bit uniform derived from the cell coordinates.
+        let h = splitmix64(
+            self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ ((j as u64) << 1),
+        );
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.p
+    }
+}
+
+impl MaskPattern for RandomUniform {
+    fn context_len(&self) -> usize {
+        self.l
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.l && j < self.l && self.cell_on(i, j)
+    }
+
+    fn append_row(&self, i: usize, out: &mut Vec<Idx>) {
+        for j in 0..self.l {
+            if self.cell_on(i, j) {
+                out.push(j as Idx);
+            }
+        }
+    }
+}
+
+/// Exactly `k` uniformly chosen neighbors per row (BigBird-style).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPerRow {
+    l: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl RandomPerRow {
+    /// `k` distinct random neighbors per row (clamped to `l`).
+    pub fn new(l: usize, k: usize, seed: u64) -> Self {
+        RandomPerRow {
+            l,
+            k: k.min(l),
+            seed,
+        }
+    }
+
+    /// Neighbors per row.
+    pub fn per_row(&self) -> usize {
+        self.k
+    }
+
+    /// The sorted neighbor sample of row `i` (deterministic per seed/row).
+    fn row_sample(&self, i: usize) -> Vec<Idx> {
+        let mut rng = StdRng::seed_from_u64(splitmix64(self.seed ^ (i as u64)));
+        // Partial Fisher–Yates over the column universe via index sampling:
+        // for k ≪ l, rejection sampling is cheaper than shuffling 0..l.
+        if self.k * 4 >= self.l {
+            let mut all: Vec<Idx> = (0..self.l as Idx).collect();
+            all.shuffle(&mut rng);
+            all.truncate(self.k);
+            all.sort_unstable();
+            all
+        } else {
+            let mut picked = Vec::with_capacity(self.k);
+            while picked.len() < self.k {
+                let c = (splitmix64(rng_next(&mut rng)) % self.l as u64) as Idx;
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked.sort_unstable();
+            picked
+        }
+    }
+}
+
+fn rng_next(rng: &mut StdRng) -> u64 {
+    use rand::RngCore;
+    rng.next_u64()
+}
+
+impl MaskPattern for RandomPerRow {
+    fn context_len(&self) -> usize {
+        self.l
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.l && j < self.l && self.row_sample(i).contains(&(j as Idx))
+    }
+
+    fn append_row(&self, i: usize, out: &mut Vec<Idx>) {
+        out.extend_from_slice(&self.row_sample(i));
+    }
+
+    fn nnz(&self) -> usize {
+        self.k * self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::check_pattern_laws;
+
+    #[test]
+    fn uniform_laws_hold() {
+        for p in [0.0, 0.05, 0.5, 1.0] {
+            check_pattern_laws(&RandomUniform::new(24, p, 7));
+        }
+    }
+
+    #[test]
+    fn uniform_density_tracks_probability() {
+        let m = RandomUniform::new(256, 0.1, 3);
+        let sf = m.sparsity_factor();
+        assert!((sf - 0.1).abs() < 0.01, "sf = {sf}");
+        assert_eq!(RandomUniform::new(64, 0.0, 1).nnz(), 0);
+        assert_eq!(RandomUniform::new(64, 1.0, 1).nnz(), 64 * 64);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = RandomUniform::new(32, 0.2, 11).to_csr();
+        let b = RandomUniform::new(32, 0.2, 11).to_csr();
+        let c = RandomUniform::new(32, 0.2, 12).to_csr();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_panics() {
+        let _ = RandomUniform::new(8, 1.5, 0);
+    }
+
+    #[test]
+    fn per_row_has_exact_degree() {
+        let m = RandomPerRow::new(40, 5, 9);
+        check_pattern_laws(&m);
+        let csr = m.to_csr();
+        for r in 0..40 {
+            assert_eq!(csr.degree(r), 5, "row {r}");
+        }
+        assert_eq!(m.nnz(), 200);
+    }
+
+    #[test]
+    fn per_row_clamps_k() {
+        let m = RandomPerRow::new(4, 100, 0);
+        assert_eq!(m.per_row(), 4);
+        assert_eq!(m.nnz(), 16);
+        check_pattern_laws(&m);
+    }
+
+    #[test]
+    fn per_row_deterministic_and_seed_sensitive() {
+        let a = RandomPerRow::new(30, 3, 5).to_csr();
+        let b = RandomPerRow::new(30, 3, 5).to_csr();
+        let c = RandomPerRow::new(30, 3, 6).to_csr();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

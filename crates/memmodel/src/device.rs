@@ -1,0 +1,86 @@
+//! Accelerator device profiles (paper Table I).
+//!
+//! The capacity experiments (Fig. 4, Table II) depend only on a device's
+//! memory size; these profiles carry the three GPUs of the paper's test
+//! systems plus a way to describe any other budget (e.g. "25% of an A100",
+//! the training headroom assumption of Section VI-B).
+
+/// A device whose memory capacity bounds the attention working set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Usable memory in bytes.
+    pub mem_bytes: u64,
+}
+
+/// GiB → bytes.
+pub const GIB: u64 = 1 << 30;
+
+/// NVIDIA A100 SXM4 80 GB — the paper's headline device.
+pub const A100_80GB: DeviceProfile = DeviceProfile {
+    name: "NVIDIA A100 (SXM4 80GB)",
+    mem_bytes: 80 * GIB,
+};
+
+/// NVIDIA L40 48 GB.
+pub const L40_48GB: DeviceProfile = DeviceProfile {
+    name: "NVIDIA L40 (48GB)",
+    mem_bytes: 48 * GIB,
+};
+
+/// NVIDIA V100 SXM2 32 GB.
+pub const V100_32GB: DeviceProfile = DeviceProfile {
+    name: "NVIDIA V100 (SXM2 32GB)",
+    mem_bytes: 32 * GIB,
+};
+
+impl DeviceProfile {
+    /// A custom memory budget.
+    pub const fn custom(name: &'static str, mem_bytes: u64) -> Self {
+        DeviceProfile { name, mem_bytes }
+    }
+
+    /// This device with only a fraction of memory available to attention
+    /// (Section VI-B assumes 25% headroom during training).
+    pub fn with_fraction(&self, fraction: f64) -> DeviceProfile {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction {fraction} outside (0, 1]"
+        );
+        DeviceProfile {
+            name: self.name,
+            mem_bytes: (self.mem_bytes as f64 * fraction) as u64,
+        }
+    }
+
+    /// All three paper devices (Table I order: A100, L40, V100).
+    pub fn paper_devices() -> [DeviceProfile; 3] {
+        [A100_80GB, L40_48GB, V100_32GB]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_table1() {
+        assert_eq!(A100_80GB.mem_bytes, 85_899_345_920);
+        assert_eq!(L40_48GB.mem_bytes, 51_539_607_552);
+        assert_eq!(V100_32GB.mem_bytes, 34_359_738_368);
+    }
+
+    #[test]
+    fn fraction_scales_memory() {
+        let quarter = A100_80GB.with_fraction(0.25);
+        assert_eq!(quarter.mem_bytes, 20 * GIB);
+        assert_eq!(quarter.name, A100_80GB.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_fraction_rejected() {
+        let _ = A100_80GB.with_fraction(0.0);
+    }
+}

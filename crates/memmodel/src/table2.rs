@@ -1,0 +1,225 @@
+//! Table II: theoretical maximum context lengths on one A100-80GB at
+//! `Sf = 1e-4`, with the paper's published values embedded for side-by-side
+//! comparison and regression testing.
+
+use crate::device::A100_80GB;
+use crate::layout::{Accounting, DType, MemAlgorithm, MemConfig};
+use crate::solve::max_context_length;
+
+/// One (dtype, dk, heads) row group of Table II.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2RowSpec {
+    /// Tensor precision.
+    pub dtype: DType,
+    /// Total embedding width.
+    pub d_total: usize,
+    /// Head count.
+    pub heads: usize,
+}
+
+/// The six row groups of Table II.
+pub const TABLE2_ROWS: [Table2RowSpec; 6] = [
+    Table2RowSpec { dtype: DType::F32, d_total: 64, heads: 1 },
+    Table2RowSpec { dtype: DType::F32, d_total: 128, heads: 1 },
+    Table2RowSpec { dtype: DType::F32, d_total: 4096, heads: 32 },
+    Table2RowSpec { dtype: DType::F16, d_total: 64, heads: 1 },
+    Table2RowSpec { dtype: DType::F16, d_total: 128, heads: 1 },
+    Table2RowSpec { dtype: DType::F16, d_total: 4096, heads: 32 },
+];
+
+/// The paper's published Table II value for a (row, algorithm) cell;
+/// `None` marks "Unsupported".
+pub fn paper_value(row: &Table2RowSpec, algo: MemAlgorithm) -> Option<u64> {
+    use DType::*;
+    use MemAlgorithm::*;
+    let key = (row.dtype, row.d_total, algo);
+    let v: Option<u64> = match key {
+        (F32, 64, SdpMasked) => Some(146_416),
+        (F32, 64, Csr) => Some(9_732_519),
+        (F32, 64, Coo) => Some(8_038_418),
+        (F32, 64, Flash) => None,
+        (F32, 64, Local) => Some(83_235_801),
+        (F32, 64, Global) => Some(83_235_769),
+        (F32, 64, Dilated1d) => Some(83_235_801),
+        (F32, 64, Dilated2d) => Some(83_235_801),
+
+        (F32, 128, SdpMasked) => Some(146_288),
+        (F32, 128, Csr) => Some(9_152_140),
+        (F32, 128, Coo) => Some(7_644_258),
+        (F32, 128, Flash) => None,
+        (F32, 128, Local) => Some(41_779_838),
+        (F32, 128, Global) => Some(41_779_830),
+        (F32, 128, Dilated1d) => Some(41_779_838),
+        (F32, 128, Dilated2d) => Some(41_779_838),
+
+        (F32, 4096, SdpMasked) => Some(25_651),
+        (F32, 4096, Csr) => Some(950_434),
+        (F32, 4096, Coo) => Some(865_272),
+        (F32, 4096, Flash) => None,
+        (F32, 4096, Local) => Some(1_305_620),
+        (F32, 4096, Global) => Some(1_305_620),
+        (F32, 4096, Dilated1d) => Some(1_305_620),
+        (F32, 4096, Dilated2d) => Some(1_305_620),
+
+        (F16, 64, SdpMasked) => Some(207_116),
+        (F16, 64, Csr) => Some(14_013_926),
+        (F16, 64, Coo) => Some(9_009_893),
+        (F16, 64, Flash) => Some(166_471_601),
+        (F16, 64, Local) => Some(166_471_601),
+        (F16, 64, Global) => Some(166_471_472),
+        (F16, 64, Dilated1d) => Some(166_471_601),
+        (F16, 64, Dilated2d) => Some(166_471_601),
+
+        (F16, 128, SdpMasked) => Some(206_988),
+        (F16, 128, Csr) => Some(13_416_404),
+        (F16, 128, Coo) => Some(8_764_655),
+        (F16, 128, Flash) => Some(83_559_676),
+        (F16, 128, Local) => Some(83_559_676),
+        (F16, 128, Global) => Some(83_559_643),
+        (F16, 128, Dilated1d) => Some(83_559_676),
+        (F16, 128, Dilated2d) => Some(83_559_676),
+
+        (F16, 4096, SdpMasked) => Some(36_381),
+        (F16, 4096, Csr) => Some(1_601_190),
+        (F16, 4096, Coo) => Some(1_200_336),
+        (F16, 4096, Flash) => Some(2_611_240),
+        (F16, 4096, Local) => Some(2_611_240),
+        (F16, 4096, Global) => Some(2_611_239),
+        (F16, 4096, Dilated1d) => Some(2_611_240),
+        (F16, 4096, Dilated2d) => Some(2_611_240),
+
+        _ => None,
+    };
+    v
+}
+
+/// One computed Table II cell.
+#[derive(Clone, Debug)]
+pub struct Table2Cell {
+    /// Algorithm of this column.
+    pub algo: MemAlgorithm,
+    /// Our model's maximum context length (`None` = unsupported).
+    pub ours: Option<u64>,
+    /// The paper's published value.
+    pub paper: Option<u64>,
+}
+
+impl Table2Cell {
+    /// Relative deviation from the paper value (`None` when either side is
+    /// unsupported or the paper value is zero).
+    pub fn relative_error(&self) -> Option<f64> {
+        match (self.ours, self.paper) {
+            (Some(a), Some(b)) if b > 0 => Some((a as f64 - b as f64).abs() / b as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Compute one row group of Table II (all eight algorithms) at `Sf = 1e-4`
+/// with the given accounting mode.
+pub fn table2_row(spec: &Table2RowSpec, accounting: Accounting) -> Vec<Table2Cell> {
+    MemAlgorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let cfg = MemConfig {
+                algo,
+                dtype: spec.dtype,
+                d_total: spec.d_total,
+                heads: spec.heads,
+                sf: 1e-4,
+                accounting,
+            };
+            Table2Cell {
+                algo,
+                ours: max_context_length(&A100_80GB, &cfg),
+                paper: paper_value(spec, algo),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_model_reproduces_paper_table2() {
+        // Tolerances: the O(L)-memory algorithms should land within a few
+        // rows; the quadratic-term algorithms within 0.5% (the paper's
+        // linear-term accounting is not fully specified — EXPERIMENTS.md).
+        for spec in &TABLE2_ROWS {
+            for cell in table2_row(spec, Accounting::PaperCalibrated) {
+                match (cell.ours, cell.paper) {
+                    (Some(ours), Some(paper)) => {
+                        let rel = cell.relative_error().unwrap();
+                        assert!(
+                            rel < 0.005,
+                            "{:?} {}d {}h {}: ours {} vs paper {} (rel {:.4})",
+                            spec.dtype,
+                            spec.d_total,
+                            spec.heads,
+                            cell.algo.label(),
+                            ours,
+                            paper,
+                            rel
+                        );
+                    }
+                    (None, None) => {} // FlashAttention FP32
+                    (ours, paper) => {
+                        panic!("support mismatch for {:?}: {ours:?} vs {paper:?}", cell.algo)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flash_and_local_agree_exactly_in_fp16() {
+        // Both are QKVO + 2 stats vectors: identical capacity — the paper's
+        // "identical context lengths to FlashAttention" claim.
+        for spec in TABLE2_ROWS.iter().filter(|s| s.dtype == DType::F16) {
+            let row = table2_row(spec, Accounting::PaperCalibrated);
+            let flash = row.iter().find(|c| c.algo == MemAlgorithm::Flash).unwrap();
+            let local = row.iter().find(|c| c.algo == MemAlgorithm::Local).unwrap();
+            assert_eq!(flash.ours, local.ours);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper_claims() {
+        // SDP ≪ COO < CSR < Global ≤ Local/Dilated for the single-head rows.
+        let spec = TABLE2_ROWS[3]; // FP16, dk 64
+        let row = table2_row(&spec, Accounting::PaperCalibrated);
+        let get = |a: MemAlgorithm| {
+            row.iter()
+                .find(|c| c.algo == a)
+                .and_then(|c| c.ours)
+                .unwrap()
+        };
+        assert!(get(MemAlgorithm::SdpMasked) < get(MemAlgorithm::Coo));
+        assert!(get(MemAlgorithm::Coo) < get(MemAlgorithm::Csr));
+        assert!(get(MemAlgorithm::Csr) < get(MemAlgorithm::Global));
+        assert!(get(MemAlgorithm::Global) <= get(MemAlgorithm::Local));
+        // Roughly two orders of magnitude between SDP and CSR (paper:
+        // "nearly two orders of magnitude longer").
+        let ratio = get(MemAlgorithm::Csr) as f64 / get(MemAlgorithm::SdpMasked) as f64;
+        assert!(ratio > 50.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn principled_mode_is_self_consistent() {
+        // Our implementation's accounting must also produce a valid table
+        // (weaker check: monotone orderings hold).
+        let spec = TABLE2_ROWS[3];
+        let row = table2_row(&spec, Accounting::Principled);
+        let get = |a: MemAlgorithm| {
+            row.iter()
+                .find(|c| c.algo == a)
+                .and_then(|c| c.ours)
+                .unwrap()
+        };
+        assert!(get(MemAlgorithm::SdpMasked) < get(MemAlgorithm::Coo));
+        assert!(get(MemAlgorithm::Coo) <= get(MemAlgorithm::Csr) * 2);
+        assert!(get(MemAlgorithm::Local) >= get(MemAlgorithm::Csr));
+    }
+}

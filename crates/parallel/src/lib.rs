@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # gpa-parallel — row-parallel execution substrate
+//!
+//! The paper runs its kernels as CUDA grids: one block per attention row,
+//! shared-memory online softmax inside each block. This crate is the CPU
+//! stand-in for that substrate (see DESIGN.md §1 for the substitution
+//! argument):
+//!
+//! - [`ThreadPool`]: persistent workers fed over a crossbeam channel, so
+//!   repeated kernel launches pay no thread-spawn cost;
+//! - [`parallel_for`] / [`parallel_for_stats`]: scoped row-parallel launch
+//!   with selectable [`Schedule`] (static-contiguous, CUDA-like
+//!   block-cyclic, or dynamic work-sharing) and per-worker busy-time
+//!   statistics for the load-imbalance analyses of Section V-C;
+//! - [`RowWriter`] / [`CellWriter`]: disjoint-row mutable access to shared
+//!   output buffers without per-element atomics;
+//! - [`WorkCounter`] / [`LocalTally`]: operation counting that backs the
+//!   paper's work-optimality claim (Section IV-B).
+
+pub mod metrics;
+pub mod parallel_for;
+pub mod pool;
+pub mod shared;
+
+pub use metrics::{LocalTally, WorkCounter, WorkReport};
+pub use parallel_for::{
+    for_each_index, parallel_for, parallel_for_stats, spin_work, time_best, LaunchStats, Schedule,
+};
+pub use pool::{default_threads, global_pool, on_worker_thread, ThreadPool};
+pub use shared::{CellWriter, RowWriter};

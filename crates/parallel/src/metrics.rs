@@ -1,0 +1,208 @@
+//! Work-counting instrumentation for the work-optimality claims.
+//!
+//! Section IV-B argues the graph kernels are *work optimal*: they perform
+//! exactly `O(Sf·L²·d)` operations — one query–key dot product per non-zero
+//! of the attention mask, and nothing else. [`WorkCounter`] lets the
+//! instrumented kernel variants prove that empirically: tests assert
+//! `dot_products == nnz(mask)` for every kernel and mask.
+//!
+//! Counting is designed to stay off the hot path: workers accumulate into a
+//! local `u64` and flush once per block via [`WorkCounter::add`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cross-thread tally of the operations a kernel performed.
+#[derive(Debug, Default)]
+pub struct WorkCounter {
+    dot_products: AtomicU64,
+    output_updates: AtomicU64,
+    neighbor_searches: AtomicU64,
+}
+
+impl WorkCounter {
+    /// Fresh counter with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` query–key dot products (one per mask non-zero).
+    #[inline]
+    pub fn add_dot_products(&self, n: u64) {
+        self.dot_products.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` output-accumulator updates.
+    #[inline]
+    pub fn add_output_updates(&self, n: u64) {
+        self.output_updates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` elements scanned while locating row bounds — the COO
+    /// kernel's search overhead (Section V-C's explanation of COO's cost).
+    #[inline]
+    pub fn add_neighbor_searches(&self, n: u64) {
+        self.neighbor_searches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total dot products so far.
+    pub fn dot_products(&self) -> u64 {
+        self.dot_products.load(Ordering::Relaxed)
+    }
+
+    /// Total output updates so far.
+    pub fn output_updates(&self) -> u64 {
+        self.output_updates.load(Ordering::Relaxed)
+    }
+
+    /// Total search steps so far.
+    pub fn neighbor_searches(&self) -> u64 {
+        self.neighbor_searches.load(Ordering::Relaxed)
+    }
+
+    /// Reset all tallies.
+    pub fn reset(&self) {
+        self.dot_products.store(0, Ordering::Relaxed);
+        self.output_updates.store(0, Ordering::Relaxed);
+        self.neighbor_searches.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all tallies.
+    pub fn report(&self) -> WorkReport {
+        WorkReport {
+            dot_products: self.dot_products(),
+            output_updates: self.output_updates(),
+            neighbor_searches: self.neighbor_searches(),
+        }
+    }
+}
+
+/// Immutable snapshot of a [`WorkCounter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkReport {
+    /// Query–key dot products performed.
+    pub dot_products: u64,
+    /// Output accumulator updates performed.
+    pub output_updates: u64,
+    /// Elements scanned during row-bound searches (COO only).
+    pub neighbor_searches: u64,
+}
+
+impl WorkReport {
+    /// The work-optimality check of Section IV-B: a kernel is work optimal
+    /// on a mask with `nnz` non-zeros iff it performed exactly `nnz` dot
+    /// products.
+    pub fn is_work_optimal(&self, nnz: u64) -> bool {
+        self.dot_products == nnz
+    }
+}
+
+/// Per-worker local tally that flushes into a shared [`WorkCounter`] on
+/// drop — one atomic RMW per block instead of per dot product.
+pub struct LocalTally<'a> {
+    counter: &'a WorkCounter,
+    dot_products: u64,
+    output_updates: u64,
+    neighbor_searches: u64,
+}
+
+impl<'a> LocalTally<'a> {
+    /// Start a local tally against `counter`.
+    pub fn new(counter: &'a WorkCounter) -> Self {
+        LocalTally {
+            counter,
+            dot_products: 0,
+            output_updates: 0,
+            neighbor_searches: 0,
+        }
+    }
+
+    /// Count one dot product.
+    #[inline(always)]
+    pub fn dot(&mut self) {
+        self.dot_products += 1;
+    }
+
+    /// Count one output update.
+    #[inline(always)]
+    pub fn update(&mut self) {
+        self.output_updates += 1;
+    }
+
+    /// Count `n` search steps.
+    #[inline(always)]
+    pub fn searched(&mut self, n: u64) {
+        self.neighbor_searches += n;
+    }
+}
+
+impl Drop for LocalTally<'_> {
+    fn drop(&mut self) {
+        if self.dot_products > 0 {
+            self.counter.add_dot_products(self.dot_products);
+        }
+        if self.output_updates > 0 {
+            self.counter.add_output_updates(self.output_updates);
+        }
+        if self.neighbor_searches > 0 {
+            self.counter.add_neighbor_searches(self.neighbor_searches);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel_for::{parallel_for, Schedule};
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn tallies_accumulate_and_reset() {
+        let c = WorkCounter::new();
+        c.add_dot_products(10);
+        c.add_dot_products(5);
+        c.add_output_updates(3);
+        c.add_neighbor_searches(7);
+        assert_eq!(c.dot_products(), 15);
+        assert_eq!(c.output_updates(), 3);
+        assert_eq!(c.neighbor_searches(), 7);
+        let r = c.report();
+        assert_eq!(r.dot_products, 15);
+        assert!(r.is_work_optimal(15));
+        assert!(!r.is_work_optimal(14));
+        c.reset();
+        assert_eq!(c.report().dot_products, 0);
+    }
+
+    #[test]
+    fn local_tally_flushes_on_drop() {
+        let c = WorkCounter::new();
+        {
+            let mut t = LocalTally::new(&c);
+            for _ in 0..42 {
+                t.dot();
+            }
+            t.update();
+            t.searched(9);
+            assert_eq!(c.dot_products(), 0, "not flushed until drop");
+        }
+        assert_eq!(c.dot_products(), 42);
+        assert_eq!(c.output_updates(), 1);
+        assert_eq!(c.neighbor_searches(), 9);
+    }
+
+    #[test]
+    fn concurrent_tallies_do_not_lose_counts() {
+        let pool = ThreadPool::new(8);
+        let c = WorkCounter::new();
+        let n = 10_000usize;
+        parallel_for(&pool, n, Schedule::Dynamic { grain: 64 }, |range| {
+            let mut t = LocalTally::new(&c);
+            for _ in range {
+                t.dot();
+                t.update();
+            }
+        });
+        assert_eq!(c.dot_products(), n as u64);
+        assert_eq!(c.output_updates(), n as u64);
+    }
+}

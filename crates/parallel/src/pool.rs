@@ -1,0 +1,226 @@
+//! Persistent worker pool.
+//!
+//! The attention kernels launch thousands of short row-parallel regions
+//! (10 warm-up + 15 timed iterations per configuration in the paper's
+//! protocol), so spawning OS threads per launch would dominate the
+//! measurement. This pool keeps workers alive for the process lifetime and
+//! feeds them type-erased jobs over a crossbeam channel.
+//!
+//! Scoped (non-`'static`) parallel regions are built on top in
+//! [`crate::parallel_for`]; this module only provides the raw `'static` job
+//! execution and the completion latch.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Set while a pool worker is executing a job — used to detect nested
+    /// parallel regions (which would deadlock a bounded pool) and run them
+    /// inline instead.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a pool worker thread.
+pub fn on_worker_thread() -> bool {
+    IN_POOL_WORKER.with(|f| f.get())
+}
+
+/// A fixed-size persistent thread pool.
+///
+/// Workers exit when the pool is dropped (the job channel disconnects).
+pub struct ThreadPool {
+    sender: Sender<Job>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let mut handles = Vec::with_capacity(threads);
+        for idx in 0..threads {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gpa-worker-{idx}"))
+                .spawn(move || {
+                    IN_POOL_WORKER.with(|f| f.set(true));
+                    // Exit cleanly when the channel disconnects on pool drop.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        ThreadPool {
+            sender,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit a `'static` job. Panics if the pool has shut down.
+    pub(crate) fn submit(&self, job: Job) {
+        self.sender.send(job).expect("thread pool has shut down");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's `recv` fail and the
+        // thread exit; then join them so no worker outlives the pool.
+        let (dead_tx, _) = unbounded::<Job>();
+        let old = std::mem::replace(&mut self.sender, dead_tx);
+        drop(old);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Count-down latch: waits until `count` workers have called [`CountLatch::count_down`].
+pub struct CountLatch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl CountLatch {
+    /// Latch expecting `count` completions.
+    pub fn new(count: usize) -> Arc<Self> {
+        Arc::new(CountLatch {
+            remaining: Mutex::new(count),
+            all_done: Condvar::new(),
+        })
+    }
+
+    /// Record one completion.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        debug_assert!(*remaining > 0, "latch count underflow");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Block until all completions arrive.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.all_done.wait(&mut remaining);
+        }
+    }
+}
+
+/// The process-wide default pool, sized by `GPA_THREADS` or the machine's
+/// available parallelism.
+pub fn global_pool() -> &'static ThreadPool {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Thread count policy: `GPA_THREADS` env var if set, else available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("GPA_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_latch_releases() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let latch = CountLatch::new(100);
+        for _ in 0..100 {
+            let c = counter.clone();
+            let l = latch.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_flag_visible_inside_jobs() {
+        let pool = ThreadPool::new(2);
+        let latch = CountLatch::new(1);
+        let seen = Arc::new(AtomicUsize::new(0));
+        {
+            let l = latch.clone();
+            let s = seen.clone();
+            pool.submit(Box::new(move || {
+                if on_worker_thread() {
+                    s.store(1, Ordering::Relaxed);
+                }
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert!(!on_worker_thread(), "caller thread is not a worker");
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        let latch = CountLatch::new(10);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = counter.clone();
+            let l = latch.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                c.fetch_add(1, Ordering::Relaxed);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        drop(pool); // must not hang or abort
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let latch = CountLatch::new(1);
+        let l = latch.clone();
+        pool.submit(Box::new(move || l.count_down()));
+        latch.wait();
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = global_pool() as *const ThreadPool;
+        let b = global_pool() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global_pool().threads() >= 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for checked sparse-structure constructors.
+
+use std::fmt;
+
+/// Validation failure when building or converting a sparse mask.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column exceeds the declared shape.
+    OutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// COO entries were required to be sorted by `(row, col)` but are not.
+    Unsorted {
+        /// Position of the first out-of-order entry.
+        position: usize,
+    },
+    /// The same `(row, col)` pair appears more than once.
+    Duplicate {
+        /// Row of the duplicated entry.
+        row: usize,
+        /// Column of the duplicated entry.
+        col: usize,
+    },
+    /// CSR `row_offsets` is malformed (wrong length, non-monotone, or the
+    /// final offset disagrees with the column-index count).
+    BadOffsets {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Parallel COO vectors have different lengths.
+    LengthMismatch {
+        /// Length of the row-index vector.
+        rows_len: usize,
+        /// Length of the column-index vector.
+        cols_len: usize,
+    },
+    /// Shape too large for the 32-bit index representation.
+    IndexOverflow {
+        /// The dimension that overflowed.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "entry ({row}, {col}) outside {rows}x{cols} mask"),
+            SparseError::Unsorted { position } => {
+                write!(f, "COO entries not sorted by (row, col) at position {position}")
+            }
+            SparseError::Duplicate { row, col } => {
+                write!(f, "duplicate entry ({row}, {col})")
+            }
+            SparseError::BadOffsets { reason } => write!(f, "malformed CSR offsets: {reason}"),
+            SparseError::LengthMismatch { rows_len, cols_len } => write!(
+                f,
+                "COO index vectors differ in length: rows {rows_len}, cols {cols_len}"
+            ),
+            SparseError::IndexOverflow { dim } => {
+                write!(f, "dimension {dim} exceeds the u32 index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::OutOfBounds {
+            row: 5,
+            col: 9,
+            rows: 4,
+            cols: 4,
+        };
+        assert!(e.to_string().contains("(5, 9)"));
+        assert!(e.to_string().contains("4x4"));
+        let e = SparseError::BadOffsets {
+            reason: "not monotone",
+        };
+        assert!(e.to_string().contains("not monotone"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! The paper's capacity results (Fig. 4, Table II) and its
+//! FlashAttention-compatible runs use FP16 *storage*. No FP16 hardware is
+//! assumed here: [`F16`] stores the 16 raw bits and converts through `f32`
+//! for arithmetic, exactly like GPU half-precision storage with
+//! single-precision accumulate. Conversions implement round-to-nearest-even,
+//! matching hardware `cvt` instructions.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// IEEE 754 binary16 value stored as raw bits.
+///
+/// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value, `65504.0`.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Size of the type in bytes — the constant the memory model uses.
+    pub const BYTES: usize = 2;
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve NaN-ness by keeping a mantissa bit.
+            return if mantissa == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                F16(sign | 0x7E00)
+            };
+        }
+
+        // Unbiased exponent, then re-biased for binary16.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or underflow to zero.
+            if half_exp < -10 {
+                return F16(sign); // Too small: signed zero.
+            }
+            // Add the implicit leading 1, then shift right into subnormal
+            // position with round-to-nearest-even.
+            let full = mantissa | 0x0080_0000;
+            let shift = (14 - half_exp) as u32; // 14..=24
+            let sub = full >> shift;
+            let rem = full & ((1u32 << shift) - 1);
+            let half_way = 1u32 << (shift - 1);
+            let rounded = match rem.cmp(&half_way) {
+                Ordering::Greater => sub + 1,
+                Ordering::Less => sub,
+                Ordering::Equal => sub + (sub & 1), // ties to even
+            };
+            return F16(sign | rounded as u16);
+        }
+
+        // Normal number: keep top 10 mantissa bits, round-to-nearest-even.
+        let base = (mantissa >> 13) as u16;
+        let rem = mantissa & 0x1FFF;
+        let rounded = match rem.cmp(&0x1000) {
+            Ordering::Greater => base + 1,
+            Ordering::Less => base,
+            Ordering::Equal => base + (base & 1),
+        };
+        // Mantissa rounding may carry into the exponent; that is correct
+        // (e.g. 2047/2048 rounds up to the next power of two).
+        F16((sign | ((half_exp as u16) << 10)).wrapping_add(rounded))
+    }
+
+    /// Convert to `f32` (exact: every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = (self.0 >> 10) & 0x1F;
+        let mantissa = (self.0 & 0x03FF) as u32;
+
+        let bits = match exp {
+            0 => {
+                if mantissa == 0 {
+                    sign // signed zero
+                } else {
+                    // Subnormal: value = mantissa · 2^-24. Normalize around
+                    // the highest set bit p (0..=9): value = 2^(p-24)·(1+f).
+                    let p = 31 - mantissa.leading_zeros(); // 0..=9
+                    let exp32 = p + 103; // (p - 24) + 127
+                    let m = (mantissa ^ (1 << p)) << (23 - p);
+                    sign | (exp32 << 23) | m
+                }
+            }
+            0x1F => {
+                if mantissa == 0 {
+                    sign | 0x7F80_0000
+                } else {
+                    sign | 0x7FC0_0000 | (mantissa << 13)
+                }
+            }
+            _ => sign | (((exp as u32) + 112) << 23) | (mantissa << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Convert from `f64` (via `f32`; double rounding is acceptable for the
+    /// storage-emulation use cases in this workspace).
+    pub fn from_f64(value: f64) -> F16 {
+        F16::from_f32(value as f32)
+    }
+
+    /// Convert to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Construct from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if the value is +∞ or −∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True if the value is finite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// True for subnormal values.
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & 0x7C00) == 0 && (self.0 & 0x03FF) != 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! f16_binop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            fn $fn(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+f16_binop!(Add, add, +);
+f16_binop!(Sub, sub, -);
+f16_binop!(Mul, mul, *);
+f16_binop!(Div, div, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+/// Round-trip a slice of `f32` through binary16 storage in place.
+///
+/// Used to emulate "stored in FP16, computed in FP32" pipelines when
+/// checking that kernel accuracy claims survive half-precision inputs.
+pub fn quantize_f16_slice(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = F16::from_f32(*v).to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -64i32..=64 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "i={i}");
+        }
+    }
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // rounds past MAX
+        assert!(F16::from_f32(1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).to_f32().is_infinite());
+        assert!(F16::from_f32(-1e9).to_f32() < 0.0);
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        // Smallest subnormal is 2^-24.
+        let tiny = F16::from_f32(2.0_f32.powi(-24));
+        assert_eq!(tiny.to_bits(), 0x0001);
+        assert_eq!(tiny.to_f32(), 2.0_f32.powi(-24));
+        assert!(tiny.is_subnormal());
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(F16::from_f32(2.0_f32.powi(-26)).to_bits(), 0x0000);
+        // Signed zero preserved.
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn nan_and_infinity_roundtrip() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::INFINITY).is_infinite());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 value;
+        // ties-to-even keeps 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_bits(), 0x3C00);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_bits(), 0x3C01);
+        // 1 + 3·2^-11 is halfway between 0x3C01 and 0x3C02 → even = 0x3C02.
+        let halfway_odd = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_odd).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn mantissa_rounding_carries_into_exponent() {
+        // Largest value below 2.0 rounds up to exactly 2.0.
+        let just_below_two = 2.0 - 2.0_f32.powi(-12);
+        assert_eq!(F16::from_f32(just_below_two).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_through_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b / F16::from_f32(0.75)).to_f32(), 3.0);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn quantize_slice_is_idempotent() {
+        let mut v = vec![0.1f32, 1.0, -3.7, 1234.5];
+        quantize_f16_slice(&mut v);
+        let once = v.clone();
+        quantize_f16_slice(&mut v);
+        assert_eq!(v, once);
+    }
+
+    #[test]
+    fn all_bit_patterns_roundtrip_through_f32() {
+        // Exhaustive: every finite f16 must convert to f32 and back exactly.
+        for bits in 0u16..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                let rt = F16::from_f32(h.to_f32());
+                assert_eq!(
+                    rt.to_bits(),
+                    bits,
+                    "bits={bits:#06x} f32={}",
+                    h.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-2.0f32, -0.5, 0.0, 0.25, 1.0, 100.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    F16::from_f32(a).partial_cmp(&F16::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Dense linear-algebra helpers used by the baselines and examples.
+//!
+//! Only what the attention pipeline needs: dot products, `QKᵀ`-style
+//! products, and a cache-blocked general matmul for the projection layers in
+//! the examples. The inner loops are written as slice iterator chains so
+//! LLVM auto-vectorizes them (see the workspace's HPC guide notes on bounds
+//! checks).
+
+use crate::matrix::Matrix;
+use crate::real::Real;
+
+/// Dot product of two equal-length slices — the innermost operation of every
+/// attention kernel (one per mask non-zero).
+#[inline(always)]
+pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    // Iterator form elides bounds checks and vectorizes.
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// `out += w · v` — fold one weighted value row into an accumulator.
+#[inline(always)]
+pub fn axpy<T: Real>(out: &mut [T], w: T, v: &[T]) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, &x) in out.iter_mut().zip(v.iter()) {
+        *o += w * x;
+    }
+}
+
+/// `out = s · out + w · v` — the fused rescale-and-accumulate step of
+/// Algorithm 1's output update.
+#[inline(always)]
+pub fn scale_axpy<T: Real>(out: &mut [T], s: T, w: T, v: &[T]) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, &x) in out.iter_mut().zip(v.iter()) {
+        *o = *o * s + w * x;
+    }
+}
+
+/// `A · Bᵀ` where both are row-major — computes `QKᵀ` without materializing
+/// a transpose (rows of `B` are the keys).
+pub fn matmul_nt<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.cols(), "inner dimensions differ");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let ai = a.row(i);
+        let oi = out.row_mut(i);
+        for (j, o) in oi.iter_mut().enumerate() {
+            *o = dot(ai, b.row(j));
+        }
+    }
+    out
+}
+
+/// Cache-blocked `A · B` (row-major × row-major).
+pub fn matmul<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions differ");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    // i-k-j loop order: streams through B and OUT rows contiguously.
+    const KB: usize = 64;
+    for kk in (0..k).step_by(KB) {
+        let k_hi = (kk + KB).min(k);
+        for i in 0..m {
+            let ai = a.row(i);
+            for p in kk..k_hi {
+                let aip = ai[p];
+                if aip == T::ZERO {
+                    continue;
+                }
+                let bp = b.row(p);
+                let oi = out.row_mut(i);
+                for (o, &x) in oi.iter_mut().zip(bp.iter()) {
+                    *o += aip * x;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scale every element: `A · s`.
+pub fn scale<T: Real>(a: &Matrix<T>, s: T) -> Matrix<T> {
+    a.map(|v| v * s)
+}
+
+/// Row-wise weighted sum: `out[i] = Σ_j weights[i][j] · v[j]` for a dense
+/// weight matrix — the second matmul of the SDP baseline.
+pub fn weighted_rows<T: Real>(weights: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
+    matmul(weights, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 12.0);
+        let empty: [f64; 0] = [];
+        assert_eq!(dot(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = [1.0f64, 1.0];
+        axpy(&mut out, 2.0, &[3.0, -1.0]);
+        assert_eq!(out, [7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_axpy_matches_manual() {
+        let mut out = [2.0f64, 4.0];
+        scale_axpy(&mut out, 0.5, 3.0, &[1.0, 2.0]);
+        assert_eq!(out, [4.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a: Matrix<f64> = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let id: Matrix<f64> = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&id, &a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0f64, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a: Matrix<f64> = Matrix::from_fn(4, 6, |i, j| (i as f64) - 0.3 * (j as f64));
+        let b: Matrix<f64> = Matrix::from_fn(5, 6, |i, j| 0.1 * (i as f64) + (j as f64));
+        let via_nt = matmul_nt(&a, &b);
+        let via_t = matmul(&a, &b.transpose());
+        assert!(via_nt.max_abs_diff(&via_t) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_odd_sizes() {
+        // Sizes chosen to not divide the 64-wide k-block.
+        let a: Matrix<f64> = Matrix::from_fn(7, 129, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b: Matrix<f64> = Matrix::from_fn(129, 5, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+        let blocked = matmul(&a, &b);
+        // Naive triple loop.
+        let mut naive: Matrix<f64> = Matrix::zeros(7, 5);
+        for i in 0..7 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for p in 0..129 {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                naive.set(i, j, s);
+            }
+        }
+        assert!(blocked.max_abs_diff(&naive) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_shapes_panic() {
+        let a: Matrix<f32> = Matrix::zeros(2, 3);
+        let b: Matrix<f32> = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,419 @@
+//! Online (streaming) softmax — the numerical core of Algorithm 1.
+//!
+//! The paper's kernels maintain, per attention row, a running maximum `m`, a
+//! running normalizer `l`, and a normalized output accumulator `O`, updated
+//! once per pulled neighbor (Milakov & Gimelshein 2018; Dao et al. 2022).
+//! [`OnlineSoftmaxState`] owns `m` and `l`; the output rescaling factors are
+//! returned so the caller can fold its `d`-dimensional accumulator.
+//!
+//! Two properties make kernel composition work, and both are tested here:
+//!
+//! 1. **Stream equivalence** — feeding scores one at a time produces the same
+//!    weights as materializing the whole row and applying standard softmax.
+//! 2. **Merge associativity** — two disjoint streams can be processed
+//!    independently and merged; this is why the paper can run `local` and
+//!    `global` kernels sequentially and obtain exact Longformer attention.
+
+use crate::real::Real;
+
+/// Per-row running softmax statistics `(m, l)`.
+///
+/// `m` starts at −∞ and `l` at 0, matching the initialization in Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineSoftmaxState<T> {
+    /// Running maximum of all scores seen so far.
+    pub m: T,
+    /// Running sum of `exp(score − m)` over all scores seen so far.
+    pub l: T,
+}
+
+impl<T: Real> Default for OnlineSoftmaxState<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rescaling factors produced by one online-softmax update.
+///
+/// After an update, the caller folds its accumulator as
+/// `O ← old_scale · O + new_weight · V` and, at finalize time, divides by `l`
+/// — or uses the normalized form `O ← (old_scale · l_old · O + new_weight · V)/l_new`
+/// exactly as written in Algorithm 1. Both are supported; see
+/// [`OnlineSoftmaxState::update`].
+#[derive(Clone, Copy, Debug)]
+pub struct SoftmaxUpdate<T> {
+    /// `exp(m_old − m_new)`: multiply the existing accumulator by this.
+    pub old_scale: T,
+    /// `exp(score − m_new)`: weight of the newly pulled value vector.
+    pub new_weight: T,
+}
+
+impl<T: Real> OnlineSoftmaxState<T> {
+    /// Fresh state: `m = −∞`, `l = 0`.
+    #[inline]
+    pub fn new() -> Self {
+        OnlineSoftmaxState {
+            m: T::neg_infinity(),
+            l: T::ZERO,
+        }
+    }
+
+    /// True if no score has been absorbed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.l == T::ZERO && self.m == T::neg_infinity()
+    }
+
+    /// Absorb one score `w`; returns the rescaling factors for the caller's
+    /// output accumulator. Implements the inner-loop recurrence of
+    /// Algorithm 1:
+    ///
+    /// ```text
+    /// m_new = max(m, w)
+    /// l_new = l · exp(m − m_new) + exp(w − m_new)
+    /// ```
+    #[inline(always)]
+    pub fn update(&mut self, w: T) -> SoftmaxUpdate<T> {
+        let m_new = self.m.max(w);
+        if m_new == T::neg_infinity() {
+            // Running max and new score are both −∞ (fully masked so far):
+            // −∞ − −∞ would be NaN, but semantically nothing contributes.
+            return SoftmaxUpdate {
+                old_scale: T::ONE,
+                new_weight: T::ZERO,
+            };
+        }
+        // exp(−∞ − m_new) = 0 handles the very first update: old state
+        // contributes nothing.
+        let old_scale = (self.m - m_new).exp();
+        let new_weight = (w - m_new).exp();
+        self.l = self.l * old_scale + new_weight;
+        self.m = m_new;
+        SoftmaxUpdate {
+            old_scale,
+            new_weight,
+        }
+    }
+
+    /// Merge another state produced from a *disjoint* score stream.
+    ///
+    /// Returns the scale factors to apply to the two output accumulators:
+    /// `O = scale_self · O_self + scale_other · O_other` (for *unnormalized*
+    /// accumulators; for Algorithm-1-style normalized accumulators the
+    /// factors are `scale · l / l_merged`, see [`merge_normalized`]).
+    #[inline]
+    pub fn merge(&mut self, other: &OnlineSoftmaxState<T>) -> (T, T) {
+        if other.is_empty() {
+            return (T::ONE, T::ZERO);
+        }
+        if self.is_empty() {
+            *self = *other;
+            return (T::ZERO, T::ONE);
+        }
+        let m_new = self.m.max(other.m);
+        let scale_self = (self.m - m_new).exp();
+        let scale_other = (other.m - m_new).exp();
+        self.l = self.l * scale_self + other.l * scale_other;
+        self.m = m_new;
+        (scale_self, scale_other)
+    }
+}
+
+/// Merge two (state, normalized-accumulator-row) pairs in place:
+/// `acc_a ← (l_a·scale_a·acc_a + l_b·scale_b·acc_b) / l_merged`.
+///
+/// This is the composition rule that lets sequential kernel calls (e.g.
+/// `local` then `global`) produce exact attention over the union mask.
+pub fn merge_normalized<T: Real>(
+    state_a: &mut OnlineSoftmaxState<T>,
+    acc_a: &mut [T],
+    state_b: &OnlineSoftmaxState<T>,
+    acc_b: &[T],
+) {
+    debug_assert_eq!(acc_a.len(), acc_b.len());
+    let l_a = state_a.l;
+    let l_b = state_b.l;
+    let (scale_a, scale_b) = state_a.merge(state_b);
+    let l_merged = state_a.l;
+    if l_merged == T::ZERO {
+        return; // both empty: accumulators stay zero
+    }
+    let ca = l_a * scale_a / l_merged;
+    let cb = l_b * scale_b / l_merged;
+    for (a, &b) in acc_a.iter_mut().zip(acc_b.iter()) {
+        *a = *a * ca + b * cb;
+    }
+}
+
+/// Standard (two-pass, numerically stabilized) softmax of a score slice.
+/// Reference implementation for tests and the dense SDP baseline.
+///
+/// An all-`−∞` row (fully masked) produces all zeros, matching the masked
+/// SDP convention the paper verifies against.
+pub fn softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
+    debug_assert_eq!(scores.len(), out.len());
+    let mut m = T::neg_infinity();
+    for &s in scores {
+        m = m.max(s);
+    }
+    if m == T::neg_infinity() {
+        for o in out.iter_mut() {
+            *o = T::ZERO;
+        }
+        return;
+    }
+    let mut l = T::ZERO;
+    for (o, &s) in out.iter_mut().zip(scores.iter()) {
+        let e = (s - m).exp();
+        *o = e;
+        l += e;
+    }
+    let inv = l.recip();
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Softmax weights computed by streaming through [`OnlineSoftmaxState`] —
+/// used in tests to validate the streaming recurrence itself.
+pub fn online_softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
+    debug_assert_eq!(scores.len(), out.len());
+    let mut state = OnlineSoftmaxState::new();
+    // First pass: stream the scores, remembering nothing but (m, l).
+    for &s in scores {
+        state.update(s);
+    }
+    if state.l == T::ZERO {
+        for o in out.iter_mut() {
+            *o = T::ZERO;
+        }
+        return;
+    }
+    // Weights are exp(s − m)/l.
+    let inv = state.l.recip();
+    for (o, &s) in out.iter_mut().zip(scores.iter()) {
+        *o = (s - state.m).exp() * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "index {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn online_equals_standard() {
+        let scores = vec![0.3, -1.2, 4.5, 0.0, 2.2, -0.7];
+        let mut std_out = vec![0.0; scores.len()];
+        let mut onl_out = vec![0.0; scores.len()];
+        softmax_slice(&scores, &mut std_out);
+        online_softmax_slice(&scores, &mut onl_out);
+        assert_slices_close(&std_out, &onl_out, 1e-14);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let scores = vec![1.0f64, 2.0, 3.0, -10.0];
+        let mut out = vec![0.0; 4];
+        softmax_slice(&scores, &mut out);
+        let s: f64 = out.iter().sum();
+        assert!((s - 1.0).abs() < 1e-14);
+        assert!(out.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let scores = vec![1.0f64, 2.0, 3.0];
+        let shifted: Vec<f64> = scores.iter().map(|s| s + 100.0).collect();
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        softmax_slice(&scores, &mut a);
+        softmax_slice(&shifted, &mut b);
+        assert_slices_close(&a, &b, 1e-13);
+    }
+
+    #[test]
+    fn fully_masked_row_is_zero() {
+        let scores = vec![f64::NEG_INFINITY; 5];
+        let mut out = vec![1.0; 5];
+        softmax_slice(&scores, &mut out);
+        assert_eq!(out, vec![0.0; 5]);
+        let mut out2 = vec![1.0; 5];
+        online_softmax_slice(&scores, &mut out2);
+        assert_eq!(out2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn extreme_scores_do_not_overflow() {
+        let scores = vec![1000.0f64, 1001.0, 999.0];
+        let mut out = vec![0.0; 3];
+        softmax_slice(&scores, &mut out);
+        assert!(out.iter().all(|w| w.is_finite()));
+        let s: f64 = out.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_tracks_max_and_normalizer() {
+        let mut st: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        assert!(st.is_empty());
+        st.update(2.0);
+        assert_eq!(st.m, 2.0);
+        assert!((st.l - 1.0).abs() < 1e-15);
+        st.update(5.0);
+        assert_eq!(st.m, 5.0);
+        // l = exp(2-5) + exp(0)
+        assert!((st.l - ((-3.0f64).exp() + 1.0)).abs() < 1e-15);
+        assert!(!st.is_empty());
+    }
+
+    #[test]
+    fn first_update_scales_old_accumulator_to_zero_weight() {
+        let mut st: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        let u = st.update(3.0);
+        assert_eq!(u.old_scale, 0.0); // exp(-inf - 3) = 0
+        assert_eq!(u.new_weight, 1.0); // exp(3 - 3) = 1
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let scores = vec![0.5, -2.0, 3.0, 1.5, -0.5, 2.5, 0.0];
+        let (left, right) = scores.split_at(3);
+
+        let mut single: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        for &s in &scores {
+            single.update(s);
+        }
+
+        let mut a: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        for &s in left {
+            a.update(s);
+        }
+        let mut b: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        for &s in right {
+            b.update(s);
+        }
+        a.merge(&b);
+
+        assert!((a.m - single.m).abs() < 1e-15);
+        assert!((a.l - single.l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        a.update(1.0);
+        a.update(2.0);
+        let snapshot = a;
+        let empty = OnlineSoftmaxState::new();
+        let (sa, sb) = a.merge(&empty);
+        assert_eq!(a, snapshot);
+        assert_eq!((sa, sb), (1.0, 0.0));
+
+        let mut e: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+        let (sa, sb) = e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+        assert_eq!((sa, sb), (0.0, 1.0));
+    }
+
+    #[test]
+    fn merge_normalized_composes_attention_outputs() {
+        // Simulate two disjoint neighbor streams with 2-dim values and check
+        // the merged normalized accumulator equals the full-row softmax
+        // combination.
+        let scores = [1.0f64, -0.5, 2.0, 0.3];
+        let values = [[1.0, 0.0], [0.0, 1.0], [2.0, -1.0], [0.5, 0.5]];
+
+        // Full reference.
+        let mut weights = vec![0.0; 4];
+        softmax_slice(&scores, &mut weights);
+        let expected = [
+            weights.iter().zip(values.iter()).map(|(w, v)| w * v[0]).sum::<f64>(),
+            weights.iter().zip(values.iter()).map(|(w, v)| w * v[1]).sum::<f64>(),
+        ];
+
+        // Two halves, each with a normalized accumulator maintained exactly
+        // as Algorithm 1 writes it: O ← (l·exp(m−m_new)·O + exp(w−m_new)·V)/l_new.
+        let run = |idx: &[usize]| {
+            let mut st: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+            let mut acc = [0.0f64; 2];
+            for &k in idx {
+                let l_old = st.l;
+                let u = st.update(scores[k]);
+                let l_new = st.l;
+                for (a, v) in acc.iter_mut().zip(values[k].iter()) {
+                    *a = (l_old * u.old_scale * *a + u.new_weight * v) / l_new;
+                }
+            }
+            (st, acc)
+        };
+
+        let (mut st_a, mut acc_a) = run(&[0, 1]);
+        let (st_b, acc_b) = run(&[2, 3]);
+        merge_normalized(&mut st_a, &mut acc_a, &st_b, &acc_b);
+
+        for (got, want) in acc_a.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Streaming softmax equals two-pass softmax for arbitrary scores.
+        #[test]
+        fn online_matches_standard(scores in proptest::collection::vec(-50.0f64..50.0, 1..64)) {
+            let mut std_out = vec![0.0; scores.len()];
+            let mut onl_out = vec![0.0; scores.len()];
+            softmax_slice(&scores, &mut std_out);
+            online_softmax_slice(&scores, &mut onl_out);
+            for (a, b) in std_out.iter().zip(onl_out.iter()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+
+        /// Merging any split of a stream equals processing it whole.
+        #[test]
+        fn merge_is_split_invariant(
+            scores in proptest::collection::vec(-30.0f64..30.0, 2..48),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((scores.len() as f64 * split_frac) as usize).min(scores.len());
+            let mut whole: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+            for &s in &scores { whole.update(s); }
+
+            let mut a: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+            for &s in &scores[..split] { a.update(s); }
+            let mut b: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+            for &s in &scores[split..] { b.update(s); }
+            a.merge(&b);
+
+            prop_assert!((a.m - whole.m).abs() < 1e-12);
+            prop_assert!((a.l - whole.l).abs() / whole.l.max(1.0) < 1e-12);
+        }
+
+        /// l is always positive once a score is absorbed, and m is the true max.
+        #[test]
+        fn invariants_hold(scores in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+            let mut st: OnlineSoftmaxState<f64> = OnlineSoftmaxState::new();
+            for &s in &scores { st.update(s); }
+            let true_max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(st.m, true_max);
+            prop_assert!(st.l > 0.0);
+            prop_assert!(st.l <= scores.len() as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Attention over an *arbitrary* graph — the "graph computing view" in its
+//! most literal form.
+//!
+//! The paper's kernels are work-optimal "over arbitrary attention masks";
+//! this example builds a mask that is not any standard pattern: a synthetic
+//! molecule-like graph (a backbone chain with random long-range contacts,
+//! like residue contact maps in protein modeling), feeds it to the CSR
+//! kernel, and confirms both correctness and work-optimality.
+//!
+//! ```text
+//! cargo run --release --example custom_graph_mask
+//! ```
+
+use graph_attention::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chain-plus-contacts graph: each node linked to its chain neighbors,
+/// plus `contacts` random symmetric long-range edges, plus self-loops.
+fn contact_graph(n: usize, contacts: usize, seed: u64) -> CsrMask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        edges.push((i, i)); // self-loop: every token attends to itself
+        if i + 1 < n {
+            edges.push((i, i + 1)); // chain forward
+            edges.push((i + 1, i)); // chain backward
+        }
+    }
+    for _ in 0..contacts {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        edges.push((a, b));
+        edges.push((b, a)); // symmetric contact
+    }
+    CsrMask::from_coo(&CooMask::from_entries(n, n, edges).expect("valid edges"))
+}
+
+fn main() {
+    let n = 4096; // residues / tokens / graph vertices
+    let dk = 32;
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+
+    let graph = contact_graph(n, 3 * n, 99);
+    println!(
+        "contact graph: {} vertices, {} directed edges (Sf = {:.4})",
+        n,
+        graph.nnz(),
+        graph.sparsity_factor()
+    );
+    let stats = gpa_sparse::degree_stats(&graph);
+    println!(
+        "degrees: min {}, mean {:.1}, max {} (imbalance {:.2})",
+        stats.min, stats.mean, stats.max, stats.imbalance
+    );
+
+    // Node features as Q/K/V.
+    let (q, k, v) = init::qkv::<f32>(n, dk, 5);
+
+    // Work-optimal attention over the arbitrary graph.
+    let counter = WorkCounter::new();
+    let opts = KernelOptions::new().with_counter(&counter);
+    let out = csr_attention(&pool, &graph, &q, &k, &v, &opts).expect("attention over graph");
+    println!(
+        "CSR kernel: {} dot products == {} edges → work optimal: {}",
+        counter.dot_products(),
+        graph.nnz(),
+        counter.report().is_work_optimal(graph.nnz() as u64)
+    );
+
+    // The same graph runs through the generic pattern driver via COO too.
+    let coo = graph.to_coo();
+    let out_coo = graph_attention::core::coo_attention(
+        &pool,
+        &coo,
+        CooSearch::Binary,
+        &q,
+        &k,
+        &v,
+        &KernelOptions::new(),
+    )
+    .expect("COO run");
+    println!(
+        "COO (binary search) agrees with CSR: {}",
+        paper_allclose(&out_coo.cast::<f64>(), &out.cast::<f64>())
+    );
+
+    // Verify against the dense reference on a subsample (full dense check
+    // at 4096 is cheap enough too).
+    let dense = DenseMask::from_csr(&graph);
+    let reference =
+        masked_sdp(&pool, &dense, &q, &k, &v, &KernelOptions::new()).expect("reference");
+    println!(
+        "matches dense masked-SDP reference: {} (max |Δ| = {:.2e})",
+        paper_allclose(&out, &reference),
+        out.max_abs_diff(&reference)
+    );
+}

@@ -1,0 +1,115 @@
+//! Ultra-long genomic sequence modeling with the LongNet dilation ladder —
+//! the application domain that motivates the paper ("for applications such
+//! as genomics, at least 4-5 orders of magnitude of increase in context
+//! length is needed", Section I).
+//!
+//! A synthetic DNA sequence of one million nucleotides is embedded and run
+//! through the implicit local kernel at the LongNet sparsity schedule
+//! `Sf = 2730/L`; the capacity model then reports how far the same
+//! algorithms scale on the paper's A100.
+//!
+//! ```text
+//! cargo run --release --example genomics_longnet
+//! ```
+
+use graph_attention::memmodel::{
+    max_context_length, Accounting, DType, MemAlgorithm, MemConfig, A100_80GB,
+};
+use graph_attention::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Synthetic nucleotide string (A/C/G/T) of length `n`.
+fn synthetic_dna(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+/// Embed each base as a learned-ish 16-dim vector: one-hot mixed with a
+/// positional ramp, standing in for a nucleotide embedding table.
+fn embed(dna: &[u8], dk: usize) -> Matrix<f32> {
+    Matrix::from_fn(dna.len(), dk, |i, j| {
+        let base = match dna[i] {
+            b'A' => 0usize,
+            b'C' => 1,
+            b'G' => 2,
+            _ => 3,
+        };
+        let one_hot = if j % 4 == base { 1.0 } else { 0.0 };
+        let pos = ((i as f32 * 0.001).sin() + 1.0) * 0.05;
+        one_hot * 0.9 + pos
+    })
+}
+
+fn main() {
+    let l = 1_000_000; // one megabase
+    let dk = 16;
+    let pool = ThreadPool::new(gpa_parallel::default_threads());
+
+    println!("generating {l}-nucleotide synthetic sequence…");
+    let dna = synthetic_dna(l, 1234);
+    let embedded = embed(&dna, dk);
+
+    // LongNet schedule: Sf = 2730/L → window from the sparsity solver.
+    let sf = gpa_masks::longnet_sparsity_factor(l);
+    let window = gpa_masks::local_window_for_sparsity(l, sf);
+    println!("LongNet schedule: Sf = {sf:.2e} → local window ±{window}");
+
+    // The ladder itself, for reference.
+    let ladder = LongNetPattern::with_defaults(l);
+    println!(
+        "LongNet dilation ladder: {:?} (segment, dilation) levels",
+        ladder.configs()
+    );
+
+    // Single-head attention over the megabase (Q = K = V = embeddings).
+    let t = Instant::now();
+    let out = local_attention(
+        &pool,
+        window,
+        &embedded,
+        &embedded,
+        &embedded,
+        &KernelOptions::new(),
+    )
+    .expect("megabase attention");
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "attention over 1,000,000 tokens: {:.2} s on the CPU substrate ({} × {} output)",
+        secs,
+        out.rows(),
+        out.cols()
+    );
+    let edges = LocalWindow::new(l, window).nnz() as f64;
+    println!(
+        "work: {:.2e} edges vs {:.0e} dense — {:.0}× saved",
+        edges,
+        (l as f64) * (l as f64),
+        (l as f64) * (l as f64) / edges
+    );
+
+    // How far does this go on the paper's hardware? (Fig. 4 / Table II.)
+    println!("\ncapacity on one {} (FP16, dk = 64, Sf = 1e-4):", A100_80GB.name);
+    for algo in [
+        MemAlgorithm::SdpMasked,
+        MemAlgorithm::Csr,
+        MemAlgorithm::Local,
+    ] {
+        let cfg = MemConfig {
+            algo,
+            dtype: DType::F16,
+            d_total: 64,
+            heads: 1,
+            sf: 1e-4,
+            accounting: Accounting::PaperCalibrated,
+        };
+        let max_l = max_context_length(&A100_80GB, &cfg).unwrap();
+        println!("  {:<24} max L = {max_l:>12}", algo.label());
+    }
+    println!(
+        "\nthe implicit kernels reach the paper's 160 M-token headline; 32 such\n\
+         GPUs at 25% memory headroom cover the 1-billion-token genomics target\n\
+         (paper Section VI-B)."
+    );
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! # graph-attention
+//!
+//! Facade crate for the graph-processing sparse attention library — a Rust
+//! reproduction of *"Longer Attention Span: Increasing Transformer Context
+//! Length with Sparse Graph Processing Techniques"* (IPDPS 2025).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────┐
+//!            │ gpa-core: graph attention kernels           │
+//!            │  COO · CSR · Local · Dilated-1D/2D · Global │
+//!            │  + masked-SDP & Flash baselines, multi-head │
+//!            └───────┬──────────────┬───────────┬─────────┘
+//!         ┌──────────┴───┐  ┌───────┴────┐  ┌───┴────────────┐
+//!         │ gpa-masks    │  │ gpa-sparse │  │ gpa-parallel   │
+//!         │ patterns,    │  │ COO/CSR/   │  │ thread pool,   │
+//!         │ presets,     │  │ bitmask    │  │ grid schedule, │
+//!         │ Sf solvers   │  │            │  │ work counters  │
+//!         └──────┬───────┘  └──────┬─────┘  └───┬────────────┘
+//!                └───────┬────────┴─────────────┘
+//!                   ┌────┴──────┐   ┌──────────────┐
+//!                   │ gpa-tensor│   │ gpa-memmodel │ (capacity model,
+//!                   │ Matrix,f16│   │ Fig. 4/Tab. II)│  independent)
+//!                   └───────────┘   └──────────────┘
+//! ```
+//!
+//! The quickest way in is the [`prelude`]; see `examples/quickstart.rs`.
+
+pub use gpa_core as core;
+pub use gpa_distributed as distributed;
+pub use gpa_masks as masks;
+pub use gpa_memmodel as memmodel;
+pub use gpa_parallel as parallel;
+pub use gpa_sparse as sparse;
+pub use gpa_tensor as tensor;
+
+/// Common imports for applications built on graph-processing attention.
+pub mod prelude {
+    pub use gpa_core::{
+        csr_attention, flash_attention, local_attention, masked_sdp, pattern_attention,
+        run_composed, AttentionKernel, AttentionState, CooSearch, KernelOptions,
+        MultiHeadAttention,
+    };
+    pub use gpa_masks::{
+        bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern,
+    };
+    pub use gpa_parallel::{ThreadPool, WorkCounter};
+    pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
+    pub use gpa_tensor::{init, paper_allclose, Matrix, Real};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let pool = ThreadPool::new(1);
+        let (q, k, v) = init::qkv::<f32>(8, 4, 0);
+        let mask = LocalWindow::new(8, 1).to_csr();
+        let out = csr_attention(&pool, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        assert_eq!(out.shape(), (8, 4));
+    }
+}

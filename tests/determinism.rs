@@ -1,0 +1,103 @@
+//! Determinism across schedules and thread counts: each attention row is
+//! computed by exactly one block with a fixed neighbor order, so outputs
+//! are bit-identical no matter how rows are scheduled — a property the
+//! benchmark methodology silently relies on.
+
+use graph_attention::core::{csr_attention, local_attention, AttentionKernel, KernelOptions};
+use graph_attention::masks::{MaskPattern, RandomUniform};
+use graph_attention::parallel::{Schedule, ThreadPool};
+use graph_attention::tensor::init::qkv;
+
+#[test]
+fn outputs_bitwise_identical_across_schedules() {
+    let l = 256;
+    let (q, k, v) = qkv::<f32>(l, 16, 8);
+    let mask = RandomUniform::new(l, 0.1, 3).to_csr();
+    let pool = ThreadPool::new(4);
+
+    let schedules = [
+        Schedule::StaticContiguous,
+        Schedule::BlockCyclic { chunk: 1 },
+        Schedule::BlockCyclic { chunk: 17 },
+        Schedule::Dynamic { grain: 1 },
+        Schedule::Dynamic { grain: 32 },
+    ];
+    let reference = csr_attention(
+        &pool,
+        &mask,
+        &q,
+        &k,
+        &v,
+        &KernelOptions::new().with_schedule(schedules[0]),
+    )
+    .unwrap();
+    for schedule in &schedules[1..] {
+        let out = csr_attention(
+            &pool,
+            &mask,
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new().with_schedule(*schedule),
+        )
+        .unwrap();
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "schedule {schedule:?} changed bits"
+        );
+    }
+}
+
+#[test]
+fn outputs_bitwise_identical_across_thread_counts() {
+    let l = 192;
+    let (q, k, v) = qkv::<f32>(l, 8, 2);
+    let reference = {
+        let pool = ThreadPool::new(1);
+        local_attention(&pool, 9, &q, &k, &v, &KernelOptions::new()).unwrap()
+    };
+    for threads in [2usize, 3, 8] {
+        let pool = ThreadPool::new(threads);
+        let out = local_attention(&pool, 9, &q, &k, &v, &KernelOptions::new()).unwrap();
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "{threads} threads changed bits"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_identical() {
+    let l = 128;
+    let (q, k, v) = qkv::<f32>(l, 8, 4);
+    let pool = ThreadPool::new(4);
+    let mask = RandomUniform::new(l, 0.2, 7).to_dense();
+    let a = AttentionKernel::SdpMasked(&mask)
+        .run(&pool, &q, &k, &v, &KernelOptions::new())
+        .unwrap();
+    for _ in 0..3 {
+        let b = AttentionKernel::SdpMasked(&mask)
+            .run(&pool, &q, &k, &v, &KernelOptions::new())
+            .unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn flash_identical_across_threads() {
+    let l = 160;
+    let (q, k, v) = qkv::<f32>(l, 16, 6);
+    let reference = {
+        let pool = ThreadPool::new(1);
+        AttentionKernel::Flash
+            .run(&pool, &q, &k, &v, &KernelOptions::new())
+            .unwrap()
+    };
+    let pool = ThreadPool::new(6);
+    let out = AttentionKernel::Flash
+        .run(&pool, &q, &k, &v, &KernelOptions::new())
+        .unwrap();
+    assert_eq!(out.as_slice(), reference.as_slice());
+}
