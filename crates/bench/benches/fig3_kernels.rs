@@ -43,13 +43,9 @@ fn bench_fig3(c: &mut Criterion) {
         // COO only at the sparser points (paper restriction, same reason).
         if sf <= 0.1 {
             let case = fitted_case(AlgoId::Coo, l, sf);
-            group.bench_with_input(
-                BenchmarkId::new("COO", format!("sf={sf}")),
-                &sf,
-                |b, _| {
-                    b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("COO", format!("sf={sf}")), &sf, |b, _| {
+                b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
+            });
         }
     }
     group.finish();

@@ -46,7 +46,7 @@ impl Default for Args {
 }
 
 impl Args {
-    /// Parse from an iterator of arguments (excluding argv[0]).
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
     /// Unknown flags produce an error message listing valid options.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut out = Args::default();
@@ -57,8 +57,7 @@ impl Args {
                 "--quick" => out.scale = Scale::Quick,
                 "--threads" => {
                     let v = it.next().ok_or("--threads requires a value")?;
-                    out.threads =
-                        Some(v.parse().map_err(|_| format!("bad thread count: {v}"))?);
+                    out.threads = Some(v.parse().map_err(|_| format!("bad thread count: {v}"))?);
                 }
                 "--out" => {
                     let v = it.next().ok_or("--out requires a directory")?;
@@ -116,7 +115,16 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--paper", "--threads", "8", "--out", "/tmp/x", "--seed", "42"]).unwrap();
+        let a = parse(&[
+            "--paper",
+            "--threads",
+            "8",
+            "--out",
+            "/tmp/x",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.threads, Some(8));
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));

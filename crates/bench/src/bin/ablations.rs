@@ -26,10 +26,19 @@ fn main() {
     });
 
     for (exp, title) in [
-        ("ablation_a1", "A1 — COO row-bound search (linear = paper, binary = fix)"),
-        ("ablation_a2", "A2 — scheduling on the imbalanced global mask"),
+        (
+            "ablation_a1",
+            "A1 — COO row-bound search (linear = paper, binary = fix)",
+        ),
+        (
+            "ablation_a2",
+            "A2 — scheduling on the imbalanced global mask",
+        ),
         ("ablation_a3", "A3 — FlashAttention K/V tile size"),
-        ("ablation_a4", "A4 — generic pattern driver vs specialized kernel"),
+        (
+            "ablation_a4",
+            "A4 — generic pattern driver vs specialized kernel",
+        ),
     ] {
         let rows: Vec<Vec<String>> = records
             .iter()

@@ -14,7 +14,10 @@ fn main() {
     let mut cfg = Fig3Config::for_scale(args.scale);
     cfg.seed = args.seed;
 
-    println!("Fig. 3 — microbenchmarks on {}", HostInfo::detect().summary());
+    println!(
+        "Fig. 3 — microbenchmarks on {}",
+        HostInfo::detect().summary()
+    );
     println!(
         "L = {:?}, dk = {:?}, {} sparsity points; protocol {:?}\n",
         cfg.ls,
@@ -26,7 +29,11 @@ fn main() {
     let records = run_fig3(&pool, &cfg, |r| {
         eprintln!(
             "  measured {:<22} L={:<6} dk={:<4} Sf={:<8.1e} -> {}",
-            r.algo, r.l, r.dk, r.sf_target, fmt_seconds(r.mean_s)
+            r.algo,
+            r.l,
+            r.dk,
+            r.sf_target,
+            fmt_seconds(r.mean_s)
         );
     });
 

@@ -15,7 +15,10 @@ fn main() {
     let args = Args::from_env();
 
     // ---- Table II: ours (paper-calibrated + principled) vs paper --------
-    println!("Table II — max context length on one {} at Sf = 1e-4\n", A100_80GB.name);
+    println!(
+        "Table II — max context length on one {} at Sf = 1e-4\n",
+        A100_80GB.name
+    );
     for spec in &TABLE2_ROWS {
         let calibrated = table2_row(spec, Accounting::PaperCalibrated);
         let principled = table2_row(spec, Accounting::Principled);
@@ -29,9 +32,7 @@ fn main() {
             .iter()
             .zip(principled.iter())
             .map(|(c, p)| {
-                let fmt = |v: Option<u64>| {
-                    v.map(fmt_count).unwrap_or_else(|| "Unsupported".into())
-                };
+                let fmt = |v: Option<u64>| v.map(fmt_count).unwrap_or_else(|| "Unsupported".into());
                 let err = c
                     .relative_error()
                     .map(|e| format!("{:.2}%", e * 100.0))
@@ -48,7 +49,13 @@ fn main() {
         print!(
             "{}",
             ascii_table(
-                &["algorithm", "paper", "calibrated model", "rel err", "principled (this repo)"],
+                &[
+                    "algorithm",
+                    "paper",
+                    "calibrated model",
+                    "rel err",
+                    "principled (this repo)"
+                ],
                 &rows
             )
         );
@@ -61,8 +68,7 @@ fn main() {
 
     std::fs::create_dir_all(&args.out_dir).expect("create output dir");
     let path = args.out_dir.join("fig4.csv");
-    let mut file =
-        std::io::BufWriter::new(std::fs::File::create(&path).expect("create fig4.csv"));
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create fig4.csv"));
     writeln!(file, "dtype,dk,algo,sf,max_context_length").unwrap();
     for panel in &panels {
         for series in &panel.series {
@@ -81,7 +87,12 @@ fn main() {
         }
     }
     drop(file);
-    println!("Fig. 4 curves ({} panels × {} algorithms × {} sparsity points)", panels.len(), MemAlgorithm::ALL.len(), sfs.len());
+    println!(
+        "Fig. 4 curves ({} panels × {} algorithms × {} sparsity points)",
+        panels.len(),
+        MemAlgorithm::ALL.len(),
+        sfs.len()
+    );
 
     // Compact preview of one panel (FP16, dk = 64 — the paper's headline).
     let panel = panels
@@ -101,9 +112,7 @@ fn main() {
                 let cell = s
                     .points
                     .iter()
-                    .min_by(|a, b| {
-                        (a.0 - sf).abs().partial_cmp(&(b.0 - sf).abs()).unwrap()
-                    })
+                    .min_by(|a, b| (a.0 - sf).abs().partial_cmp(&(b.0 - sf).abs()).unwrap())
                     .and_then(|(_, l)| *l)
                     .map(fmt_count)
                     .unwrap_or_else(|| "Unsupported".into());

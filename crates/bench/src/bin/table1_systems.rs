@@ -25,10 +25,7 @@ fn main() {
             "runtime benches (Figs. 3, 5, 6; Table III)".to_string(),
         ]))
         .collect();
-    print!(
-        "{}",
-        ascii_table(&["system", "memory", "used for"], &rows)
-    );
+    print!("{}", ascii_table(&["system", "memory", "used for"], &rows));
     println!(
         "\nworkers: {} threads (override with --threads or GPA_THREADS)",
         args.threads.unwrap_or_else(gpa_parallel::default_threads)

@@ -58,7 +58,14 @@ fn main() {
     print!(
         "{}",
         ascii_table(
-            &["L", "algorithm", "Sf", "mean runtime", "speedup vs Flash", "note"],
+            &[
+                "L",
+                "algorithm",
+                "Sf",
+                "mean runtime",
+                "speedup vs Flash",
+                "note"
+            ],
             &rows
         )
     );

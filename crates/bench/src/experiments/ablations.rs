@@ -55,7 +55,10 @@ impl AblationConfig {
                 coo_sfs: vec![0.2],
                 global_sf: 0.05,
                 tiles: vec![16, 64],
-                protocol: Protocol { warmup: 1, iters: 2 },
+                protocol: Protocol {
+                    warmup: 1,
+                    iters: 2,
+                },
                 budget_s: 3.0,
                 seed: 0x5EED,
             },
@@ -122,7 +125,15 @@ pub fn run_ablations(
                     coo_attention(pool, &mask, search, &q, &k, &v, &opts).unwrap(),
                 );
             });
-            let rec = record("ablation_a1", name.into(), cfg.l, cfg.dk, sf, stat, String::new());
+            let rec = record(
+                "ablation_a1",
+                name.into(),
+                cfg.l,
+                cfg.dk,
+                sf,
+                stat,
+                String::new(),
+            );
             on_record(&rec);
             records.push(rec);
         }
@@ -159,9 +170,7 @@ pub fn run_ablations(
     let (qf, kf, vf): (Matrix<f32>, _, _) = qkv(cfg.l_flash, cfg.dk, cfg.seed ^ 1);
     for &tile in &cfg.tiles {
         let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-            std::hint::black_box(
-                flash_attention_tiled(pool, &qf, &kf, &vf, tile, &opts).unwrap(),
-            );
+            std::hint::black_box(flash_attention_tiled(pool, &qf, &kf, &vf, tile, &opts).unwrap());
         });
         let rec = record(
             "ablation_a3",
@@ -240,7 +249,10 @@ mod tests {
             coo_sfs: vec![0.1],
             global_sf: 0.05,
             tiles: vec![64],
-            protocol: Protocol { warmup: 1, iters: 3 },
+            protocol: Protocol {
+                warmup: 1,
+                iters: 3,
+            },
             budget_s: 30.0,
             seed: 2,
         };

@@ -47,7 +47,10 @@ impl Fig3Config {
                 sfs: vec![0.1, 0.01],
                 coo_max_l: 256,
                 coo_max_sf: 0.4,
-                protocol: Protocol { warmup: 1, iters: 2 },
+                protocol: Protocol {
+                    warmup: 1,
+                    iters: 2,
+                },
                 budget_s: 2.0,
                 seed: 0x5EED,
             },
@@ -167,11 +170,16 @@ mod tests {
         // 1 L × 1 dk × 2 sf × (SDP + 6 kernels, COO allowed at both sf).
         assert_eq!(records.len(), 2 * 7);
         // All algorithms present.
-        for name in ["PyTorch SDP (Masked)", "COO", "CSR", "Local", "Dilated-1D", "Dilated-2D", "Global"] {
-            assert!(
-                records.iter().any(|r| r.algo == name),
-                "missing {name}"
-            );
+        for name in [
+            "PyTorch SDP (Masked)",
+            "COO",
+            "CSR",
+            "Local",
+            "Dilated-1D",
+            "Dilated-2D",
+            "Global",
+        ] {
+            assert!(records.iter().any(|r| r.algo == name), "missing {name}");
         }
         // Runtime sanity: all positive.
         assert!(records.iter().all(|r| r.mean_s > 0.0));
@@ -186,7 +194,10 @@ mod tests {
             sfs: vec![0.5, 0.005],
             coo_max_l: 0, // skip COO for speed
             coo_max_sf: 0.0,
-            protocol: Protocol { warmup: 1, iters: 3 },
+            protocol: Protocol {
+                warmup: 1,
+                iters: 3,
+            },
             budget_s: 10.0,
             seed: 1,
         };

@@ -47,7 +47,10 @@ impl Fig5Config {
                 sfs: vec![1e-2],
                 dk: 32,
                 flash_max_l: 1024,
-                protocol: Protocol { warmup: 1, iters: 2 },
+                protocol: Protocol {
+                    warmup: 1,
+                    iters: 2,
+                },
                 budget_s: 2.0,
                 seed: 0x5EED,
             },
@@ -205,7 +208,10 @@ mod tests {
             sfs: vec![1e-2],
             dk: 32,
             flash_max_l: 512,
-            protocol: Protocol { warmup: 1, iters: 2 },
+            protocol: Protocol {
+                warmup: 1,
+                iters: 2,
+            },
             budget_s: 5.0,
             seed: 3,
         };

@@ -12,8 +12,8 @@ use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
 use gpa_core::{run_composed, AttentionKernel, KernelOptions};
 use gpa_masks::{
-    bigbird, longformer, longformer_dilated, GlobalMinusLocal, GlobalSet, LocalWindow,
-    MaskPattern, RandomUniform,
+    bigbird, longformer, longformer_dilated, GlobalMinusLocal, GlobalSet, LocalWindow, MaskPattern,
+    RandomUniform,
 };
 use gpa_parallel::ThreadPool;
 use gpa_sparse::CsrMask;
@@ -54,7 +54,10 @@ impl Fig6Config {
                 n_globals: 3,
                 dilation: 2,
                 random_sf: 0.01,
-                protocol: Protocol { warmup: 1, iters: 2 },
+                protocol: Protocol {
+                    warmup: 1,
+                    iters: 2,
+                },
                 budget_s: 3.0,
                 seed: 0x5EED,
             },
@@ -113,6 +116,7 @@ impl Fig6Mask {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // flat record fields, local helper
 fn push_record(
     records: &mut Vec<Record>,
     on_record: &mut impl FnMut(&Record),
@@ -153,8 +157,7 @@ pub fn run_fig6(
     for &l in &cfg.ls {
         let (q, k, v): (Matrix<f32>, _, _) = qkv(l, cfg.dk, cfg.seed);
         let globals = GlobalSet::evenly_spaced(l, cfg.n_globals);
-        let global_indices: Vec<usize> =
-            globals.indices().iter().map(|&g| g as usize).collect();
+        let global_indices: Vec<usize> = globals.indices().iter().map(|&g| g as usize).collect();
 
         for mask in Fig6Mask::ALL {
             // Build the scenario's union mask (for SDP + single-CSR runs).
@@ -163,8 +166,7 @@ pub fn run_fig6(
                     longformer(l, cfg.window, global_indices.clone()).to_csr()
                 }
                 Fig6Mask::LongformerDilatedGlobal => {
-                    longformer_dilated(l, cfg.window, cfg.dilation, global_indices.clone())
-                        .to_csr()
+                    longformer_dilated(l, cfg.window, cfg.dilation, global_indices.clone()).to_csr()
                 }
                 Fig6Mask::BigBird => bigbird(
                     l,
@@ -186,7 +188,16 @@ pub fn run_fig6(
                         .unwrap(),
                 );
             });
-            push_record(&mut records, &mut on_record, mask, "SDP (Masked)", l, cfg.dk, sf, stat);
+            push_record(
+                &mut records,
+                &mut on_record,
+                mask,
+                "SDP (Masked)",
+                l,
+                cfg.dk,
+                sf,
+                stat,
+            );
 
             // Single CSR call over the union.
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
@@ -196,7 +207,16 @@ pub fn run_fig6(
                         .unwrap(),
                 );
             });
-            push_record(&mut records, &mut on_record, mask, "CSR", l, cfg.dk, sf, stat);
+            push_record(
+                &mut records,
+                &mut on_record,
+                mask,
+                "CSR",
+                l,
+                cfg.dk,
+                sf,
+                stat,
+            );
 
             // Sequential kernel compositions (the paper's third series).
             match mask {
@@ -239,10 +259,9 @@ pub fn run_fig6(
                     let covered = LocalWindow::new(l, cfg.window)
                         .to_csr()
                         .union(&GlobalMinusLocal::new(globals.clone(), cfg.window).to_csr());
-                    let random_rest =
-                        RandomUniform::new(l, cfg.random_sf, cfg.seed ^ 0xB16B)
-                            .to_csr()
-                            .difference(&covered);
+                    let random_rest = RandomUniform::new(l, cfg.random_sf, cfg.seed ^ 0xB16B)
+                        .to_csr()
+                        .difference(&covered);
                     let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
                         std::hint::black_box(
                             run_composed(
@@ -316,7 +335,10 @@ mod tests {
             n_globals: 3,
             dilation: 2,
             random_sf: 0.01,
-            protocol: Protocol { warmup: 0, iters: 1 },
+            protocol: Protocol {
+                warmup: 0,
+                iters: 1,
+            },
             budget_s: 5.0,
             seed: 11,
         };
@@ -326,7 +348,9 @@ mod tests {
         let opts = KernelOptions::new();
 
         let union = longformer(l, cfg.window, gi).to_csr();
-        let via_csr = AttentionKernel::Csr(&union).run(&pool, &q, &k, &v, &opts).unwrap();
+        let via_csr = AttentionKernel::Csr(&union)
+            .run(&pool, &q, &k, &v, &opts)
+            .unwrap();
         let via_composed = run_composed(
             &pool,
             &[

@@ -45,7 +45,10 @@ impl Table3Config {
                 dk: 32,
                 flash_max_l: 4_096,
                 csr_max_nnz: 4_000_000,
-                protocol: Protocol { warmup: 1, iters: 2 },
+                protocol: Protocol {
+                    warmup: 1,
+                    iters: 2,
+                },
                 budget_s: 5.0,
                 seed: 0x5EED,
             },
@@ -152,7 +155,10 @@ pub fn run_table3(
         let target_nnz = (sf * l as f64 * l as f64) as usize;
         let (csr_sf, csr_note) = if target_nnz > cfg.csr_max_nnz {
             let capped = cfg.csr_max_nnz as f64 / (l as f64 * l as f64);
-            (capped, "sparsity raised: mask memory restriction".to_string())
+            (
+                capped,
+                "sparsity raised: mask memory restriction".to_string(),
+            )
         } else {
             (sf, String::new())
         };
@@ -208,7 +214,10 @@ mod tests {
             dk: 32,
             flash_max_l: 16_384,
             csr_max_nnz: 50_000_000,
-            protocol: Protocol { warmup: 1, iters: 2 },
+            protocol: Protocol {
+                warmup: 1,
+                iters: 2,
+            },
             budget_s: 20.0,
             seed: 5,
         };
@@ -236,7 +245,10 @@ mod tests {
             dk: 16,
             flash_max_l: 8_192,
             csr_max_nnz: 100_000, // force the cap (longnet nnz = 2730·L ≈ 22M)
-            protocol: Protocol { warmup: 0, iters: 1 },
+            protocol: Protocol {
+                warmup: 0,
+                iters: 1,
+            },
             budget_s: 10.0,
             seed: 1,
         };

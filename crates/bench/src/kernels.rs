@@ -116,7 +116,9 @@ impl OwnedKernel {
 /// identity diagonal subtracted).
 pub fn fitted_case(algo: AlgoId, l: usize, sf: f64) -> OwnedKernel {
     match algo {
-        AlgoId::Sdp => OwnedKernel::Sdp(LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_dense()),
+        AlgoId::Sdp => {
+            OwnedKernel::Sdp(LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_dense())
+        }
         AlgoId::Coo => OwnedKernel::Coo(
             LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_coo(),
             CooSearch::Linear,
@@ -125,9 +127,9 @@ pub fn fitted_case(algo: AlgoId, l: usize, sf: f64) -> OwnedKernel {
             LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_coo(),
             CooSearch::Binary,
         ),
-        AlgoId::Csr => OwnedKernel::Csr(
-            LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_csr(),
-        ),
+        AlgoId::Csr => {
+            OwnedKernel::Csr(LocalWindow::new(l, local_window_for_sparsity(l, sf)).to_csr())
+        }
         AlgoId::Local => OwnedKernel::Local(local_window_for_sparsity(l, sf)),
         AlgoId::Dilated1d => OwnedKernel::Dilated1d {
             w: dilated1d_width_for_sparsity(l, 1, sf),
@@ -195,11 +197,7 @@ mod tests {
             }
             let case = fitted_case(algo, l, 0.05);
             let sf = case.achieved_sf(l);
-            assert!(
-                (sf - 0.05).abs() / 0.05 < 0.35,
-                "{:?}: achieved {sf}",
-                algo
-            );
+            assert!((sf - 0.05).abs() / 0.05 < 0.35, "{:?}: achieved {sf}", algo);
         }
     }
 
@@ -231,7 +229,10 @@ mod tests {
     #[test]
     fn names_are_paper_legends() {
         assert_eq!(fitted_case(AlgoId::Csr, 16, 0.5).name(), "CSR");
-        assert_eq!(fitted_case(AlgoId::Sdp, 16, 0.5).name(), "PyTorch SDP (Masked)");
+        assert_eq!(
+            fitted_case(AlgoId::Sdp, 16, 0.5).name(),
+            "PyTorch SDP (Masked)"
+        );
         assert_eq!(fitted_case(AlgoId::Flash, 16, 0.5).name(), "FlashAttention");
     }
 }

@@ -30,7 +30,10 @@ impl Protocol {
 
     /// CPU-scale default: 2 warm-up + 5 timed runs.
     pub fn cpu_default() -> Self {
-        Protocol { warmup: 2, iters: 5 }
+        Protocol {
+            warmup: 2,
+            iters: 5,
+        }
     }
 
     /// Scale iterations down for expensive cases. `est_seconds` is a rough
@@ -139,13 +142,22 @@ mod tests {
 
     #[test]
     fn paper_protocol_counts() {
-        assert_eq!(Protocol::paper(), Protocol { warmup: 10, iters: 15 });
+        assert_eq!(
+            Protocol::paper(),
+            Protocol {
+                warmup: 10,
+                iters: 15
+            }
+        );
     }
 
     #[test]
     fn measure_runs_expected_times() {
         let mut calls = 0usize;
-        let p = Protocol { warmup: 3, iters: 4 };
+        let p = Protocol {
+            warmup: 3,
+            iters: 4,
+        };
         let stat = measure(p, || calls += 1);
         assert_eq!(calls, 7);
         assert_eq!(stat.iters, 4);

@@ -107,10 +107,10 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str("|\n");
     sep(&mut out);
     for row in rows {
-        for c in 0..cols {
+        for (c, &width) in widths.iter().enumerate().take(cols) {
             let empty = String::new();
             let cell = row.get(c).unwrap_or(&empty);
-            let _ = write!(out, "| {cell:width$} ", width = widths[c]);
+            let _ = write!(out, "| {cell:width$} ");
         }
         out.push_str("|\n");
     }
@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn csv_roundtrip_field_count() {
         let row = rec().to_csv_row();
-        assert_eq!(row.split(',').count(), Record::CSV_HEADER.split(',').count());
+        assert_eq!(
+            row.split(',').count(),
+            Record::CSV_HEADER.split(',').count()
+        );
     }
 
     #[test]

@@ -149,7 +149,15 @@ mod tests {
         let (q, k, v) = qkv::<f64>(l, 16, 31);
         let p = pool();
         let flash = flash_attention(&p, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let sdp = masked_sdp(&p, &DenseMask::ones(l, l), &q, &k, &v, &KernelOptions::new()).unwrap();
+        let sdp = masked_sdp(
+            &p,
+            &DenseMask::ones(l, l),
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+        )
+        .unwrap();
         assert!(paper_allclose(&flash, &sdp));
     }
 

@@ -75,10 +75,7 @@ impl AttentionKernel<'_> {
 
     /// True for graph kernels that can share an [`AttentionState`].
     pub fn is_composable(&self) -> bool {
-        !matches!(
-            self,
-            AttentionKernel::SdpMasked(_) | AttentionKernel::Flash
-        )
+        !matches!(self, AttentionKernel::SdpMasked(_) | AttentionKernel::Flash)
     }
 
     /// Run into an existing state (graph kernels only).

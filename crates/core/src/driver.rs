@@ -211,7 +211,10 @@ mod tests {
         cols: &[usize],
     ) -> Vec<f64> {
         let scale = 1.0 / (q.cols() as f64).sqrt();
-        let scores: Vec<f64> = cols.iter().map(|&j| dot(q.row(i), k.row(j)) * scale).collect();
+        let scores: Vec<f64> = cols
+            .iter()
+            .map(|&j| dot(q.row(i), k.row(j)) * scale)
+            .collect();
         let mut w = vec![0.0; scores.len()];
         softmax_slice(&scores, &mut w);
         let mut out = vec![0.0; v.cols()];
@@ -255,7 +258,15 @@ mod tests {
             let mut l = 0.0;
             let mut o = vec![0.0f64; 4];
             for &e in order {
-                absorb_edge(q.row(0), &edges[e].0, &edges[e].1, 0.5, &mut m, &mut l, &mut o);
+                absorb_edge(
+                    q.row(0),
+                    &edges[e].0,
+                    &edges[e].1,
+                    0.5,
+                    &mut m,
+                    &mut l,
+                    &mut o,
+                );
             }
             o
         };
@@ -295,7 +306,10 @@ mod tests {
             if (i % 4) % 2 != 0 {
                 assert!(out.row(i).iter().all(|&x| x == 0.0), "row {i} must be zero");
             } else {
-                assert!(out.row(i).iter().any(|&x| x != 0.0), "row {i} must be nonzero");
+                assert!(
+                    out.row(i).iter().any(|&x| x != 0.0),
+                    "row {i} must be nonzero"
+                );
             }
         }
     }
@@ -306,20 +320,43 @@ mod tests {
         let k: Matrix<f64> = Matrix::zeros(5, 8);
         let v: Matrix<f64> = Matrix::zeros(4, 8);
         let mut state = AttentionState::new(4, 8);
-        let err = graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut state, |_, _| {})
-            .unwrap_err();
+        let err = graph_attention_into(
+            &pool(),
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+            &mut state,
+            |_, _| {},
+        )
+        .unwrap_err();
         assert!(matches!(err, AttnError::ContextLengthMismatch { .. }));
 
         let k: Matrix<f64> = Matrix::zeros(4, 6);
-        let err = graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut state, |_, _| {})
-            .unwrap_err();
+        let err = graph_attention_into(
+            &pool(),
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+            &mut state,
+            |_, _| {},
+        )
+        .unwrap_err();
         assert!(matches!(err, AttnError::KeyDimMismatch { .. }));
 
         let k: Matrix<f64> = Matrix::zeros(4, 8);
         let mut bad_state = AttentionState::new(3, 8);
-        let err =
-            graph_attention_into(&pool(), &q, &k, &v, &KernelOptions::new(), &mut bad_state, |_, _| {})
-                .unwrap_err();
+        let err = graph_attention_into(
+            &pool(),
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+            &mut bad_state,
+            |_, _| {},
+        )
+        .unwrap_err();
         assert!(matches!(err, AttnError::StateShapeMismatch { .. }));
     }
 

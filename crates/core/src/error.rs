@@ -75,7 +75,9 @@ mod tests {
         assert!(e.to_string().contains("1/2/3"));
         let e = AttnError::KeyDimMismatch { q: 64, k: 32 };
         assert!(e.to_string().contains("64"));
-        let e = AttnError::BadParameter { what: "w must be positive" };
+        let e = AttnError::BadParameter {
+            what: "w must be positive",
+        };
         assert!(e.to_string().contains("w must be positive"));
     }
 }

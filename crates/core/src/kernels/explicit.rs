@@ -67,6 +67,7 @@ pub fn csr_attention<T: Real>(
 /// With [`CooSearch::Linear`] the kernel reproduces the paper's per-row
 /// prefix scan (instrumented via the options' work counter as
 /// `neighbor_searches`).
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
 pub fn coo_attention_into<T: Real>(
     pool: &ThreadPool,
     mask: &CooMask,
@@ -147,7 +148,8 @@ mod tests {
         let pat = RandomUniform::new(l, 0.2, 3);
         let csr = pat.to_csr();
         let out = csr_attention(&pool(), &csr, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let reference = masked_sdp(&pool(), &pat.to_dense(), &q, &k, &v, &KernelOptions::new()).unwrap();
+        let reference =
+            masked_sdp(&pool(), &pat.to_dense(), &q, &k, &v, &KernelOptions::new()).unwrap();
         assert!(paper_allclose(&out, &reference));
     }
 
@@ -160,10 +162,26 @@ mod tests {
         let csr = pat.to_csr();
         let p = pool();
         let via_csr = csr_attention(&p, &csr, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let via_lin =
-            coo_attention(&p, &coo, CooSearch::Linear, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let via_bin =
-            coo_attention(&p, &coo, CooSearch::Binary, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let via_lin = coo_attention(
+            &p,
+            &coo,
+            CooSearch::Linear,
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+        )
+        .unwrap();
+        let via_bin = coo_attention(
+            &p,
+            &coo,
+            CooSearch::Binary,
+            &q,
+            &k,
+            &v,
+            &KernelOptions::new(),
+        )
+        .unwrap();
         assert!(paper_allclose(&via_lin, &via_csr));
         assert!(paper_allclose(&via_bin, &via_csr));
     }

@@ -62,6 +62,7 @@ pub fn local_attention<T: Real>(
 }
 
 /// 1-D dilated attention (`|i−j| < w ∧ |i−j| mod (r+1) = 0`) into state.
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
 pub fn dilated1d_attention_into<T: Real>(
     pool: &ThreadPool,
     w: usize,
@@ -113,6 +114,7 @@ pub fn dilated1d_attention<T: Real>(
 
 /// 2-D dilated (block) attention into state: diagonal blocks of
 /// `block_size`, in-block offsets dilated by `r` on both axes.
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
 pub fn dilated2d_attention_into<T: Real>(
     pool: &ThreadPool,
     block_size: usize,
@@ -165,6 +167,7 @@ pub fn dilated2d_attention<T: Real>(
 /// local window `|i−j| ≤ n_sub`, so that chaining
 /// `local(n_sub)` → `global(globals, n_sub)` covers the Longformer union
 /// exactly once.
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
 pub fn global_attention_into<T: Real>(
     pool: &ThreadPool,
     globals: &GlobalSet,

@@ -27,9 +27,7 @@ pub fn split_heads<T: Real>(packed: &Matrix<T>, heads: usize) -> Vec<Matrix<T>> 
     );
     let dk = packed.cols() / heads;
     (0..heads)
-        .map(|h| {
-            Matrix::from_fn(packed.rows(), dk, |i, j| packed.get(i, h * dk + j))
-        })
+        .map(|h| Matrix::from_fn(packed.rows(), dk, |i, j| packed.get(i, h * dk + j)))
         .collect()
 }
 
@@ -198,11 +196,21 @@ mod tests {
         let x = gaussian_matrix(l, 32, 1.0, 77);
         let p = pool();
         let a = layer
-            .forward(&p, &x, &AttentionKernel::Local { n: 3 }, &KernelOptions::new())
+            .forward(
+                &p,
+                &x,
+                &AttentionKernel::Local { n: 3 },
+                &KernelOptions::new(),
+            )
             .unwrap();
         assert_eq!(a.shape(), (l, 32));
         let b = layer
-            .forward(&p, &x, &AttentionKernel::Local { n: 3 }, &KernelOptions::new())
+            .forward(
+                &p,
+                &x,
+                &AttentionKernel::Local { n: 3 },
+                &KernelOptions::new(),
+            )
             .unwrap();
         assert_eq!(a, b, "forward must be deterministic");
     }
@@ -215,7 +223,12 @@ mod tests {
         let p = pool();
         let mask = LocalWindow::new(l, 1).to_csr();
         let local = layer
-            .forward(&p, &x, &AttentionKernel::Local { n: 1 }, &KernelOptions::new())
+            .forward(
+                &p,
+                &x,
+                &AttentionKernel::Local { n: 1 },
+                &KernelOptions::new(),
+            )
             .unwrap();
         let csr = layer
             .forward(&p, &x, &AttentionKernel::Csr(&mask), &KernelOptions::new())

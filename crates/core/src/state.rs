@@ -26,7 +26,10 @@ impl<T: Real> std::fmt::Debug for AttentionState<T> {
         f.debug_struct("AttentionState")
             .field("rows", &self.o.rows())
             .field("dv", &self.o.cols())
-            .field("absorbed_rows", &self.l.iter().filter(|&&l| l != T::ZERO).count())
+            .field(
+                "absorbed_rows",
+                &self.l.iter().filter(|&&l| l != T::ZERO).count(),
+            )
             .finish()
     }
 }

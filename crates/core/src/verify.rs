@@ -90,7 +90,10 @@ pub fn run_verification_at(
     let globals = GlobalSet::evenly_spaced(l, 3);
     let gml = GlobalMinusLocal::new(globals.clone(), window);
     let random = RandomUniform::new(l, 0.05, seed ^ 1);
-    let longformer = Union::new(LocalWindow::new(l, window), GlobalMask::new(globals.clone()));
+    let longformer = Union::new(
+        LocalWindow::new(l, window),
+        GlobalMask::new(globals.clone()),
+    );
 
     // Explicit kernels across every mask family.
     let masks: Vec<(&str, Box<dyn MaskPattern>)> = vec![
@@ -110,7 +113,9 @@ pub fn run_verification_at(
 
         let csr = pattern.to_csr();
         let coo = csr.to_coo();
-        let out = AttentionKernel::Csr(&csr).run(pool, &q, &k, &v, &opts).unwrap();
+        let out = AttentionKernel::Csr(&csr)
+            .run(pool, &q, &k, &v, &opts)
+            .unwrap();
         records.push(record_comparison("CSR", mask_name, sf, &out, &reference));
 
         let out = AttentionKernel::Coo(&coo, CooSearch::Linear)
@@ -153,9 +158,12 @@ pub fn run_verification_at(
         let bs = (l / 8).max(2);
         let pat = Dilated2d::new(l, bs, 1);
         let reference = masked_sdp(pool, &pat.to_dense(), &q, &k, &v, &opts).unwrap();
-        let out = AttentionKernel::Dilated2d { block_size: bs, r: 1 }
-            .run(pool, &q, &k, &v, &opts)
-            .unwrap();
+        let out = AttentionKernel::Dilated2d {
+            block_size: bs,
+            r: 1,
+        }
+        .run(pool, &q, &k, &v, &opts)
+        .unwrap();
         records.push(record_comparison(
             "Dilated-2D",
             "dilated-2d",

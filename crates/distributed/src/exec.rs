@@ -29,7 +29,11 @@ pub fn row_distributed_attention<T: Real>(
     partition: &RowPartition,
     opts: &KernelOptions<'_>,
 ) -> Matrix<T> {
-    assert_eq!(partition.context_len(), q.rows(), "partition/context mismatch");
+    assert_eq!(
+        partition.context_len(),
+        q.rows(),
+        "partition/context mismatch"
+    );
     let mut out = Matrix::zeros(q.rows(), v.cols());
     for range in partition.ranges() {
         if range.is_empty() {
@@ -103,10 +107,8 @@ pub fn kv_sharded_attention<T: Real>(
 
     for shard in partition.ranges() {
         // Mask restricted to this shard's columns.
-        let entries: Vec<(usize, usize)> = mask
-            .iter()
-            .filter(|&(_, c)| shard.contains(&c))
-            .collect();
+        let entries: Vec<(usize, usize)> =
+            mask.iter().filter(|&(_, c)| shard.contains(&c)).collect();
         let shard_mask = CsrMask::from_coo(
             &CooMask::from_entries(l, l, entries).expect("subset of a valid mask"),
         );
@@ -144,7 +146,9 @@ pub fn kv_sharded_attention<T: Real>(
 mod tests {
     use super::*;
     use gpa_core::csr_attention;
-    use gpa_masks::{longformer, GlobalMask, GlobalSet, LocalWindow, MaskPattern, RandomUniform, Union};
+    use gpa_masks::{
+        longformer, GlobalMask, GlobalSet, LocalWindow, MaskPattern, RandomUniform, Union,
+    };
     use gpa_tensor::init::qkv;
     use gpa_tensor::paper_allclose;
 
@@ -163,10 +167,7 @@ mod tests {
             let part = RowPartition::uniform(l, devices);
             let distributed =
                 row_distributed_attention(&p, &mask, &q, &k, &v, &part, &KernelOptions::new());
-            assert!(
-                paper_allclose(&distributed, &single),
-                "devices = {devices}"
-            );
+            assert!(paper_allclose(&distributed, &single), "devices = {devices}");
         }
     }
 

@@ -44,6 +44,8 @@ impl RowPartition {
         let l = mask.rows();
         let devices = devices.max(1);
         if l == 0 {
+            // One empty device range (not a collected 0..0 sequence).
+            #[allow(clippy::single_range_in_vec_init)]
             return RowPartition {
                 l,
                 ranges: vec![0..0],
@@ -213,12 +215,17 @@ mod tests {
     fn balanced_is_optimal_on_uniform_degrees() {
         // With equal degrees the chain-optimal partition is the even split.
         let n = 24;
-        let entries: Vec<(usize, usize)> = (0..n).flat_map(|i| [(i, i), (i, (i + 1) % n)]).collect();
+        let entries: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| [(i, i), (i, (i + 1) % n)]).collect();
         let mask = mask_from(entries, n);
         let part = RowPartition::degree_balanced(&mask, 4);
         let loads = part.edge_loads(&mask);
         assert_eq!(loads.iter().sum::<u64>(), mask.nnz() as u64);
-        assert!(part.imbalance(&mask) < 1.2, "imbalance {}", part.imbalance(&mask));
+        assert!(
+            part.imbalance(&mask) < 1.2,
+            "imbalance {}",
+            part.imbalance(&mask)
+        );
     }
 
     #[test]

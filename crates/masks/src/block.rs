@@ -7,7 +7,7 @@
 //! representative and serves as the block-granular comparison point.
 //!
 //! Causal masks (lower-triangular, and the banded causal window of Sparse
-//! Transformers [12]) are the autoregressive-decoding patterns every
+//! Transformers \[12\]) are the autoregressive-decoding patterns every
 //! deployed LLM uses; they compose with every kernel in `gpa-core`.
 
 use crate::pattern::MaskPattern;
@@ -100,7 +100,7 @@ impl MaskPattern for Causal {
     }
 }
 
-/// Causal sliding window (Sparse Transformers [12]): `i − n ≤ j ≤ i`.
+/// Causal sliding window (Sparse Transformers \[12\]): `i − n ≤ j ≤ i`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CausalLocal {
     l: usize,
@@ -185,10 +185,7 @@ mod tests {
         // n=0: self-attention only.
         assert_eq!(CausalLocal::new(6, 0).nnz(), 6);
         // n ≥ L−1 degenerates to full causal.
-        assert_eq!(
-            CausalLocal::new(12, 100).nnz(),
-            Causal::new(12).nnz()
-        );
+        assert_eq!(CausalLocal::new(12, 100).nnz(), Causal::new(12).nnz());
     }
 
     #[test]
@@ -197,7 +194,9 @@ mod tests {
         let l = 14;
         let n = 3;
         let cl = CausalLocal::new(l, n).to_csr();
-        let both = Causal::new(l).to_csr().intersection(&LocalWindow::new(l, n).to_csr());
+        let both = Causal::new(l)
+            .to_csr()
+            .intersection(&LocalWindow::new(l, n).to_csr());
         assert_eq!(cl, both);
     }
 

@@ -6,7 +6,7 @@
 //! this degenerates to a local window of `w − 1` in each direction (tested).
 //!
 //! **2-D** dilates over square blocks along the diagonal (the LongNet-style
-//! pattern [7]). The paper's pseudocode conflates block size and block
+//! pattern \[7\]). The paper's pseudocode conflates block size and block
 //! count (`floor(i/(L/b))` with `i % b`); we parameterize by an explicit
 //! `block_size` and keep dilation within the block:
 //! `same_block(i, j) ∧ (i mod bs) mod (r+1) = 0 ∧ (j mod bs) mod (r+1) = 0`.
@@ -228,7 +228,11 @@ mod tests {
                 let loc = LocalWindow::new(l, w - 1);
                 for i in 0..l {
                     for j in 0..l {
-                        assert_eq!(dil.contains(i, j), loc.contains(i, j), "l={l} w={w} ({i},{j})");
+                        assert_eq!(
+                            dil.contains(i, j),
+                            loc.contains(i, j),
+                            "l={l} w={w} ({i},{j})"
+                        );
                     }
                 }
                 assert_eq!(dil.nnz(), loc.nnz());

@@ -42,9 +42,8 @@ pub use presets::{
 };
 pub use random::{RandomPerRow, RandomUniform};
 pub use solve::{
-    causal_local_window_for_sparsity, dilated1d_width_for_sparsity,
-    dilated2d_block_for_sparsity, global_count_for_sparsity, local_window_for_sparsity,
-    sparsity_error,
+    causal_local_window_for_sparsity, dilated1d_width_for_sparsity, dilated2d_block_for_sparsity,
+    global_count_for_sparsity, local_window_for_sparsity, sparsity_error,
 };
 
 #[cfg(test)]
@@ -82,7 +81,7 @@ mod proptests {
             let n = local_window_for_sparsity(l, sf);
             let err_n = sparsity_error(LocalWindow::new(l, n).sparsity_factor(), sf);
             for cand in [n.saturating_sub(1), n + 1] {
-                if cand <= l - 1 && cand != n {
+                if cand < l && cand != n {
                     let err_c = sparsity_error(LocalWindow::new(l, cand).sparsity_factor(), sf);
                     prop_assert!(err_n <= err_c + 1e-12,
                         "n={n} err={err_n} but cand={cand} err={err_c}");

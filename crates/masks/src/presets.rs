@@ -6,7 +6,7 @@
 //!   center);
 //! - [`bigbird`]: local ∪ global ∪ uniform random (Fig. 2 right);
 //! - [`LongNetPattern`]: the multi-level geometric segment/dilation scheme
-//!   of LongNet [7], whose sparsity schedule (`Sf = 2730/L` at the paper's
+//!   of LongNet \[7\], whose sparsity schedule (`Sf = 2730/L` at the paper's
 //!   defaults) drives the long-context experiments of Table III.
 
 use crate::combinators::UnionAll;

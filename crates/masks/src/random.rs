@@ -58,9 +58,8 @@ impl RandomUniform {
     #[inline(always)]
     fn cell_on(&self, i: usize, j: usize) -> bool {
         // Threshold a 53-bit uniform derived from the cell coordinates.
-        let h = splitmix64(
-            self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ ((j as u64) << 1),
-        );
+        let h =
+            splitmix64(self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ ((j as u64) << 1));
         let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < self.p
     }

@@ -23,7 +23,7 @@ fn closest_monotone(lo: usize, hi: usize, target: f64, f: impl Fn(usize) -> f64)
     }
     // Invariant: f(lo_b) ≤ target < f(hi_b + 1) conceptually.
     while lo_b < hi_b {
-        let mid = lo_b + (hi_b - lo_b + 1) / 2;
+        let mid = lo_b + (hi_b - lo_b).div_ceil(2);
         if f(mid) <= target {
             lo_b = mid;
         } else {

@@ -142,19 +142,26 @@ mod tests {
     #[test]
     fn fp16_doubles_implicit_capacity_vs_fp32() {
         let sfs = [1e-4];
-        let p16 = fig4_panel(&A100_80GB, DType::F16, 64, Accounting::PaperCalibrated, &sfs);
-        let p32 = fig4_panel(&A100_80GB, DType::F32, 64, Accounting::PaperCalibrated, &sfs);
+        let p16 = fig4_panel(
+            &A100_80GB,
+            DType::F16,
+            64,
+            Accounting::PaperCalibrated,
+            &sfs,
+        );
+        let p32 = fig4_panel(
+            &A100_80GB,
+            DType::F32,
+            64,
+            Accounting::PaperCalibrated,
+            &sfs,
+        );
         let get = |p: &Fig4Panel, a: MemAlgorithm| {
-            p.series
-                .iter()
-                .find(|s| s.algo == a)
-                .unwrap()
-                .points[0]
+            p.series.iter().find(|s| s.algo == a).unwrap().points[0]
                 .1
                 .unwrap()
         };
-        let ratio =
-            get(&p16, MemAlgorithm::Local) as f64 / get(&p32, MemAlgorithm::Local) as f64;
+        let ratio = get(&p16, MemAlgorithm::Local) as f64 / get(&p32, MemAlgorithm::Local) as f64;
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
     }
 

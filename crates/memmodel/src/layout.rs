@@ -168,7 +168,10 @@ pub fn bytes_required(cfg: &MemConfig, l: f64) -> f64 {
         }
         (
             Accounting::PaperCalibrated,
-            MemAlgorithm::Flash | MemAlgorithm::Local | MemAlgorithm::Dilated1d | MemAlgorithm::Dilated2d,
+            MemAlgorithm::Flash
+            | MemAlgorithm::Local
+            | MemAlgorithm::Dilated1d
+            | MemAlgorithm::Dilated2d,
         ) => qkvo + stats,
         (Accounting::PaperCalibrated, MemAlgorithm::Global) => {
             // int64 global-token index vector of length g ≈ Sf·L/2.
@@ -191,7 +194,10 @@ pub fn bytes_required(cfg: &MemConfig, l: f64) -> f64 {
         }
         (
             Accounting::Principled,
-            MemAlgorithm::Flash | MemAlgorithm::Local | MemAlgorithm::Dilated1d | MemAlgorithm::Dilated2d,
+            MemAlgorithm::Flash
+            | MemAlgorithm::Local
+            | MemAlgorithm::Dilated1d
+            | MemAlgorithm::Dilated2d,
         ) => qkvo + stats,
         (Accounting::Principled, MemAlgorithm::Global) => {
             // u32 global indices, g = L(1 − √(1 − Sf)) exact.

@@ -19,12 +19,36 @@ pub struct Table2RowSpec {
 
 /// The six row groups of Table II.
 pub const TABLE2_ROWS: [Table2RowSpec; 6] = [
-    Table2RowSpec { dtype: DType::F32, d_total: 64, heads: 1 },
-    Table2RowSpec { dtype: DType::F32, d_total: 128, heads: 1 },
-    Table2RowSpec { dtype: DType::F32, d_total: 4096, heads: 32 },
-    Table2RowSpec { dtype: DType::F16, d_total: 64, heads: 1 },
-    Table2RowSpec { dtype: DType::F16, d_total: 128, heads: 1 },
-    Table2RowSpec { dtype: DType::F16, d_total: 4096, heads: 32 },
+    Table2RowSpec {
+        dtype: DType::F32,
+        d_total: 64,
+        heads: 1,
+    },
+    Table2RowSpec {
+        dtype: DType::F32,
+        d_total: 128,
+        heads: 1,
+    },
+    Table2RowSpec {
+        dtype: DType::F32,
+        d_total: 4096,
+        heads: 32,
+    },
+    Table2RowSpec {
+        dtype: DType::F16,
+        d_total: 64,
+        heads: 1,
+    },
+    Table2RowSpec {
+        dtype: DType::F16,
+        d_total: 128,
+        heads: 1,
+    },
+    Table2RowSpec {
+        dtype: DType::F16,
+        d_total: 4096,
+        heads: 32,
+    },
 ];
 
 /// The paper's published Table II value for a (row, algorithm) cell;
@@ -166,7 +190,10 @@ mod tests {
                     }
                     (None, None) => {} // FlashAttention FP32
                     (ours, paper) => {
-                        panic!("support mismatch for {:?}: {ours:?} vs {paper:?}", cell.algo)
+                        panic!(
+                            "support mismatch for {:?}: {ours:?} vs {paper:?}",
+                            cell.algo
+                        )
                     }
                 }
             }

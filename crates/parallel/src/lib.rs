@@ -8,7 +8,7 @@
 //!
 //! - [`ThreadPool`]: persistent workers fed over a crossbeam channel, so
 //!   repeated kernel launches pay no thread-spawn cost;
-//! - [`parallel_for`] / [`parallel_for_stats`]: scoped row-parallel launch
+//! - [`parallel_for()`] / [`parallel_for_stats`]: scoped row-parallel launch
 //!   with selectable [`Schedule`] (static-contiguous, CUDA-like
 //!   block-cyclic, or dynamic work-sharing) and per-worker busy-time
 //!   statistics for the load-imbalance analyses of Section V-C;

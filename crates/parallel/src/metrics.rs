@@ -7,7 +7,7 @@
 //! `dot_products == nnz(mask)` for every kernel and mask.
 //!
 //! Counting is designed to stay off the hot path: workers accumulate into a
-//! local `u64` and flush once per block via [`WorkCounter::add`].
+//! local `u64` and flush once per block via [`WorkCounter::add_dot_products`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

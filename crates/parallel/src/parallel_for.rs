@@ -317,9 +317,11 @@ pub fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 pub fn spin_work(spins: usize) -> u64 {
     let mut acc = 0u64;
     for i in 0..spins {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        // black_box inside the loop: each iteration must execute even at
+        // high opt-levels, or scheduling tests lose their workload.
+        acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64));
     }
-    std::hint::black_box(acc)
+    acc
 }
 
 /// Duration helper for stats assertions in tests.
@@ -425,10 +427,15 @@ mod tests {
         let data: Vec<u64> = (0..100_000).map(|i| (i * 2654435761) % 1000).collect();
         let expected: u64 = data.iter().sum();
         let got = AtomicU64::new(0);
-        parallel_for(&pool, data.len(), Schedule::Dynamic { grain: 128 }, |range| {
-            let local: u64 = data[range].iter().sum();
-            got.fetch_add(local, Ordering::Relaxed);
-        });
+        parallel_for(
+            &pool,
+            data.len(),
+            Schedule::Dynamic { grain: 128 },
+            |range| {
+                let local: u64 = data[range].iter().sum();
+                got.fetch_add(local, Ordering::Relaxed);
+            },
+        );
         assert_eq!(got.load(Ordering::Relaxed), expected);
     }
 

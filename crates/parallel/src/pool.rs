@@ -7,7 +7,8 @@
 //! feeds them type-erased jobs over a crossbeam channel.
 //!
 //! Scoped (non-`'static`) parallel regions are built on top in
-//! [`crate::parallel_for`]; this module only provides the raw `'static` job
+//! [`mod@crate::parallel_for`]; this module only provides the raw `'static`
+//! job
 //! execution and the completion latch.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};

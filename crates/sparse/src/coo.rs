@@ -236,12 +236,10 @@ mod tests {
     #[test]
     fn sorted_constructor_validates() {
         // Unsorted.
-        let err =
-            CooMask::from_sorted_vecs(3, 3, vec![1, 0], vec![0, 0]).unwrap_err();
+        let err = CooMask::from_sorted_vecs(3, 3, vec![1, 0], vec![0, 0]).unwrap_err();
         assert!(matches!(err, SparseError::Unsorted { position: 1 }));
         // Duplicate.
-        let err =
-            CooMask::from_sorted_vecs(3, 3, vec![1, 1], vec![2, 2]).unwrap_err();
+        let err = CooMask::from_sorted_vecs(3, 3, vec![1, 1], vec![2, 2]).unwrap_err();
         assert!(matches!(err, SparseError::Duplicate { row: 1, col: 2 }));
         // Length mismatch.
         let err = CooMask::from_sorted_vecs(3, 3, vec![0], vec![]).unwrap_err();

@@ -363,12 +363,10 @@ mod tests {
 
     #[test]
     fn union_difference_intersection_laws() {
-        let a = CsrMask::from_coo(
-            &CooMask::from_entries(3, 3, vec![(0, 0), (1, 1), (2, 0)]).unwrap(),
-        );
-        let b = CsrMask::from_coo(
-            &CooMask::from_entries(3, 3, vec![(0, 0), (1, 2), (2, 1)]).unwrap(),
-        );
+        let a =
+            CsrMask::from_coo(&CooMask::from_entries(3, 3, vec![(0, 0), (1, 1), (2, 0)]).unwrap());
+        let b =
+            CsrMask::from_coo(&CooMask::from_entries(3, 3, vec![(0, 0), (1, 2), (2, 1)]).unwrap());
         let u = a.union(&b);
         assert_eq!(u.nnz(), 5); // (0,0) shared
         let i = a.intersection(&b);

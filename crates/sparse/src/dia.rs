@@ -109,12 +109,10 @@ impl DiaMask {
     pub fn row_neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         let l = self.l as i64;
         let i = i as i64;
-        self.offsets
-            .iter()
-            .filter_map(move |&d| {
-                let j = i + d;
-                (j >= 0 && j < l).then_some(j as usize)
-            })
+        self.offsets.iter().filter_map(move |&d| {
+            let j = i + d;
+            (j >= 0 && j < l).then_some(j as usize)
+        })
     }
 
     /// Materialize as CSR (for comparisons; defeats the storage advantage).
@@ -160,7 +158,7 @@ mod tests {
         assert!(dia.contains(5, 8));
         assert!(!dia.contains(5, 9));
         assert!(dia.contains(0, 3));
-        assert!(!dia.contains(3, 0) == false); // |3-0| ≤ 3 ⇒ contained
+        assert!(dia.contains(3, 0)); // |3-0| ≤ 3 ⇒ contained
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl fmt::Display for SparseError {
                 cols,
             } => write!(f, "entry ({row}, {col}) outside {rows}x{cols} mask"),
             SparseError::Unsorted { position } => {
-                write!(f, "COO entries not sorted by (row, col) at position {position}")
+                write!(
+                    f,
+                    "COO entries not sorted by (row, col) at position {position}"
+                )
             }
             SparseError::Duplicate { row, col } => {
                 write!(f, "duplicate entry ({row}, {col})")

@@ -331,12 +331,7 @@ mod tests {
                 assert!(F16::from_f32(h.to_f32()).is_nan());
             } else {
                 let rt = F16::from_f32(h.to_f32());
-                assert_eq!(
-                    rt.to_bits(),
-                    bits,
-                    "bits={bits:#06x} f32={}",
-                    h.to_f32()
-                );
+                assert_eq!(rt.to_bits(), bits, "bits={bits:#06x} f32={}", h.to_f32());
             }
         }
     }

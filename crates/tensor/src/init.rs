@@ -98,7 +98,12 @@ mod tests {
         let m: Matrix<f64> = gaussian_matrix(200, 50, 2.0, 1);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -212,7 +212,13 @@ impl<T: Real> fmt::Debug for Matrix<T> {
 /// Element-wise closeness test with `torch.allclose` semantics, the
 /// comparison operator the paper's verification protocol uses (Section V-A):
 /// `|a − b| ≤ atol + rtol · |b|`, with optional NaN-equals-NaN.
-pub fn allclose<T: Real>(a: &Matrix<T>, b: &Matrix<T>, atol: f64, rtol: f64, equal_nan: bool) -> bool {
+pub fn allclose<T: Real>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    atol: f64,
+    rtol: f64,
+    equal_nan: bool,
+) -> bool {
     if a.shape() != b.shape() {
         return false;
     }

@@ -64,12 +64,11 @@ pub fn matmul<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
         let k_hi = (kk + KB).min(k);
         for i in 0..m {
             let ai = a.row(i);
-            for p in kk..k_hi {
-                let aip = ai[p];
+            for (off, &aip) in ai[kk..k_hi].iter().enumerate() {
                 if aip == T::ZERO {
                     continue;
                 }
-                let bp = b.row(p);
+                let bp = b.row(kk + off);
                 let oi = out.row_mut(i);
                 for (o, &x) in oi.iter_mut().zip(bp.iter()) {
                     *o += aip * x;

@@ -203,10 +203,7 @@ mod tests {
     fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-            assert!(
-                (x - y).abs() <= tol,
-                "index {i}: {x} vs {y} (tol {tol})"
-            );
+            assert!((x - y).abs() <= tol, "index {i}: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -337,8 +334,16 @@ mod tests {
         let mut weights = vec![0.0; 4];
         softmax_slice(&scores, &mut weights);
         let expected = [
-            weights.iter().zip(values.iter()).map(|(w, v)| w * v[0]).sum::<f64>(),
-            weights.iter().zip(values.iter()).map(|(w, v)| w * v[1]).sum::<f64>(),
+            weights
+                .iter()
+                .zip(values.iter())
+                .map(|(w, v)| w * v[0])
+                .sum::<f64>(),
+            weights
+                .iter()
+                .zip(values.iter())
+                .map(|(w, v)| w * v[1])
+                .sum::<f64>(),
         ];
 
         // Two halves, each with a normalized accumulator maintained exactly

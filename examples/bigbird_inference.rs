@@ -3,14 +3,17 @@
 //! the Fig. 6 scenario as an application.
 //!
 //! ```text
-//! cargo run --release --example bigbird_inference
+//! cargo run --release --example bigbird_inference [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the context for smoke tests.
 
 use graph_attention::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let l = 8_192;
+    let quick = std::env::args().any(|a| a == "--quick");
+    let l = if quick { 2_048 } else { 8_192 };
     let dk = 64;
     let window = 50; // paper Fig. 6: local size 50 per direction
     let random_sf = 0.001; // paper Fig. 6: random sparsity
@@ -44,9 +47,9 @@ fn main() {
 
     // Approach 3: sequential kernel composition — implicit local and
     // global kernels plus a CSR call for the random remainder.
-    let covered = LocalWindow::new(l, window).to_csr().union(
-        &gpa_masks::GlobalMinusLocal::new(globals.clone(), window).to_csr(),
-    );
+    let covered = LocalWindow::new(l, window)
+        .to_csr()
+        .union(&gpa_masks::GlobalMinusLocal::new(globals.clone(), window).to_csr());
     let random_rest = gpa_masks::RandomUniform::new(l, random_sf, 0xB16B)
         .to_csr()
         .difference(&covered);
@@ -70,8 +73,14 @@ fn main() {
     let t_comp = t.elapsed().as_secs_f64();
 
     println!("SDP (masked):        {t_sdp:.3} s");
-    println!("CSR (single call):   {t_csr:.3} s  ({:.1}× vs SDP)", t_sdp / t_csr);
-    println!("Loc ∘ Glo ∘ CSR:     {t_comp:.3} s  ({:.1}× vs SDP)", t_sdp / t_comp);
+    println!(
+        "CSR (single call):   {t_csr:.3} s  ({:.1}× vs SDP)",
+        t_sdp / t_csr
+    );
+    println!(
+        "Loc ∘ Glo ∘ CSR:     {t_comp:.3} s  ({:.1}× vs SDP)",
+        t_sdp / t_comp
+    );
 
     // All three compute the same attention (paper: "outputs of each
     // approach were deemed identical").

@@ -8,8 +8,10 @@
 //! kernel, and confirms both correctness and work-optimality.
 //!
 //! ```text
-//! cargo run --release --example custom_graph_mask
+//! cargo run --release --example custom_graph_mask [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the graph for smoke tests.
 
 use graph_attention::prelude::*;
 use rand::rngs::StdRng;
@@ -37,7 +39,8 @@ fn contact_graph(n: usize, contacts: usize, seed: u64) -> CsrMask {
 }
 
 fn main() {
-    let n = 4096; // residues / tokens / graph vertices
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 1_024 } else { 4_096 }; // residues / tokens / graph vertices
     let dk = 32;
     let pool = ThreadPool::new(gpa_parallel::default_threads());
 

@@ -8,8 +8,10 @@
 //! built on the single-node substrate.
 //!
 //! ```text
-//! cargo run --release --example distributed_simulation
+//! cargo run --release --example distributed_simulation [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the context for smoke tests.
 
 use graph_attention::distributed::{
     analyze, kv_sharded_attention, row_distributed_attention, CommStats, RowPartition,
@@ -17,7 +19,8 @@ use graph_attention::distributed::{
 use graph_attention::prelude::*;
 
 fn main() {
-    let l = 8_192;
+    let quick = std::env::args().any(|a| a == "--quick");
+    let l = if quick { 2_048 } else { 8_192 };
     let dk = 64;
     let devices = 8;
     let pool = ThreadPool::new(gpa_parallel::default_threads());
@@ -54,7 +57,10 @@ fn main() {
         all_gather as f64 / stats.total_bytes() as f64
     );
     let makespan = stats.makespan(dk, 5e9, 10e9); // 5 GFLOP/s/device, 10 GB/s links
-    println!("  modeled makespan   : {:.1} ms (5 GFLOP/s, 10 GB/s links)", makespan * 1e3);
+    println!(
+        "  modeled makespan   : {:.1} ms (5 GFLOP/s, 10 GB/s links)",
+        makespan * 1e3
+    );
 
     // --- Executed decompositions, verified exact --------------------------
     let (q, k, v) = init::qkv::<f32>(l, dk, 3);

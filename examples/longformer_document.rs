@@ -8,14 +8,17 @@
 //! comparison.
 //!
 //! ```text
-//! cargo run --release --example longformer_document
+//! cargo run --release --example longformer_document [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the document for smoke tests.
 
 use graph_attention::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let l = 16_384; // document length in tokens
+    let quick = std::env::args().any(|a| a == "--quick");
+    let l = if quick { 2_048 } else { 16_384 }; // document length in tokens
     let d_model = 128;
     let heads = 4;
     let dk = 32;

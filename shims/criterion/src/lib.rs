@@ -1,0 +1,210 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://docs.rs/criterion/0.5) crate.
+//!
+//! Implements the harness subset the workspace's `benches/*.rs` use —
+//! [`Criterion::benchmark_group`], the group builder methods,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is honest but simple: per
+//! benchmark it runs a timed warm-up, then `sample_size` samples (each
+//! sized to fit the measurement budget) and prints min/mean times as plain
+//! text. There is no statistical analysis, HTML report, or baseline
+//! comparison; swap the real criterion back in for publication-quality
+//! numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly; handed to the `bench_*` closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `body` (its return value is sunk through
+    /// [`std::hint::black_box`] so the work is not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed call to page everything in, then estimate the cost to
+        // size batches.
+        std::hint::black_box(body());
+        let probe_start = Instant::now();
+        std::hint::black_box(body());
+        let per_call = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self
+            .measurement_time
+            .div_f64(self.sample_size.max(1) as f64);
+        let batch = (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as usize;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            self.samples.push(start.elapsed().div_f64(batch as f64));
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement. The shim folds warm-up
+    /// into its initial probe, so this only has to parse, not steer.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id.to_string(), |b| body(b));
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run_one(id.id, |b| body(b, input));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut body: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        body(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        if samples.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let sum: Duration = samples.iter().sum();
+        let mean = sum.div_f64(samples.len() as f64);
+        println!(
+            "{label:<60} min {:>12.3?}   mean {:>12.3?}   ({} samples)",
+            min,
+            mean,
+            samples.len(),
+        );
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce the `main` function running every group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let n = 100u64;
+        group.bench_with_input(BenchmarkId::new("sum_to", n), &n, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_samples() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+    }
+}

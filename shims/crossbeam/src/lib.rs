@@ -1,0 +1,211 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the crates.io
+//! [`crossbeam`](https://docs.rs/crossbeam/0.8) crate.
+//!
+//! Provides the one thing this workspace uses: an unbounded
+//! multi-producer/**multi-consumer** channel (`std::sync::mpsc` receivers
+//! are single-consumer, so they cannot back a shared worker-pool job
+//! queue). Built on a `Mutex<VecDeque>` + `Condvar`; disconnection is
+//! tracked by a live-sender count so blocked receivers wake and error out
+//! when the last [`channel::Sender`] drops — the mechanism `gpa-parallel`'s
+//! pool uses for clean shutdown.
+
+pub mod channel {
+    //! Unbounded MPMC channel (subset of `crossbeam::channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Create an unbounded channel; both halves are cloneable.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message like `crossbeam::channel::SendError`.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // Like upstream: the payload may not be Debug, elide it.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Producing half of the channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, waking one blocked receiver.
+        ///
+        /// This shim never observes receiver disconnection (receivers only
+        /// disappear when the whole channel does), so `send` always
+        /// succeeds; the `Result` mirrors the crossbeam signature.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                // Wake every blocked receiver so it can observe disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    /// Consuming half of the channel; clones share one queue (each message
+    /// is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next message, blocking while the channel is empty.
+        /// Errors once the channel is empty *and* all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fan_out_delivers_each_message_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut all = BTreeSet::new();
+        let mut total = 0;
+        for w in workers {
+            let got = w.join().unwrap();
+            total += got.len();
+            all.extend(got);
+        }
+        assert_eq!(total, 1000, "no duplicates");
+        assert_eq!(all.len(), 1000, "no losses");
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9), "buffered messages drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_senders_keep_channel_alive() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

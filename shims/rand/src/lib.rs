@@ -1,0 +1,194 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the crates.io [`rand`](https://docs.rs/rand/0.8)
+//! crate.
+//!
+//! This build environment has no network access, so the workspace vendors
+//! the *exact* API subset it consumes: [`rngs::StdRng`] + [`SeedableRng`],
+//! the [`RngCore`]/[`Rng`] traits, [`distributions::Uniform`] sampling, and
+//! [`seq::SliceRandom`] shuffling. The generator is a fixed-increment
+//! SplitMix64 — statistically solid for workload generation and test-input
+//! sampling, deterministic per seed, and *not* a drop-in bit-for-bit match
+//! for upstream `rand` streams (nothing in this workspace relies on that).
+
+use std::ops::Range;
+
+/// Streaming pseudo-random generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods layered over [`RngCore`]
+/// (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open index range (`range` must be non-empty).
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift range reduction; span ≪ 2⁶⁴ makes the bias
+        // unmeasurable for our workloads.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        range.start + (wide >> 64) as usize
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// 64-bit state, fixed Weyl increment, output mixed through two
+    /// xor-multiply rounds (Steele et al., "Fast splittable pseudorandom
+    /// number generators", OOPSLA 2014).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Distribution sampling, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T` (subset of
+    /// `rand::distributions::Distribution`).
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open `[lo, hi)` interval of `f64`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform {
+        lo: f64,
+        span: f64,
+    }
+
+    impl Uniform {
+        /// Uniform over `[lo, hi)`. Requires `lo < hi`.
+        pub fn new(lo: f64, hi: f64) -> Self {
+            assert!(lo < hi, "Uniform::new on an empty range [{lo}, {hi})");
+            Uniform { lo, span: hi - lo }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit mantissa-uniform in [0, 1).
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.lo + u * self.span
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place slice randomization (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_fills_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Uniform::new(-2.0, 3.0);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+            if v < 0.5 {
+                lo_half += 1;
+            }
+        }
+        // [−2, 0.5) is half the mass; a fair generator lands near 5000.
+        assert!((4500..5500).contains(&lo_half), "lo_half = {lo_half}");
+    }
+
+    #[test]
+    fn gen_range_covers_all_buckets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 5];
+        for _ in 0..5000 {
+            hits[rng.gen_range(0..5)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 800), "hits = {hits:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
+    }
+}

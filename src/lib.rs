@@ -26,7 +26,35 @@
 //!                   └───────────┘   └──────────────┘
 //! ```
 //!
-//! The quickest way in is the [`prelude`]; see `examples/quickstart.rs`.
+//! The quickest way in is the [`prelude`]; `examples/quickstart.rs` is the
+//! same flow at full size.
+//!
+//! ## Quickstart
+//!
+//! Build a Longformer-style mask, run the work-optimal CSR kernel, and
+//! check it against the dense masked-SDP reference:
+//!
+//! ```
+//! use graph_attention::prelude::*;
+//!
+//! let pool = ThreadPool::new(2);
+//! let (l, dk) = (64, 8);
+//!
+//! // Sliding window ∪ global tokens, materialized as CSR.
+//! let mask = longformer(l, 4, vec![0]).to_csr();
+//!
+//! // Seeded uniform [0, 1) Q/K/V, as in the paper's verification setup.
+//! let (q, k, v) = init::qkv::<f64>(l, dk, 42);
+//!
+//! // One dot product per mask edge — "true sparsity".
+//! let out = csr_attention(&pool, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+//! assert_eq!(out.shape(), (l, dk));
+//!
+//! // The graph kernel matches the dense masked-SDP baseline.
+//! let dense = DenseMask::from_csr(&mask);
+//! let reference = masked_sdp(&pool, &dense, &q, &k, &v, &KernelOptions::new()).unwrap();
+//! assert!(paper_allclose(&out, &reference));
+//! ```
 
 pub use gpa_core as core;
 pub use gpa_distributed as distributed;
@@ -43,9 +71,7 @@ pub mod prelude {
         run_composed, AttentionKernel, AttentionState, CooSearch, KernelOptions,
         MultiHeadAttention,
     };
-    pub use gpa_masks::{
-        bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern,
-    };
+    pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
     pub use gpa_parallel::{ThreadPool, WorkCounter};
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};

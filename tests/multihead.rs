@@ -18,11 +18,15 @@ fn per_head_outputs_match_reference() {
     let csr = mask.to_csr();
     let dense = mask.to_dense();
 
-    let qs: Vec<Matrix<f64>> = (0..heads).map(|h| init::uniform_matrix(l, 16, h as u64)).collect();
-    let ks: Vec<Matrix<f64>> =
-        (0..heads).map(|h| init::uniform_matrix(l, 16, 100 + h as u64)).collect();
-    let vs: Vec<Matrix<f64>> =
-        (0..heads).map(|h| init::uniform_matrix(l, 16, 200 + h as u64)).collect();
+    let qs: Vec<Matrix<f64>> = (0..heads)
+        .map(|h| init::uniform_matrix(l, 16, h as u64))
+        .collect();
+    let ks: Vec<Matrix<f64>> = (0..heads)
+        .map(|h| init::uniform_matrix(l, 16, 100 + h as u64))
+        .collect();
+    let vs: Vec<Matrix<f64>> = (0..heads)
+        .map(|h| init::uniform_matrix(l, 16, 200 + h as u64))
+        .collect();
 
     let outs = multi_head_attention(
         &pool,
@@ -53,7 +57,12 @@ fn layer_forward_same_mask_same_result_via_any_kernel() {
     let dense = longformer(l, 3, vec![0, 24]).to_dense();
 
     let via_csr = layer
-        .forward(&pool, &x, &AttentionKernel::Csr(&union), &KernelOptions::new())
+        .forward(
+            &pool,
+            &x,
+            &AttentionKernel::Csr(&union),
+            &KernelOptions::new(),
+        )
         .unwrap();
     let via_sdp = layer
         .forward(
@@ -78,7 +87,12 @@ fn llama3_head_geometry_smoke() {
     let layer: MultiHeadAttention<f32> = MultiHeadAttention::new_random(heads * dk, heads, dk, 5);
     let x = init::gaussian_matrix(l, heads * dk, 1.0, 6);
     let out = layer
-        .forward(&pool, &x, &AttentionKernel::Local { n: 4 }, &KernelOptions::new())
+        .forward(
+            &pool,
+            &x,
+            &AttentionKernel::Local { n: 4 },
+            &KernelOptions::new(),
+        )
         .unwrap();
     assert_eq!(out.shape(), (l, heads * dk));
     assert!(out.as_slice().iter().all(|v| v.is_finite()));

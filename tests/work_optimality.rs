@@ -70,7 +70,14 @@ fn implicit_kernels_match_their_closed_form_nnz() {
         Dilated1d::new(l, 9, 1).nnz() as u64
     );
     assert_eq!(
-        dot_count(&pool, &AttentionKernel::Dilated2d { block_size: 12, r: 2 }, l),
+        dot_count(
+            &pool,
+            &AttentionKernel::Dilated2d {
+                block_size: 12,
+                r: 2
+            },
+            l
+        ),
         Dilated2d::new(l, 12, 2).nnz() as u64
     );
     let globals = GlobalSet::evenly_spaced(l, 3);
@@ -102,7 +109,9 @@ fn dense_baselines_always_do_quadratic_work() {
     assert_eq!(counter.dot_products(), (l * l) as u64);
 
     counter.reset();
-    AttentionKernel::Flash.run(&pool, &q, &k, &v, &opts).unwrap();
+    AttentionKernel::Flash
+        .run(&pool, &q, &k, &v, &opts)
+        .unwrap();
     assert_eq!(counter.dot_products(), (l * l) as u64);
 }
 
