@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpa_bench::{fitted_case, AlgoId};
-use gpa_core::KernelOptions;
-use gpa_parallel::ThreadPool;
+use gpa_core::AttentionEngine;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 use std::time::Duration;
@@ -12,9 +11,8 @@ use std::time::Duration;
 fn bench_fig3(c: &mut Criterion) {
     let l = 1024;
     let dk = 64;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
     let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 7);
-    let opts = KernelOptions::new();
 
     let mut group = c.benchmark_group("fig3_kernels");
     group
@@ -32,19 +30,21 @@ fn bench_fig3(c: &mut Criterion) {
             AlgoId::Global,
         ] {
             let case = fitted_case(algo, l, sf);
+            let plan = case.plan();
             group.bench_with_input(
                 BenchmarkId::new(case.name(), format!("sf={sf}")),
                 &sf,
                 |b, _| {
-                    b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
+                    b.iter(|| std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap()));
                 },
             );
         }
         // COO only at the sparser points (paper restriction, same reason).
         if sf <= 0.1 {
             let case = fitted_case(AlgoId::Coo, l, sf);
+            let plan = case.plan();
             group.bench_with_input(BenchmarkId::new("COO", format!("sf={sf}")), &sf, |b, _| {
-                b.iter(|| std::hint::black_box(case.run_f32(&pool, &q, &k, &v, &opts)));
+                b.iter(|| std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap()));
             });
         }
     }

@@ -2,17 +2,16 @@
 //! fixed window and fixed sparsity, over a small context ladder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpa_core::{flash_attention, local_attention, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_masks::local_window_for_sparsity;
-use gpa_parallel::ThreadPool;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 use std::time::Duration;
 
 fn bench_fig5(c: &mut Criterion) {
     let dk = 64;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
-    let opts = KernelOptions::new();
+    let engine = AttentionEngine::new();
+    let flash_plan = AttentionPlan::single(AttentionKernel::Flash).unwrap();
 
     let mut group = c.benchmark_group("fig5_flash_vs_local");
     group
@@ -23,14 +22,16 @@ fn bench_fig5(c: &mut Criterion) {
     for l in [2048usize, 4096] {
         let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 9);
         group.bench_with_input(BenchmarkId::new("FlashAttention", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(flash_attention(&pool, &q, &k, &v, &opts).unwrap()));
+            b.iter(|| std::hint::black_box(engine.run(&flash_plan, &q, &k, &v).unwrap()));
         });
+        let window_plan = AttentionPlan::single(AttentionKernel::Local { n: 50 }).unwrap();
         group.bench_with_input(BenchmarkId::new("Local_window50", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(local_attention(&pool, 50, &q, &k, &v, &opts).unwrap()));
+            b.iter(|| std::hint::black_box(engine.run(&window_plan, &q, &k, &v).unwrap()));
         });
         let w = local_window_for_sparsity(l, 1e-2);
+        let sf_plan = AttentionPlan::single(AttentionKernel::Local { n: w }).unwrap();
         group.bench_with_input(BenchmarkId::new("Local_sf1e-2", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(local_attention(&pool, w, &q, &k, &v, &opts).unwrap()));
+            b.iter(|| std::hint::black_box(engine.run(&sf_plan, &q, &k, &v).unwrap()));
         });
     }
     group.finish();

@@ -2,9 +2,8 @@
 //! Loc ∘ Glo composition vs a single CSR call, at L = 4096.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpa_core::{run_composed, AttentionKernel, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel};
 use gpa_masks::{longformer, GlobalSet, MaskPattern};
-use gpa_parallel::ThreadPool;
 use gpa_sparse::DenseMask;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
@@ -14,9 +13,8 @@ fn bench_fig6(c: &mut Criterion) {
     let l = 4096;
     let dk = 64;
     let window = 50;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
     let (q, k, v): (Matrix<f32>, _, _) = qkv(l, dk, 11);
-    let opts = KernelOptions::new();
 
     let globals = GlobalSet::evenly_spaced(l, 3);
     let gi: Vec<usize> = globals.indices().iter().map(|&g| g as usize).collect();
@@ -29,44 +27,27 @@ fn bench_fig6(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
 
+    let sdp_plan = engine
+        .compile(&[AttentionKernel::SdpMasked(&dense)])
+        .unwrap();
     group.bench_function("SDP_masked", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                AttentionKernel::SdpMasked(&dense)
-                    .run(&pool, &q, &k, &v, &opts)
-                    .unwrap(),
-            )
-        });
+        b.iter(|| std::hint::black_box(engine.run(&sdp_plan, &q, &k, &v).unwrap()));
     });
+    let composed_plan = engine
+        .compile(&[
+            AttentionKernel::Local { n: window },
+            AttentionKernel::Global {
+                globals: &globals,
+                n_sub: window,
+            },
+        ])
+        .unwrap();
     group.bench_function("Loc_then_Glo", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                run_composed(
-                    &pool,
-                    &[
-                        AttentionKernel::Local { n: window },
-                        AttentionKernel::Global {
-                            globals: &globals,
-                            n_sub: window,
-                        },
-                    ],
-                    &q,
-                    &k,
-                    &v,
-                    &opts,
-                )
-                .unwrap(),
-            )
-        });
+        b.iter(|| std::hint::black_box(engine.run(&composed_plan, &q, &k, &v).unwrap()));
     });
+    let csr_plan = engine.compile(&[AttentionKernel::Csr(&union)]).unwrap();
     group.bench_function("CSR_union", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                AttentionKernel::Csr(&union)
-                    .run(&pool, &q, &k, &v, &opts)
-                    .unwrap(),
-            )
-        });
+        b.iter(|| std::hint::black_box(engine.run(&csr_plan, &q, &k, &v).unwrap()));
     });
     group.finish();
 }

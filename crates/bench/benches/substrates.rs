@@ -1,12 +1,14 @@
 //! Substrate microbenchmarks: the building blocks under the kernels —
 //! online softmax, sparse-format conversion, mask materialization, the
-//! thread-pool launch overhead, and the dense matmul used by projections.
+//! thread-pool launch overhead, the engine's batched launch vs N
+//! sequential launches, and the dense matmul used by projections.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionRequest};
 use gpa_masks::{LocalWindow, MaskPattern};
 use gpa_parallel::{parallel_for, Schedule, ThreadPool};
 use gpa_sparse::CsrMask;
-use gpa_tensor::init::uniform_matrix;
+use gpa_tensor::init::{qkv, uniform_matrix};
 use gpa_tensor::ops::matmul;
 use gpa_tensor::softmax::{online_softmax_slice, softmax_slice};
 use gpa_tensor::Matrix;
@@ -54,6 +56,32 @@ fn bench_substrates(c: &mut Criterion) {
             },
         );
     }
+
+    // Batched-launch overhead: N small sequences through one
+    // `run_batch` (one flattened pool launch) vs N sequential `run` calls
+    // (N launches). The gap is the per-launch overhead the batching API
+    // amortizes for serving-style workloads.
+    let engine = AttentionEngine::new();
+    let plan = engine
+        .compile(&[AttentionKernel::Local { n: 8 }])
+        .expect("local plan compiles");
+    let n_seqs = 16;
+    let seqs: Vec<(Matrix<f32>, Matrix<f32>, Matrix<f32>)> =
+        (0..n_seqs).map(|s| qkv(256, 32, 40 + s as u64)).collect();
+    let requests: Vec<AttentionRequest<'_, f32>> = seqs
+        .iter()
+        .map(|(q, k, v)| AttentionRequest::new(q, k, v))
+        .collect();
+    group.bench_function("engine_batched_16x256", |b| {
+        b.iter(|| std::hint::black_box(engine.run_batch(&plan, &requests).unwrap()));
+    });
+    group.bench_function("engine_sequential_16x256", |b| {
+        b.iter(|| {
+            for (q, k, v) in &seqs {
+                std::hint::black_box(engine.run(&plan, q, k, v).unwrap());
+            }
+        });
+    });
 
     // Projection matmul (multi-head layer building block).
     let a: Matrix<f32> = uniform_matrix(512, 256, 1);

@@ -2,17 +2,16 @@
 //! sparsity schedule at two rungs of the ladder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpa_core::{csr_attention, flash_attention, local_attention, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_masks::{local_window_for_sparsity, longnet_sparsity_factor, LocalWindow, MaskPattern};
-use gpa_parallel::ThreadPool;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 use std::time::Duration;
 
 fn bench_table3(c: &mut Criterion) {
     let dk = 64;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
-    let opts = KernelOptions::new();
+    let engine = AttentionEngine::new();
+    let flash_plan = AttentionPlan::single(AttentionKernel::Flash).unwrap();
 
     let mut group = c.benchmark_group("table3_ladder");
     group
@@ -27,17 +26,15 @@ fn bench_table3(c: &mut Criterion) {
         let mask = LocalWindow::new(l, window).to_csr();
 
         group.bench_with_input(BenchmarkId::new("FlashAttention", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(flash_attention(&pool, &q, &k, &v, &opts).unwrap()));
+            b.iter(|| std::hint::black_box(engine.run(&flash_plan, &q, &k, &v).unwrap()));
         });
+        let local_plan = AttentionPlan::single(AttentionKernel::Local { n: window }).unwrap();
         group.bench_with_input(BenchmarkId::new("Local_longnet_sf", l), &l, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(local_attention(&pool, window, &q, &k, &v, &opts).unwrap())
-            });
+            b.iter(|| std::hint::black_box(engine.run(&local_plan, &q, &k, &v).unwrap()));
         });
+        let csr_plan = AttentionPlan::single(AttentionKernel::Csr(&mask)).unwrap();
         group.bench_with_input(BenchmarkId::new("CSR_longnet_sf", l), &l, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(csr_attention(&pool, &mask, &q, &k, &v, &opts).unwrap())
-            });
+            b.iter(|| std::hint::black_box(engine.run(&csr_plan, &q, &k, &v).unwrap()));
         });
     }
     group.finish();

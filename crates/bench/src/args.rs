@@ -95,6 +95,13 @@ impl Args {
         let threads = self.threads.unwrap_or_else(gpa_parallel::default_threads);
         gpa_parallel::ThreadPool::new(threads)
     }
+
+    /// Build the [`gpa_core::AttentionEngine`] this run should use — the
+    /// front door every experiment binary now dispatches through.
+    pub fn make_engine(&self) -> gpa_core::AttentionEngine {
+        let threads = self.threads.unwrap_or_else(gpa_parallel::default_threads);
+        gpa_core::AttentionEngine::with_threads(threads)
+    }
 }
 
 #[cfg(test)]

@@ -11,12 +11,12 @@ use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
 
 fn main() {
     let args = Args::from_env();
-    let pool = args.make_pool();
+    let engine = args.make_engine();
     let cfg = AblationConfig::for_scale(args.scale);
 
     println!("Ablations A1–A4 on {}\n", HostInfo::detect().summary());
 
-    let records = run_ablations(&pool, &cfg, |r| {
+    let records = run_ablations(&engine, &cfg, |r| {
         eprintln!(
             "  measured {:<32} [{}] -> {}",
             r.algo,

@@ -10,7 +10,7 @@ use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
 
 fn main() {
     let args = Args::from_env();
-    let pool = args.make_pool();
+    let engine = args.make_engine();
     let mut cfg = Fig3Config::for_scale(args.scale);
     cfg.seed = args.seed;
 
@@ -26,7 +26,7 @@ fn main() {
         cfg.protocol
     );
 
-    let records = run_fig3(&pool, &cfg, |r| {
+    let records = run_fig3(&engine, &cfg, |r| {
         eprintln!(
             "  measured {:<22} L={:<6} dk={:<4} Sf={:<8.1e} -> {}",
             r.algo,

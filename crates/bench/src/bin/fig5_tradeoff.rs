@@ -10,7 +10,7 @@ use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
 
 fn main() {
     let args = Args::from_env();
-    let pool = args.make_pool();
+    let engine = args.make_engine();
     let mut cfg = Fig5Config::for_scale(args.scale);
     cfg.seed = args.seed;
 
@@ -19,7 +19,7 @@ fn main() {
         HostInfo::detect().summary()
     );
 
-    let records = run_fig5(&pool, &cfg, |r| {
+    let records = run_fig5(&engine, &cfg, |r| {
         eprintln!(
             "  measured {:<22} L={:<8} -> {} {}",
             r.algo,

@@ -11,7 +11,7 @@ use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
 
 fn main() {
     let args = Args::from_env();
-    let pool = args.make_pool();
+    let engine = args.make_engine();
     let mut cfg = Fig6Config::for_scale(args.scale);
     cfg.seed = args.seed;
 
@@ -24,7 +24,7 @@ fn main() {
         cfg.random_sf
     );
 
-    let records = run_fig6(&pool, &cfg, |r| {
+    let records = run_fig6(&engine, &cfg, |r| {
         eprintln!(
             "  measured {:<16} [{}] L={:<7} -> {}",
             r.algo,

@@ -13,11 +13,11 @@ use crate::args::Scale;
 use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
 use gpa_core::{
-    coo_attention, flash_attention_tiled, global_attention, local_attention, pattern_attention,
-    CooSearch, KernelOptions,
+    flash_attention_tiled, pattern_attention, AttentionEngine, AttentionKernel, AttentionPlan,
+    AttentionRequest, CooSearch, KernelOptions,
 };
 use gpa_masks::{global_count_for_sparsity, GlobalSet, LocalWindow, MaskPattern};
-use gpa_parallel::{Schedule, ThreadPool};
+use gpa_parallel::Schedule;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 
@@ -102,13 +102,17 @@ fn record(
     }
 }
 
-/// Run all four ablations; streams records through `on_record`.
+/// Run all four ablations; streams records through `on_record`. A1/A2 run
+/// as compiled engine plans (A2 sweeps launch schedules through
+/// [`AttentionEngine::run_batch_with`]); A3/A4 study internals below the
+/// plan layer and use the engine's pool escape hatch.
 pub fn run_ablations(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     cfg: &AblationConfig,
     mut on_record: impl FnMut(&Record),
 ) -> Vec<Record> {
     let mut records = Vec::new();
+    let pool = engine.pool();
     let opts = KernelOptions::new();
     let (q, k, v): (Matrix<f32>, _, _) = qkv(cfg.l, cfg.dk, cfg.seed);
 
@@ -120,10 +124,10 @@ pub fn run_ablations(
             (CooSearch::Linear, "COO linear search"),
             (CooSearch::Binary, "COO binary search"),
         ] {
+            let plan = AttentionPlan::single(AttentionKernel::Coo(&mask, search))
+                .expect("coo plan compiles");
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(
-                    coo_attention(pool, &mask, search, &q, &k, &v, &opts).unwrap(),
-                );
+                std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
             });
             let rec = record(
                 "ablation_a1",
@@ -142,6 +146,11 @@ pub fn run_ablations(
     // --- A2: scheduling on the global (imbalanced) mask ------------------
     let g = global_count_for_sparsity(cfg.l, cfg.global_sf);
     let globals = GlobalSet::evenly_spaced(cfg.l, g);
+    let global_plan = AttentionPlan::single(AttentionKernel::Global {
+        globals: &globals,
+        n_sub: 0,
+    })
+    .expect("global plan compiles");
     for (schedule, name) in [
         (Schedule::StaticContiguous, "Global / static-contiguous"),
         (Schedule::cuda_like(), "Global / block-cyclic"),
@@ -150,7 +159,13 @@ pub fn run_ablations(
         let sched_opts = KernelOptions::new().with_schedule(schedule);
         let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
             std::hint::black_box(
-                global_attention(pool, &globals, 0, &q, &k, &v, &sched_opts).unwrap(),
+                engine
+                    .run_batch_with(
+                        &global_plan,
+                        &sched_opts,
+                        &[AttentionRequest::new(&q, &k, &v)],
+                    )
+                    .unwrap(),
             );
         });
         let rec = record(
@@ -202,8 +217,10 @@ pub fn run_ablations(
     );
     on_record(&rec);
     records.push(rec);
+    let local_plan =
+        AttentionPlan::single(AttentionKernel::Local { n: window }).expect("local plan compiles");
     let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-        std::hint::black_box(local_attention(pool, window, &q, &k, &v, &opts).unwrap());
+        std::hint::black_box(engine.run(&local_plan, &q, &k, &v).unwrap());
     });
     let rec = record(
         "ablation_a4",
@@ -226,9 +243,9 @@ mod tests {
 
     #[test]
     fn all_ablations_emit_records() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = AblationConfig::for_scale(Scale::Quick);
-        let records = run_ablations(&pool, &cfg, |_| {});
+        let records = run_ablations(&engine, &cfg, |_| {});
         // A1: 1 sf × 2; A2: 3; A3: 2 tiles; A4: 2.
         assert_eq!(records.len(), 2 + 3 + 2 + 2);
         for exp in ["ablation_a1", "ablation_a2", "ablation_a3", "ablation_a4"] {
@@ -241,7 +258,7 @@ mod tests {
     fn binary_search_beats_linear_on_large_coo() {
         // With enough rows the prefix scan's O(L·nnz) cost must dominate.
         // dk is kept tiny so per-edge arithmetic cannot mask the search.
-        let pool = ThreadPool::new(4);
+        let engine = AttentionEngine::with_threads(4);
         let cfg = AblationConfig {
             l: 2048,
             l_flash: 256,
@@ -256,7 +273,7 @@ mod tests {
             budget_s: 30.0,
             seed: 2,
         };
-        let records = run_ablations(&pool, &cfg, |_| {});
+        let records = run_ablations(&engine, &cfg, |_| {});
         let linear = records
             .iter()
             .find(|r| r.algo == "COO linear search")

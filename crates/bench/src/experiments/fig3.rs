@@ -11,8 +11,7 @@ use crate::args::Scale;
 use crate::kernels::{fitted_case, AlgoId};
 use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
-use gpa_core::KernelOptions;
-use gpa_parallel::ThreadPool;
+use gpa_core::AttentionEngine;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 
@@ -79,13 +78,14 @@ impl Fig3Config {
 }
 
 /// Run the sweep, streaming each record to `on_record` as it is produced.
+/// Every case compiles to an engine plan once and reuses it across the
+/// protocol's warm-up and timed iterations.
 pub fn run_fig3(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     cfg: &Fig3Config,
     mut on_record: impl FnMut(&Record),
 ) -> Vec<Record> {
     let mut records = Vec::new();
-    let opts = KernelOptions::new();
 
     for &l in &cfg.ls {
         for &dk in &cfg.dks {
@@ -95,8 +95,9 @@ pub fn run_fig3(
             // the dense computation), so measure it once per (L, dk) and
             // replicate the row across the sweep — the flat line of Fig. 3.
             let sdp_case = fitted_case(AlgoId::Sdp, l, *cfg.sfs.first().unwrap_or(&1.0));
+            let sdp_plan = sdp_case.plan();
             let sdp_stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(sdp_case.run_f32(pool, &q, &k, &v, &opts));
+                std::hint::black_box(engine.run(&sdp_plan, &q, &k, &v).unwrap());
             });
             for &sf in &cfg.sfs {
                 let rec = Record {
@@ -130,8 +131,9 @@ pub fn run_fig3(
                         continue; // the paper's COO restriction
                     }
                     let case = fitted_case(algo, l, sf);
+                    let plan = case.plan();
                     let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                        std::hint::black_box(case.run_f32(pool, &q, &k, &v, &opts));
+                        std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
                     });
                     let rec = Record {
                         experiment: "fig3".into(),
@@ -162,10 +164,10 @@ mod tests {
 
     #[test]
     fn quick_sweep_produces_expected_grid() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Fig3Config::for_scale(Scale::Quick);
         let mut streamed = 0usize;
-        let records = run_fig3(&pool, &cfg, |_| streamed += 1);
+        let records = run_fig3(&engine, &cfg, |_| streamed += 1);
         assert_eq!(records.len(), streamed);
         // 1 L × 1 dk × 2 sf × (SDP + 6 kernels, COO allowed at both sf).
         assert_eq!(records.len(), 2 * 7);
@@ -187,7 +189,7 @@ mod tests {
 
     #[test]
     fn graph_kernels_get_faster_with_sparsity_sdp_does_not() {
-        let pool = ThreadPool::new(4);
+        let engine = AttentionEngine::with_threads(4);
         let cfg = Fig3Config {
             ls: vec![512],
             dks: vec![64],
@@ -201,7 +203,7 @@ mod tests {
             budget_s: 10.0,
             seed: 1,
         };
-        let records = run_fig3(&pool, &cfg, |_| {});
+        let records = run_fig3(&engine, &cfg, |_| {});
         let mean_of = |algo: &str, sf: f64| {
             records
                 .iter()

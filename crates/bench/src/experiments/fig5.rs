@@ -8,9 +8,8 @@
 use crate::args::Scale;
 use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
-use gpa_core::{flash_attention, local_attention, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_masks::{local_window_for_sparsity, LocalWindow, MaskPattern};
-use gpa_parallel::ThreadPool;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 
@@ -78,14 +77,15 @@ impl Fig5Config {
     }
 }
 
-/// Run the two sweeps; streams records through `on_record`.
+/// Run the two sweeps; streams records through `on_record`. Each series
+/// point compiles an engine plan once and reuses it across iterations.
 pub fn run_fig5(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     cfg: &Fig5Config,
     mut on_record: impl FnMut(&Record),
 ) -> Vec<Record> {
     let mut records = Vec::new();
-    let opts = KernelOptions::new();
+    let flash_plan = AttentionPlan::single(AttentionKernel::Flash).expect("flash plan compiles");
     // Largest measured flash point, for O(L²) extrapolation.
     let mut flash_ref: Option<(usize, f64)> = None;
 
@@ -95,7 +95,7 @@ pub fn run_fig5(
         // FlashAttention series (both panels share it).
         let rec = if l <= cfg.flash_max_l {
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(flash_attention(pool, &q, &k, &v, &opts).unwrap());
+                std::hint::black_box(engine.run(&flash_plan, &q, &k, &v).unwrap());
             });
             flash_ref = Some((l, stat.mean));
             Record {
@@ -135,8 +135,10 @@ pub fn run_fig5(
 
         // Left panel: constant windows.
         for &w in &cfg.windows {
+            let plan = AttentionPlan::single(AttentionKernel::Local { n: w })
+                .expect("local plan compiles");
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(local_attention(pool, w, &q, &k, &v, &opts).unwrap());
+                std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
             });
             let rec = Record {
                 experiment: "fig5".into(),
@@ -159,8 +161,10 @@ pub fn run_fig5(
         // Right panel: constant sparsity (window grows with L).
         for &sf in &cfg.sfs {
             let w = local_window_for_sparsity(l, sf);
+            let plan = AttentionPlan::single(AttentionKernel::Local { n: w })
+                .expect("local plan compiles");
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(local_attention(pool, w, &q, &k, &v, &opts).unwrap());
+                std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
             });
             let rec = Record {
                 experiment: "fig5".into(),
@@ -189,9 +193,9 @@ mod tests {
 
     #[test]
     fn quick_run_produces_both_panels() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Fig5Config::for_scale(Scale::Quick);
-        let records = run_fig5(&pool, &cfg, |_| {});
+        let records = run_fig5(&engine, &cfg, |_| {});
         // Per L: 1 flash + 2 windows + 1 sf.
         assert_eq!(records.len(), 2 * 4);
         assert!(records.iter().any(|r| r.algo == "FlashAttention"));
@@ -201,7 +205,7 @@ mod tests {
 
     #[test]
     fn flash_extrapolation_scales_quadratically() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Fig5Config {
             ls: vec![256, 512, 1024],
             windows: vec![5],
@@ -215,7 +219,7 @@ mod tests {
             budget_s: 5.0,
             seed: 3,
         };
-        let records = run_fig5(&pool, &cfg, |_| {});
+        let records = run_fig5(&engine, &cfg, |_| {});
         let flash: Vec<&Record> = records
             .iter()
             .filter(|r| r.algo == "FlashAttention")

@@ -10,12 +10,11 @@
 use crate::args::Scale;
 use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
-use gpa_core::{run_composed, AttentionKernel, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_masks::{
     bigbird, longformer, longformer_dilated, GlobalMinusLocal, GlobalSet, LocalWindow, MaskPattern,
     RandomUniform,
 };
-use gpa_parallel::ThreadPool;
 use gpa_sparse::CsrMask;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
@@ -146,13 +145,14 @@ fn push_record(
 }
 
 /// Run all three mask scenarios; streams records through `on_record`.
+/// Every series — including the sequential compositions — is compiled into
+/// an [`AttentionPlan`] once per scenario and reused across iterations.
 pub fn run_fig6(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     cfg: &Fig6Config,
     mut on_record: impl FnMut(&Record),
 ) -> Vec<Record> {
     let mut records = Vec::new();
-    let opts = KernelOptions::new();
 
     for &l in &cfg.ls {
         let (q, k, v): (Matrix<f32>, _, _) = qkv(l, cfg.dk, cfg.seed);
@@ -181,12 +181,10 @@ pub fn run_fig6(
             let dense = gpa_sparse::DenseMask::from_csr(&union_csr);
 
             // Masked SDP baseline.
+            let sdp_plan = AttentionPlan::single(AttentionKernel::SdpMasked(&dense))
+                .expect("sdp plan compiles");
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(
-                    AttentionKernel::SdpMasked(&dense)
-                        .run(pool, &q, &k, &v, &opts)
-                        .unwrap(),
-                );
+                std::hint::black_box(engine.run(&sdp_plan, &q, &k, &v).unwrap());
             });
             push_record(
                 &mut records,
@@ -200,12 +198,10 @@ pub fn run_fig6(
             );
 
             // Single CSR call over the union.
+            let csr_plan =
+                AttentionPlan::single(AttentionKernel::Csr(&union_csr)).expect("csr plan compiles");
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(
-                    AttentionKernel::Csr(&union_csr)
-                        .run(pool, &q, &k, &v, &opts)
-                        .unwrap(),
-                );
+                std::hint::black_box(engine.run(&csr_plan, &q, &k, &v).unwrap());
             });
             push_record(
                 &mut records,
@@ -221,24 +217,17 @@ pub fn run_fig6(
             // Sequential kernel compositions (the paper's third series).
             match mask {
                 Fig6Mask::LongformerLocalGlobal => {
+                    let plan = engine
+                        .compile(&[
+                            AttentionKernel::Local { n: cfg.window },
+                            AttentionKernel::Global {
+                                globals: &globals,
+                                n_sub: cfg.window,
+                            },
+                        ])
+                        .expect("Loc + Glo plan compiles");
                     let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                        std::hint::black_box(
-                            run_composed(
-                                pool,
-                                &[
-                                    AttentionKernel::Local { n: cfg.window },
-                                    AttentionKernel::Global {
-                                        globals: &globals,
-                                        n_sub: cfg.window,
-                                    },
-                                ],
-                                &q,
-                                &k,
-                                &v,
-                                &opts,
-                            )
-                            .unwrap(),
-                        );
+                        std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
                     });
                     push_record(
                         &mut records,
@@ -262,25 +251,18 @@ pub fn run_fig6(
                     let random_rest = RandomUniform::new(l, cfg.random_sf, cfg.seed ^ 0xB16B)
                         .to_csr()
                         .difference(&covered);
+                    let plan = engine
+                        .compile(&[
+                            AttentionKernel::Local { n: cfg.window },
+                            AttentionKernel::Global {
+                                globals: &globals,
+                                n_sub: cfg.window,
+                            },
+                            AttentionKernel::Csr(&random_rest),
+                        ])
+                        .expect("Loc + Glo + CSR plan compiles");
                     let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                        std::hint::black_box(
-                            run_composed(
-                                pool,
-                                &[
-                                    AttentionKernel::Local { n: cfg.window },
-                                    AttentionKernel::Global {
-                                        globals: &globals,
-                                        n_sub: cfg.window,
-                                    },
-                                    AttentionKernel::Csr(&random_rest),
-                                ],
-                                &q,
-                                &k,
-                                &v,
-                                &opts,
-                            )
-                            .unwrap(),
-                        );
+                        std::hint::black_box(engine.run(&plan, &q, &k, &v).unwrap());
                     });
                     push_record(
                         &mut records,
@@ -306,9 +288,9 @@ mod tests {
 
     #[test]
     fn quick_run_covers_all_scenarios_and_series() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Fig6Config::for_scale(Scale::Quick);
-        let records = run_fig6(&pool, &cfg, |_| {});
+        let records = run_fig6(&engine, &cfg, |_| {});
         // Per L: LF-LG (3 series) + LF-DG (2) + BigBird (3) = 8.
         assert_eq!(records.len(), 2 * 8);
         for label in [
@@ -326,7 +308,7 @@ mod tests {
     fn composed_and_csr_series_compute_identical_attention() {
         // The benchmark's series must be numerically interchangeable — the
         // paper verified "outputs of each approach were deemed identical".
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let l = 256;
         let cfg = Fig6Config {
             ls: vec![l],
@@ -345,31 +327,25 @@ mod tests {
         let (q, k, v): (Matrix<f64>, _, _) = qkv(l, cfg.dk, cfg.seed);
         let globals = GlobalSet::evenly_spaced(l, cfg.n_globals);
         let gi: Vec<usize> = globals.indices().iter().map(|&g| g as usize).collect();
-        let opts = KernelOptions::new();
 
         let union = longformer(l, cfg.window, gi).to_csr();
-        let via_csr = AttentionKernel::Csr(&union)
-            .run(&pool, &q, &k, &v, &opts)
-            .unwrap();
-        let via_composed = run_composed(
-            &pool,
-            &[
+        let csr_plan = engine.compile(&[AttentionKernel::Csr(&union)]).unwrap();
+        let via_csr = engine.run(&csr_plan, &q, &k, &v).unwrap();
+        let composed_plan = engine
+            .compile(&[
                 AttentionKernel::Local { n: cfg.window },
                 AttentionKernel::Global {
                     globals: &globals,
                     n_sub: cfg.window,
                 },
-            ],
-            &q,
-            &k,
-            &v,
-            &opts,
-        )
-        .unwrap();
-        let dense = gpa_sparse::DenseMask::from_csr(&union);
-        let via_sdp = AttentionKernel::SdpMasked(&dense)
-            .run(&pool, &q, &k, &v, &opts)
+            ])
             .unwrap();
+        let via_composed = engine.run(&composed_plan, &q, &k, &v).unwrap();
+        let dense = gpa_sparse::DenseMask::from_csr(&union);
+        let sdp_plan = engine
+            .compile(&[AttentionKernel::SdpMasked(&dense)])
+            .unwrap();
+        let via_sdp = engine.run(&sdp_plan, &q, &k, &v).unwrap();
         assert!(paper_allclose(&via_composed, &via_csr));
         assert!(paper_allclose(&via_sdp, &via_csr));
     }

@@ -10,9 +10,8 @@
 use crate::args::Scale;
 use crate::protocol::{measure_auto, Protocol};
 use crate::report::Record;
-use gpa_core::{csr_attention, flash_attention, local_attention, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_masks::{local_window_for_sparsity, longnet_sparsity_factor, LocalWindow, MaskPattern};
-use gpa_parallel::ThreadPool;
 use gpa_tensor::init::qkv;
 use gpa_tensor::Matrix;
 
@@ -74,14 +73,15 @@ impl Table3Config {
     }
 }
 
-/// Run the ladder; streams records through `on_record`.
+/// Run the ladder; streams records through `on_record`. Each rung's
+/// algorithms compile to engine plans reused across iterations.
 pub fn run_table3(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     cfg: &Table3Config,
     mut on_record: impl FnMut(&Record),
 ) -> Vec<Record> {
     let mut records = Vec::new();
-    let opts = KernelOptions::new();
+    let flash_plan = AttentionPlan::single(AttentionKernel::Flash).expect("flash plan compiles");
     let mut flash_ref: Option<(usize, f64)> = None;
 
     for &l in &cfg.ls {
@@ -91,7 +91,7 @@ pub fn run_table3(
         // FlashAttention (dense).
         let rec = if l <= cfg.flash_max_l {
             let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-                std::hint::black_box(flash_attention(pool, &q, &k, &v, &opts).unwrap());
+                std::hint::black_box(engine.run(&flash_plan, &q, &k, &v).unwrap());
             });
             flash_ref = Some((l, stat.mean));
             Record {
@@ -130,8 +130,10 @@ pub fn run_table3(
 
         // Local kernel at the LongNet sparsity schedule.
         let window = local_window_for_sparsity(l, sf);
+        let local_plan = AttentionPlan::single(AttentionKernel::Local { n: window })
+            .expect("local plan compiles");
         let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-            std::hint::black_box(local_attention(pool, window, &q, &k, &v, &opts).unwrap());
+            std::hint::black_box(engine.run(&local_plan, &q, &k, &v).unwrap());
         });
         let rec = Record {
             experiment: "table3".into(),
@@ -165,8 +167,10 @@ pub fn run_table3(
         let csr_window = local_window_for_sparsity(l, csr_sf);
         let mask = LocalWindow::new(l, csr_window).to_csr();
         let achieved = mask.sparsity_factor();
+        let csr_plan =
+            AttentionPlan::single(AttentionKernel::Csr(&mask)).expect("csr plan compiles");
         let stat = measure_auto(cfg.protocol, cfg.budget_s, || {
-            std::hint::black_box(csr_attention(pool, &mask, &q, &k, &v, &opts).unwrap());
+            std::hint::black_box(engine.run(&csr_plan, &q, &k, &v).unwrap());
         });
         let rec = Record {
             experiment: "table3".into(),
@@ -195,9 +199,9 @@ mod tests {
 
     #[test]
     fn ladder_produces_three_algorithms_per_length() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Table3Config::for_scale(Scale::Quick);
-        let records = run_table3(&pool, &cfg, |_| {});
+        let records = run_table3(&engine, &cfg, |_| {});
         assert_eq!(records.len(), 2 * 3);
         for algo in ["FlashAttention", "Local", "CSR"] {
             assert_eq!(records.iter().filter(|r| r.algo == algo).count(), 2);
@@ -208,7 +212,7 @@ mod tests {
     fn sparse_advantage_grows_with_context() {
         // The Table III trend: local's speedup over flash increases with L
         // under the LongNet schedule (flash O(L²) vs local O(2730·L)).
-        let pool = ThreadPool::new(4);
+        let engine = AttentionEngine::with_threads(4);
         let cfg = Table3Config {
             ls: vec![2_048, 16_384],
             dk: 32,
@@ -221,7 +225,7 @@ mod tests {
             budget_s: 20.0,
             seed: 5,
         };
-        let records = run_table3(&pool, &cfg, |_| {});
+        let records = run_table3(&engine, &cfg, |_| {});
         let mean = |algo: &str, l: usize| {
             records
                 .iter()
@@ -239,7 +243,7 @@ mod tests {
 
     #[test]
     fn csr_nnz_cap_engages() {
-        let pool = ThreadPool::new(2);
+        let engine = AttentionEngine::with_threads(2);
         let cfg = Table3Config {
             ls: vec![8_192],
             dk: 16,
@@ -252,7 +256,7 @@ mod tests {
             budget_s: 10.0,
             seed: 1,
         };
-        let records = run_table3(&pool, &cfg, |_| {});
+        let records = run_table3(&engine, &cfg, |_| {});
         let csr = records.iter().find(|r| r.algo == "CSR").unwrap();
         assert!(csr.note.contains("memory restriction"));
         assert!(csr.sf_achieved < longnet_sparsity_factor(8_192));

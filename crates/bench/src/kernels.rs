@@ -1,13 +1,12 @@
 //! Self-contained algorithm cases: an owned mask plus the kernel selection,
 //! buildable from `(L, dk, Sf)` alone — the unit every experiment sweeps.
 
-use gpa_core::{AttentionKernel, CooSearch, KernelOptions};
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan, CooSearch};
 use gpa_masks::{
     dilated1d_width_for_sparsity, dilated2d_block_for_sparsity, global_count_for_sparsity,
     local_window_for_sparsity, Dilated1d, Dilated2d, GlobalMinusLocal, GlobalSet, LocalWindow,
     MaskPattern,
 };
-use gpa_parallel::ThreadPool;
 use gpa_sparse::{CooMask, CsrMask, DenseMask};
 use gpa_tensor::Matrix;
 
@@ -85,17 +84,23 @@ impl OwnedKernel {
         }
     }
 
-    /// Run the case in f32 (the benchmark precision).
+    /// Compile this case into a single-step engine plan. Experiments
+    /// compile once per case and reuse the plan across the measurement
+    /// protocol's warm-up and timed iterations.
+    pub fn plan(&self) -> AttentionPlan<'_> {
+        AttentionPlan::single(self.as_kernel()).expect("benchmark case must compile")
+    }
+
+    /// Run the case in f32 (the benchmark precision) through an engine.
     pub fn run_f32(
         &self,
-        pool: &ThreadPool,
+        engine: &AttentionEngine,
         q: &Matrix<f32>,
         k: &Matrix<f32>,
         v: &Matrix<f32>,
-        opts: &KernelOptions<'_>,
     ) -> Matrix<f32> {
-        self.as_kernel()
-            .run(pool, q, k, v, opts)
+        engine
+            .run(&self.plan(), q, k, v)
             .expect("benchmark case must be well-formed")
     }
 
@@ -205,17 +210,25 @@ mod tests {
     fn all_cases_run_and_agree_across_formats() {
         let l = 64;
         let (q, k, v) = qkv::<f32>(l, 8, 3);
-        let pool = ThreadPool::new(2);
-        let opts = KernelOptions::new();
+        let engine = AttentionEngine::with_threads(2);
         // COO/CSR/Local share the same fitted mask → identical outputs.
-        let coo = fitted_case(AlgoId::Coo, l, 0.1).run_f32(&pool, &q, &k, &v, &opts);
-        let csr = fitted_case(AlgoId::Csr, l, 0.1).run_f32(&pool, &q, &k, &v, &opts);
-        let local = fitted_case(AlgoId::Local, l, 0.1).run_f32(&pool, &q, &k, &v, &opts);
+        let coo = fitted_case(AlgoId::Coo, l, 0.1).run_f32(&engine, &q, &k, &v);
+        let csr = fitted_case(AlgoId::Csr, l, 0.1).run_f32(&engine, &q, &k, &v);
+        let local = fitted_case(AlgoId::Local, l, 0.1).run_f32(&engine, &q, &k, &v);
         assert!(coo.max_abs_diff(&csr) < 1e-5);
         assert!(local.max_abs_diff(&csr) < 1e-5);
         // Dense cases produce the right shape.
-        let flash = fitted_case(AlgoId::Flash, l, 1.0).run_f32(&pool, &q, &k, &v, &opts);
+        let flash = fitted_case(AlgoId::Flash, l, 1.0).run_f32(&engine, &q, &k, &v);
         assert_eq!(flash.shape(), (l, 8));
+    }
+
+    #[test]
+    fn plans_compile_for_every_fig3_case() {
+        for algo in AlgoId::FIG3 {
+            let case = fitted_case(algo, 128, 0.1);
+            let plan = case.plan();
+            assert_eq!(plan.len(), 1, "{:?}", algo);
+        }
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Batched plan execution — many sequences, one launch.
+//!
+//! The paper's kernels are "single-batch and single-headed" (Section IV-B):
+//! every sequence pays a full pool launch. This module removes that tax for
+//! serving-style workloads: a batch of (possibly ragged-length) requests is
+//! flattened into one `(sequence, row)` index space via
+//! [`gpa_parallel::RaggedSpace`] and executed in a **single**
+//! `parallel_for`, with every plan step chained per row against that row's
+//! softmax state. Per-row work is identical — same step order, same
+//! neighbor order, same [`crate::driver::absorb_edge`] recurrence — so
+//! batched outputs are element-exact with independent per-sequence runs
+//! (property-tested in `tests/batching.rs`).
+
+use crate::baselines::{flash_attention, masked_sdp};
+use crate::dispatch::AttentionKernel;
+use crate::driver::absorb_edge;
+use crate::error::AttnError;
+use crate::options::KernelOptions;
+use crate::plan::AttentionPlan;
+use crate::state::AttentionState;
+use gpa_parallel::{parallel_for, CellWriter, LocalTally, RaggedSpace, RowWriter, ThreadPool};
+use gpa_tensor::{attention_scale, Matrix, Real};
+
+/// One sequence's borrowed Q/K/V triple in a batched launch.
+///
+/// Requests in one batch may differ in context length (ragged batches),
+/// key dimension, and value dimension — each is validated against the plan
+/// independently.
+#[derive(Clone, Copy)]
+pub struct AttentionRequest<'a, T> {
+    /// Query matrix, `L_q × dk`.
+    pub q: &'a Matrix<T>,
+    /// Key matrix, `L_kv × dk`.
+    pub k: &'a Matrix<T>,
+    /// Value matrix, `L_kv × dv`.
+    pub v: &'a Matrix<T>,
+}
+
+impl<'a, T: Real> AttentionRequest<'a, T> {
+    /// Borrow one sequence's Q/K/V.
+    pub fn new(q: &'a Matrix<T>, k: &'a Matrix<T>, v: &'a Matrix<T>) -> Self {
+        AttentionRequest { q, k, v }
+    }
+
+    /// Number of query rows (output rows).
+    pub fn rows(&self) -> usize {
+        self.q.rows()
+    }
+}
+
+/// Execute a plan over a batch, returning one output matrix per request.
+///
+/// Graph-kernel plans run as one flattened launch. Dense-baseline plans
+/// (single-step by construction) fall back to the reference baseline per
+/// request, so their outputs stay bit-identical with the standalone
+/// [`masked_sdp`] / [`flash_attention`] calls.
+pub(crate) fn execute_batch<T: Real>(
+    pool: &ThreadPool,
+    plan: &AttentionPlan<'_>,
+    opts: &KernelOptions<'_>,
+    requests: &[AttentionRequest<'_, T>],
+) -> Result<Vec<Matrix<T>>, AttnError> {
+    if !plan.is_composable() {
+        return requests
+            .iter()
+            .map(|r| match plan.steps()[0] {
+                AttentionKernel::SdpMasked(mask) => masked_sdp(pool, mask, r.q, r.k, r.v, opts),
+                AttentionKernel::Flash => flash_attention(pool, r.q, r.k, r.v, opts),
+                _ => unreachable!("non-composable plans hold exactly one dense baseline"),
+            })
+            .collect();
+    }
+    let states = execute_batch_states(pool, plan, opts, requests)?;
+    Ok(states
+        .into_iter()
+        .map(AttentionState::into_output)
+        .collect())
+}
+
+/// As [`execute_batch`], but returning the full per-request
+/// [`AttentionState`]s — the `(O, l, m)` triples distributed reductions
+/// merge across devices. Graph-kernel plans only.
+pub(crate) fn execute_batch_states<T: Real>(
+    pool: &ThreadPool,
+    plan: &AttentionPlan<'_>,
+    opts: &KernelOptions<'_>,
+    requests: &[AttentionRequest<'_, T>],
+) -> Result<Vec<AttentionState<T>>, AttnError> {
+    if !plan.is_composable() {
+        return Err(AttnError::BadParameter {
+            what: "dense baselines cannot run into a shared state",
+        });
+    }
+    for r in requests {
+        plan.validate_request(r.q, r.k, r.v)?;
+    }
+    let mut states: Vec<AttentionState<T>> = requests
+        .iter()
+        .map(|r| AttentionState::new(r.q.rows(), r.v.cols()))
+        .collect();
+    let space = RaggedSpace::new(requests.iter().map(|r| r.q.rows()));
+    if space.total() == 0 {
+        return Ok(states);
+    }
+
+    // Per-sequence execution context: writers over that sequence's state
+    // plus the launch-invariant scalars resolved once.
+    struct SeqCtx<'s, T> {
+        o: RowWriter<'s, T>,
+        l: CellWriter<'s, T>,
+        m: CellWriter<'s, T>,
+        scale: T,
+        kv_len: usize,
+    }
+    let ctxs: Vec<SeqCtx<'_, T>> = states
+        .iter_mut()
+        .zip(requests)
+        .map(|(state, r)| {
+            let (rows, dv) = (r.q.rows(), r.v.cols());
+            SeqCtx {
+                o: RowWriter::new(state.o.as_mut_slice(), rows, dv),
+                l: CellWriter::new(&mut state.l),
+                m: CellWriter::new(&mut state.m),
+                scale: match opts.scale {
+                    Some(s) => T::from_f64(s),
+                    None => attention_scale(r.q.cols()),
+                },
+                kv_len: r.k.rows(),
+            }
+        })
+        .collect();
+
+    parallel_for(pool, space.total(), opts.schedule, |range| {
+        let mut tally = opts.counter.map(LocalTally::new);
+        space.for_each_segment(range, |s, local| {
+            let req = &requests[s];
+            let ctx = &ctxs[s];
+            for i in local {
+                let q_row = req.q.row(i);
+                // SAFETY: `parallel_for` dispatches each flat index to
+                // exactly one block and `for_each_segment` maps flat
+                // indices to (sequence, row) bijectively, so row `i` of
+                // sequence `s` is accessed by this worker only.
+                let o_row = unsafe { ctx.o.row_mut(i) };
+                let m_i = unsafe { ctx.m.cell_mut(i) };
+                let l_i = unsafe { ctx.l.cell_mut(i) };
+                let mut absorb = |j: usize| {
+                    debug_assert!(
+                        j < ctx.kv_len,
+                        "neighbor {j} out of key/value set {}",
+                        ctx.kv_len
+                    );
+                    absorb_edge(
+                        q_row,
+                        req.k.row(j),
+                        req.v.row(j),
+                        ctx.scale,
+                        m_i,
+                        l_i,
+                        o_row,
+                    );
+                    if let Some(t) = tally.as_mut() {
+                        t.dot();
+                        t.update();
+                    }
+                };
+                // Chain every plan step against this row's shared state —
+                // the sequential-composition semantics, one row at a time.
+                for step in plan.steps() {
+                    step.stream_row(ctx.kv_len, i, opts.counter, &mut absorb);
+                }
+            }
+        });
+    });
+
+    drop(ctxs);
+    Ok(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{csr_attention, local_attention, CooSearch};
+    use gpa_masks::{GlobalSet, LocalWindow, MaskPattern, RandomUniform};
+    use gpa_parallel::{ThreadPool, WorkCounter};
+    use gpa_tensor::init::qkv;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn batch_of_one_is_exactly_the_single_run() {
+        let l = 32;
+        let (q, k, v) = qkv::<f64>(l, 8, 70);
+        let p = pool();
+        let opts = KernelOptions::new();
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap();
+        let batched = execute_batch(&p, &plan, &opts, &[AttentionRequest::new(&q, &k, &v)])
+            .unwrap()
+            .pop()
+            .unwrap();
+        let single = local_attention(&p, 3, &q, &k, &v, &opts).unwrap();
+        assert_eq!(batched, single, "must be element-exact, not just close");
+    }
+
+    #[test]
+    fn ragged_batch_matches_per_sequence_runs_exactly() {
+        let p = pool();
+        let opts = KernelOptions::new();
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap();
+        let seqs: Vec<_> = [7usize, 33, 1, 64, 12]
+            .iter()
+            .enumerate()
+            .map(|(s, &l)| qkv::<f64>(l, 8, 100 + s as u64))
+            .collect();
+        let reqs: Vec<_> = seqs
+            .iter()
+            .map(|(q, k, v)| AttentionRequest::new(q, k, v))
+            .collect();
+        let batched = execute_batch(&p, &plan, &opts, &reqs).unwrap();
+        for ((q, k, v), out) in seqs.iter().zip(batched.iter()) {
+            let single = local_attention(&p, 2, q, k, v, &opts).unwrap();
+            assert_eq!(*out, single);
+        }
+    }
+
+    #[test]
+    fn composed_plan_equals_manual_state_threading() {
+        let l = 40;
+        let n = 3;
+        let (q, k, v) = qkv::<f64>(l, 8, 71);
+        let p = pool();
+        let opts = KernelOptions::new();
+        let globals = GlobalSet::new(l, vec![0, 17, 29]);
+        let plan = AttentionPlan::new(&[
+            AttentionKernel::Local { n },
+            AttentionKernel::Global {
+                globals: &globals,
+                n_sub: n,
+            },
+        ])
+        .unwrap();
+        let batched = execute_batch(&p, &plan, &opts, &[AttentionRequest::new(&q, &k, &v)])
+            .unwrap()
+            .pop()
+            .unwrap();
+
+        let mut state = AttentionState::new(l, v.cols());
+        for step in plan.steps() {
+            step.run_into(&p, &q, &k, &v, &opts, &mut state).unwrap();
+        }
+        assert_eq!(batched, state.into_output());
+    }
+
+    #[test]
+    fn dense_plans_fall_back_to_reference_baselines() {
+        let l = 16;
+        let (q, k, v) = qkv::<f64>(l, 4, 72);
+        let p = pool();
+        let opts = KernelOptions::new();
+        let plan = AttentionPlan::single(AttentionKernel::Flash).unwrap();
+        let reqs = [
+            AttentionRequest::new(&q, &k, &v),
+            AttentionRequest::new(&q, &k, &v),
+        ];
+        let outs = execute_batch(&p, &plan, &opts, &reqs).unwrap();
+        let single = flash_attention(&p, &q, &k, &v, &opts).unwrap();
+        assert_eq!(outs[0], single);
+        assert_eq!(outs[1], single);
+        // But no shared states for dense plans.
+        assert!(matches!(
+            execute_batch_states(&p, &plan, &opts, &reqs),
+            Err(AttnError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let p = pool();
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: 1 }).unwrap();
+        let outs: Vec<Matrix<f64>> = execute_batch(&p, &plan, &KernelOptions::new(), &[]).unwrap();
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn work_counter_tallies_whole_batch() {
+        let l = 24;
+        let p = pool();
+        let counter = WorkCounter::new();
+        let opts = KernelOptions::new().with_counter(&counter);
+        let pat = LocalWindow::new(l, 2);
+        let csr = pat.to_csr();
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&csr)).unwrap();
+        let seqs: Vec<_> = (0..3).map(|s| qkv::<f64>(l, 4, 200 + s)).collect();
+        let reqs: Vec<_> = seqs
+            .iter()
+            .map(|(q, k, v)| AttentionRequest::new(q, k, v))
+            .collect();
+        let _ = execute_batch(&p, &plan, &opts, &reqs).unwrap();
+        assert_eq!(counter.dot_products(), 3 * pat.nnz() as u64);
+    }
+
+    #[test]
+    fn coo_search_cost_counted_in_batches_too() {
+        let l = 32;
+        let p = pool();
+        let pat = RandomUniform::new(l, 0.2, 5);
+        let coo = pat.to_coo();
+        let (q, k, v) = qkv::<f64>(l, 4, 73);
+
+        let counter_single = WorkCounter::new();
+        let opts_single = KernelOptions::new().with_counter(&counter_single);
+        let _ =
+            crate::kernels::coo_attention(&p, &coo, CooSearch::Linear, &q, &k, &v, &opts_single)
+                .unwrap();
+
+        let counter_batch = WorkCounter::new();
+        let opts_batch = KernelOptions::new().with_counter(&counter_batch);
+        let plan = AttentionPlan::single(AttentionKernel::Coo(&coo, CooSearch::Linear)).unwrap();
+        let _ =
+            execute_batch(&p, &plan, &opts_batch, &[AttentionRequest::new(&q, &k, &v)]).unwrap();
+        assert_eq!(
+            counter_batch.report(),
+            counter_single.report(),
+            "batched instrumentation must match the standalone kernel"
+        );
+    }
+
+    #[test]
+    fn mixed_good_and_bad_requests_fail_before_any_work() {
+        let p = pool();
+        let mask = LocalWindow::new(16, 1).to_csr();
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&mask)).unwrap();
+        let (q, k, v) = qkv::<f64>(16, 4, 74);
+        let (q_bad, k_bad, v_bad) = qkv::<f64>(17, 4, 74);
+        let err = execute_batch(
+            &p,
+            &plan,
+            &KernelOptions::new(),
+            &[
+                AttentionRequest::new(&q, &k, &v),
+                AttentionRequest::new(&q_bad, &k_bad, &v_bad),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AttnError::MaskShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rectangular_csr_requests_run_in_batches() {
+        // A distributed row-slice shape: 4 query rows against 16 keys.
+        let full = LocalWindow::new(16, 2).to_csr();
+        let entries: Vec<(usize, usize)> = (0..4)
+            .flat_map(|r| full.row(r).iter().map(move |&c| (r, c as usize)))
+            .collect();
+        let rect = gpa_sparse::CsrMask::from_coo(
+            &gpa_sparse::CooMask::from_entries(4, 16, entries).unwrap(),
+        );
+        let (q_full, k, v) = qkv::<f64>(16, 4, 75);
+        let q = q_full.rows_slice(0, 4);
+        let p = pool();
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&rect)).unwrap();
+        let out = execute_batch(
+            &p,
+            &plan,
+            &KernelOptions::new(),
+            &[AttentionRequest::new(&q, &k, &v)],
+        )
+        .unwrap()
+        .pop()
+        .unwrap();
+        // Rows must match the square kernel's first rows.
+        let square = csr_attention(&p, &full, &q_full, &k, &v, &KernelOptions::new()).unwrap();
+        for i in 0..4 {
+            assert_eq!(out.row(i), square.row(i), "row {i}");
+        }
+    }
+}

@@ -9,22 +9,25 @@
 use crate::baselines::{flash_attention, masked_sdp};
 use crate::error::AttnError;
 use crate::kernels::{
-    coo_attention_into, csr_attention_into, dilated1d_attention_into, dilated2d_attention_into,
-    global_attention_into, local_attention_into, CooSearch,
+    coo_attention_into, csr_attention_into, dia_attention_into, dilated1d_attention_into,
+    dilated2d_attention_into, global_attention_into, local_attention_into, CooSearch,
 };
 use crate::options::KernelOptions;
 use crate::state::AttentionState;
 use gpa_masks::GlobalSet;
-use gpa_parallel::ThreadPool;
-use gpa_sparse::{CooMask, CsrMask, DenseMask};
+use gpa_parallel::{ThreadPool, WorkCounter};
+use gpa_sparse::{CooMask, CsrMask, DenseMask, DiaMask};
 use gpa_tensor::{Matrix, Real};
 
 /// An attention algorithm selection.
+#[derive(Clone, Copy)]
 pub enum AttentionKernel<'a> {
     /// Explicit COO mask with the given row-bound search strategy.
     Coo(&'a CooMask, CooSearch),
     /// Explicit CSR mask.
     Csr(&'a CsrMask),
+    /// Explicit DIA (diagonal-band) mask.
+    Dia(&'a DiaMask),
     /// Implicit local window (`|i−j| ≤ n`).
     Local {
         /// Window per direction.
@@ -64,6 +67,7 @@ impl AttentionKernel<'_> {
             AttentionKernel::Coo(_, CooSearch::Linear) => "COO",
             AttentionKernel::Coo(_, CooSearch::Binary) => "COO (binary search)",
             AttentionKernel::Csr(_) => "CSR",
+            AttentionKernel::Dia(_) => "DIA",
             AttentionKernel::Local { .. } => "Local",
             AttentionKernel::Dilated1d { .. } => "Dilated-1D",
             AttentionKernel::Dilated2d { .. } => "Dilated-2D",
@@ -76,6 +80,83 @@ impl AttentionKernel<'_> {
     /// True for graph kernels that can share an [`AttentionState`].
     pub fn is_composable(&self) -> bool {
         !matches!(self, AttentionKernel::SdpMasked(_) | AttentionKernel::Flash)
+    }
+
+    /// Validate kernel parameters that do not depend on the inputs — the
+    /// checks an [`crate::plan::AttentionPlan`] performs once at compile
+    /// time instead of on every launch.
+    pub(crate) fn validate_params(&self) -> Result<(), AttnError> {
+        match self {
+            AttentionKernel::Dilated1d { w: 0, .. } => Err(AttnError::BadParameter {
+                what: "dilated window width w must be positive",
+            }),
+            AttentionKernel::Dilated2d { block_size: 0, .. } => Err(AttnError::BadParameter {
+                what: "block_size must be positive",
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The geometry this kernel imposes on `(Q rows, K/V rows)`:
+    /// `(fixed shape, requires square)`. Explicit masks pin the shape;
+    /// implicit patterns and the dense baselines accept any square
+    /// geometry; Global and DIA pin a square shape via their context
+    /// length.
+    pub(crate) fn geometry(&self) -> (Option<(usize, usize)>, bool) {
+        match self {
+            AttentionKernel::Coo(mask, _) => (Some((mask.rows(), mask.cols())), false),
+            AttentionKernel::Csr(mask) => (Some((mask.rows(), mask.cols())), false),
+            AttentionKernel::Dia(mask) => (Some((mask.context_len(), mask.context_len())), true),
+            AttentionKernel::Global { globals, .. } => {
+                let l = globals.context_len();
+                (Some((l, l)), true)
+            }
+            AttentionKernel::SdpMasked(mask) => (Some((mask.rows(), mask.cols())), true),
+            AttentionKernel::Local { .. }
+            | AttentionKernel::Dilated1d { .. }
+            | AttentionKernel::Dilated2d { .. }
+            | AttentionKernel::Flash => (None, true),
+        }
+    }
+
+    /// Stream row `i`'s neighbors under key/value set size `kv_len` — the
+    /// per-row enumeration rule each kernel's launch wraps in a
+    /// `parallel_for`, exposed so the batched plan executor can interleave
+    /// many sequences (and chain plan steps) inside one launch. `counter`
+    /// receives the COO linear-search cost; edge work is tallied by the
+    /// caller's absorb hook. Dense baselines have no row rule.
+    ///
+    /// # Panics
+    /// Panics on dense baselines; the plan layer never compiles them into
+    /// a streamed step.
+    pub(crate) fn stream_row(
+        &self,
+        kv_len: usize,
+        i: usize,
+        counter: Option<&WorkCounter>,
+        absorb: &mut dyn FnMut(usize),
+    ) {
+        use crate::kernels::{dia, explicit, implicit};
+        match self {
+            AttentionKernel::Coo(mask, search) => {
+                explicit::coo_row(mask, *search, i, counter, absorb)
+            }
+            AttentionKernel::Csr(mask) => explicit::csr_row(mask, i, absorb),
+            AttentionKernel::Dia(mask) => dia::dia_row(mask, i, absorb),
+            AttentionKernel::Local { n } => implicit::local_row(kv_len, *n, i, absorb),
+            AttentionKernel::Dilated1d { w, r } => {
+                implicit::dilated1d_row(kv_len, *w, *r, i, absorb)
+            }
+            AttentionKernel::Dilated2d { block_size, r } => {
+                implicit::dilated2d_row(kv_len, *block_size, *r, i, absorb)
+            }
+            AttentionKernel::Global { globals, n_sub } => {
+                implicit::global_row(kv_len, globals, *n_sub, i, absorb)
+            }
+            AttentionKernel::SdpMasked(_) | AttentionKernel::Flash => {
+                unreachable!("dense baselines are executed whole, not streamed per row")
+            }
+        }
     }
 
     /// Run into an existing state (graph kernels only).
@@ -93,6 +174,7 @@ impl AttentionKernel<'_> {
                 coo_attention_into(pool, mask, *search, q, k, v, opts, state)
             }
             AttentionKernel::Csr(mask) => csr_attention_into(pool, mask, q, k, v, opts, state),
+            AttentionKernel::Dia(mask) => dia_attention_into(pool, mask, q, k, v, opts, state),
             AttentionKernel::Local { n } => local_attention_into(pool, *n, q, k, v, opts, state),
             AttentionKernel::Dilated1d { w, r } => {
                 dilated1d_attention_into(pool, *w, *r, q, k, v, opts, state)
@@ -136,6 +218,11 @@ impl AttentionKernel<'_> {
 /// paper's "sequential kernel call" evaluation mode (Fig. 6). The masks
 /// must be pairwise disjoint for the result to equal single-kernel
 /// attention over their union (otherwise shared edges are double-counted).
+///
+/// Since the engine redesign this compiles the composition into an
+/// [`crate::AttentionPlan`] and executes it as **one** launch (all steps
+/// chained per row) instead of one launch per kernel; per-row edge order —
+/// and therefore the output — is unchanged.
 pub fn run_composed<T: Real>(
     pool: &ThreadPool,
     kernels: &[AttentionKernel<'_>],
@@ -144,11 +231,23 @@ pub fn run_composed<T: Real>(
     v: &Matrix<T>,
     opts: &KernelOptions<'_>,
 ) -> Result<Matrix<T>, AttnError> {
-    let mut state = AttentionState::new(q.rows(), v.cols());
-    for kernel in kernels {
-        kernel.run_into(pool, q, k, v, opts, &mut state)?;
+    if kernels.is_empty() {
+        // Historical behavior: an empty composition is a fresh state.
+        return Ok(AttentionState::new(q.rows(), v.cols()).into_output());
     }
-    Ok(state.into_output())
+    let plan = crate::plan::AttentionPlan::new(kernels)?;
+    if !plan.is_composable() {
+        return Err(AttnError::BadParameter {
+            what: "dense baselines cannot run into a shared state",
+        });
+    }
+    let mut outs = crate::batch::execute_batch(
+        pool,
+        &plan,
+        opts,
+        &[crate::batch::AttentionRequest::new(q, k, v)],
+    )?;
+    Ok(outs.pop().expect("one request, one output"))
 }
 
 #[cfg(test)]
@@ -245,6 +344,23 @@ mod tests {
             .run(&p, &q, &k, &v, &KernelOptions::new())
             .unwrap();
         assert!(paper_allclose(&composed, &single));
+    }
+
+    #[test]
+    fn dia_dispatch_matches_direct_call() {
+        use gpa_sparse::DiaMask;
+        let l = 32;
+        let (q, k, v) = qkv::<f64>(l, 8, 58);
+        let p = pool();
+        let dia = DiaMask::new(l, vec![-4, -1, 0, 1, 9]).unwrap();
+        assert_eq!(AttentionKernel::Dia(&dia).name(), "DIA");
+        assert!(AttentionKernel::Dia(&dia).is_composable());
+        let via_dispatch = AttentionKernel::Dia(&dia)
+            .run(&p, &q, &k, &v, &KernelOptions::new())
+            .unwrap();
+        let via_direct =
+            crate::kernels::dia_attention(&p, &dia, &q, &k, &v, &KernelOptions::new()).unwrap();
+        assert_eq!(via_dispatch, via_direct);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! `AttentionEngine` — the single front door to every kernel.
+//!
+//! An engine owns the execution substrate (worker pool) and the launch
+//! policy (schedule, scale override, optional work counting), compiles
+//! kernel compositions into reusable [`AttentionPlan`]s, and executes them
+//! against single sequences or whole batches:
+//!
+//! ```
+//! use gpa_core::{AttentionEngine, AttentionKernel, AttentionRequest};
+//! use gpa_tensor::init::qkv;
+//!
+//! let engine = AttentionEngine::with_threads(2);
+//! let plan = engine.compile(&[AttentionKernel::Local { n: 4 }]).unwrap();
+//!
+//! // One sequence…
+//! let (q, k, v) = qkv::<f32>(64, 8, 1);
+//! let out = engine.run(&plan, &q, &k, &v).unwrap();
+//! assert_eq!(out.shape(), (64, 8));
+//!
+//! // …or a ragged batch through the same plan, in one launch.
+//! let (q2, k2, v2) = qkv::<f32>(48, 8, 2);
+//! let outs = engine
+//!     .run_batch(
+//!         &plan,
+//!         &[AttentionRequest::new(&q, &k, &v), AttentionRequest::new(&q2, &k2, &v2)],
+//!     )
+//!     .unwrap();
+//! assert_eq!(outs.len(), 2);
+//! ```
+//!
+//! The free kernel functions ([`crate::csr_attention`] and friends) remain
+//! as the low-level per-kernel API over an explicit pool; the engine is the
+//! recommended entry point for applications, and everything in this
+//! workspace (multi-head layer, distributed executors, benchmark harness,
+//! examples) now runs through it.
+
+use crate::batch::{execute_batch, execute_batch_states, AttentionRequest};
+use crate::dispatch::AttentionKernel;
+use crate::error::AttnError;
+use crate::options::KernelOptions;
+use crate::plan::AttentionPlan;
+use crate::state::AttentionState;
+use gpa_parallel::{default_threads, Schedule, ThreadPool, WorkCounter, WorkReport};
+use gpa_tensor::{Matrix, Real};
+
+/// Builder for [`AttentionEngine`] — threads, schedule, scale, work
+/// counting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AttentionEngineBuilder {
+    threads: Option<usize>,
+    schedule: Schedule,
+    scale: Option<f64>,
+    count_work: bool,
+}
+
+impl AttentionEngineBuilder {
+    /// Worker-thread count (default: `GPA_THREADS` or all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Row-block scheduling policy for every launch this engine issues.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Override the attention scale (default: Eq. (1)'s `1/√dk`).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Attach an engine-owned [`WorkCounter`] so every run is tallied —
+    /// read it back via [`AttentionEngine::work_report`].
+    pub fn count_work(mut self, enabled: bool) -> Self {
+        self.count_work = enabled;
+        self
+    }
+
+    /// Build the engine (spawns the worker pool).
+    pub fn build(self) -> AttentionEngine {
+        AttentionEngine {
+            pool: ThreadPool::new(self.threads.unwrap_or_else(default_threads)),
+            schedule: self.schedule,
+            scale: self.scale,
+            counter: self.count_work.then(WorkCounter::new),
+        }
+    }
+}
+
+/// The workspace's execution front door: a worker pool plus launch policy,
+/// compiling and running [`AttentionPlan`]s. See the [module
+/// docs](self) for an end-to-end example.
+pub struct AttentionEngine {
+    pool: ThreadPool,
+    schedule: Schedule,
+    scale: Option<f64>,
+    counter: Option<WorkCounter>,
+}
+
+impl Default for AttentionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttentionEngine {
+    /// Engine with default policy and the library's default thread count.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Engine with an explicit worker count and default policy.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::builder().threads(threads).build()
+    }
+
+    /// Start configuring an engine.
+    pub fn builder() -> AttentionEngineBuilder {
+        AttentionEngineBuilder::default()
+    }
+
+    /// The engine's worker pool — the escape hatch for the low-level
+    /// per-kernel functions and research code that needs custom launches.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The engine's scheduling policy.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The launch options every engine run uses ­— schedule, scale, and
+    /// the engine's counter, in [`KernelOptions`] form for interop with the
+    /// free kernel functions.
+    pub fn options(&self) -> KernelOptions<'_> {
+        KernelOptions {
+            schedule: self.schedule,
+            counter: self.counter.as_ref(),
+            scale: self.scale,
+        }
+    }
+
+    /// The engine-owned work counter, when enabled at build time.
+    pub fn work_counter(&self) -> Option<&WorkCounter> {
+        self.counter.as_ref()
+    }
+
+    /// Snapshot of the engine's work tallies (None unless built with
+    /// `count_work(true)`).
+    pub fn work_report(&self) -> Option<WorkReport> {
+        self.counter.as_ref().map(WorkCounter::report)
+    }
+
+    /// Reset the engine's work tallies.
+    pub fn reset_work(&self) {
+        if let Some(counter) = &self.counter {
+            counter.reset();
+        }
+    }
+
+    /// Compile a kernel composition into a reusable plan (geometry and
+    /// parameters validated once — see [`AttentionPlan::new`]).
+    pub fn compile<'a>(
+        &self,
+        kernels: &[AttentionKernel<'a>],
+    ) -> Result<AttentionPlan<'a>, AttnError> {
+        AttentionPlan::new(kernels)
+    }
+
+    /// Run a plan over one sequence.
+    pub fn run<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        let mut outs = self.run_batch(plan, &[AttentionRequest::new(q, k, v)])?;
+        Ok(outs.pop().expect("one request, one output"))
+    }
+
+    /// Run a plan over a batch of requests in one flattened launch,
+    /// returning one output per request (in order). Requests may have
+    /// ragged lengths when the plan's geometry allows it
+    /// ([`AttentionPlan::fixed_shape`] is `None`).
+    pub fn run_batch<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        requests: &[AttentionRequest<'_, T>],
+    ) -> Result<Vec<Matrix<T>>, AttnError> {
+        execute_batch(&self.pool, plan, &self.options(), requests)
+    }
+
+    /// As [`Self::run_batch`] with caller-supplied [`KernelOptions`] — for
+    /// callers that sweep schedules or attach their own counters (the
+    /// benchmark ablations) while still going through the engine's pool
+    /// and plan executor.
+    pub fn run_batch_with<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        opts: &KernelOptions<'_>,
+        requests: &[AttentionRequest<'_, T>],
+    ) -> Result<Vec<Matrix<T>>, AttnError> {
+        execute_batch(&self.pool, plan, opts, requests)
+    }
+
+    /// Run a graph-kernel plan over a batch and return the full per-request
+    /// [`AttentionState`]s — the `(O, l, m)` triples a distributed
+    /// reduction merges across devices.
+    pub fn run_batch_states<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        requests: &[AttentionRequest<'_, T>],
+    ) -> Result<Vec<AttentionState<T>>, AttnError> {
+        execute_batch_states(&self.pool, plan, &self.options(), requests)
+    }
+
+    /// Compile-and-run convenience for one-shot kernel calls.
+    pub fn run_kernel<T: Real>(
+        &self,
+        kernel: AttentionKernel<'_>,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        self.run(&AttentionPlan::single(kernel)?, q, k, v)
+    }
+}
+
+impl std::fmt::Debug for AttentionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttentionEngine")
+            .field("threads", &self.threads())
+            .field("schedule", &self.schedule)
+            .field("scale", &self.scale)
+            .field("count_work", &self.counter.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{csr_attention, local_attention};
+    use gpa_masks::{LocalWindow, MaskPattern};
+    use gpa_tensor::init::qkv;
+
+    #[test]
+    fn builder_configures_policy() {
+        let engine = AttentionEngine::builder()
+            .threads(2)
+            .schedule(Schedule::StaticContiguous)
+            .scale(1.0)
+            .count_work(true)
+            .build();
+        assert_eq!(engine.threads(), 2);
+        assert_eq!(engine.schedule(), Schedule::StaticContiguous);
+        let opts = engine.options();
+        assert_eq!(opts.scale, Some(1.0));
+        assert!(opts.counter.is_some());
+        assert!(engine.work_report().is_some());
+    }
+
+    #[test]
+    fn engine_run_matches_free_function() {
+        let engine = AttentionEngine::with_threads(4);
+        let l = 48;
+        let (q, k, v) = qkv::<f64>(l, 8, 80);
+        let mask = LocalWindow::new(l, 3).to_csr();
+        let plan = engine.compile(&[AttentionKernel::Csr(&mask)]).unwrap();
+        let via_engine = engine.run(&plan, &q, &k, &v).unwrap();
+        let via_free = csr_attention(engine.pool(), &mask, &q, &k, &v, &engine.options()).unwrap();
+        assert_eq!(via_engine, via_free);
+    }
+
+    #[test]
+    fn engine_counts_work_across_runs() {
+        let engine = AttentionEngine::builder()
+            .threads(2)
+            .count_work(true)
+            .build();
+        let l = 20;
+        let (q, k, v) = qkv::<f64>(l, 4, 81);
+        let pat = LocalWindow::new(l, 2);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 2 }]).unwrap();
+        let _ = engine.run(&plan, &q, &k, &v).unwrap();
+        let _ = engine.run(&plan, &q, &k, &v).unwrap();
+        let report = engine.work_report().unwrap();
+        assert_eq!(report.dot_products, 2 * pat.nnz() as u64);
+        engine.reset_work();
+        assert_eq!(engine.work_report().unwrap().dot_products, 0);
+    }
+
+    #[test]
+    fn engine_scale_override_applies() {
+        let engine = AttentionEngine::builder().threads(2).scale(0.0).build();
+        let l = 16;
+        let (q, k, v) = qkv::<f64>(l, 4, 82);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 2 }]).unwrap();
+        let flat = engine.run(&plan, &q, &k, &v).unwrap();
+        let default_engine = AttentionEngine::with_threads(2);
+        let scaled = default_engine.run(&plan, &q, &k, &v).unwrap();
+        assert!(flat.max_abs_diff(&scaled) > 1e-9);
+    }
+
+    #[test]
+    fn run_kernel_convenience() {
+        let engine = AttentionEngine::with_threads(2);
+        let (q, k, v) = qkv::<f64>(24, 8, 83);
+        let out = engine
+            .run_kernel(AttentionKernel::Local { n: 2 }, &q, &k, &v)
+            .unwrap();
+        let direct = local_attention(engine.pool(), 2, &q, &k, &v, &engine.options()).unwrap();
+        assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn compile_rejects_bad_compositions_before_any_data_exists() {
+        let engine = AttentionEngine::with_threads(1);
+        assert!(engine.compile(&[]).is_err());
+        assert!(engine
+            .compile(&[AttentionKernel::Flash, AttentionKernel::Flash])
+            .is_err());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let engine = AttentionEngine::with_threads(1);
+        let s = format!("{engine:?}");
+        assert!(s.contains("AttentionEngine"));
+    }
+}

@@ -15,6 +15,20 @@ use gpa_parallel::ThreadPool;
 use gpa_sparse::DiaMask;
 use gpa_tensor::{Matrix, Real};
 
+/// Stream row `i`'s diagonal-band neighbors — the single enumeration rule
+/// shared by the standalone kernel and the batched plan executor.
+#[inline]
+pub(crate) fn dia_row(mask: &DiaMask, i: usize, absorb: &mut dyn FnMut(usize)) {
+    let l = mask.context_len() as i64;
+    let i = i as i64;
+    for &d in mask.offsets() {
+        let j = i + d;
+        if j >= 0 && j < l {
+            absorb(j as usize);
+        }
+    }
+}
+
 /// DIA attention into an existing state (composable).
 pub fn dia_attention_into<T: Real>(
     pool: &ThreadPool,
@@ -31,16 +45,8 @@ pub fn dia_attention_into<T: Real>(
             l: q.rows(),
         });
     }
-    let l = q.rows() as i64;
-    let offsets = mask.offsets();
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        let i = i as i64;
-        for &d in offsets {
-            let j = i + d;
-            if j >= 0 && j < l {
-                absorb(j as usize);
-            }
-        }
+        dia_row(mask, i, absorb)
     })
 }
 

@@ -15,7 +15,7 @@ use crate::driver::graph_attention_into;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
 use crate::state::AttentionState;
-use gpa_parallel::{LocalTally, ThreadPool};
+use gpa_parallel::{LocalTally, ThreadPool, WorkCounter};
 use gpa_sparse::{CooMask, CsrMask};
 use gpa_tensor::{Matrix, Real};
 
@@ -30,6 +30,44 @@ pub enum CooSearch {
     Binary,
 }
 
+/// Stream row `i`'s neighbors from a CSR mask — the single enumeration
+/// rule shared by the standalone kernel and the batched plan executor.
+#[inline]
+pub(crate) fn csr_row(mask: &CsrMask, i: usize, absorb: &mut dyn FnMut(usize)) {
+    for &j in mask.row(i) {
+        absorb(j as usize);
+    }
+}
+
+/// Stream row `i`'s neighbors from a COO mask under the given search
+/// strategy. The linear search's scanned-prefix length is flushed to
+/// `counter` (a per-row quantity, distinct from the driver's per-edge
+/// tally).
+#[inline]
+pub(crate) fn coo_row(
+    mask: &CooMask,
+    search: CooSearch,
+    i: usize,
+    counter: Option<&WorkCounter>,
+    absorb: &mut dyn FnMut(usize),
+) {
+    let cols = mask.col_indices();
+    let (lo, hi) = match search {
+        CooSearch::Linear => {
+            let (lo, hi, scanned) = mask.row_bounds_linear(i);
+            if let Some(counter) = counter {
+                let mut t = LocalTally::new(counter);
+                t.searched(scanned as u64);
+            }
+            (lo, hi)
+        }
+        CooSearch::Binary => mask.row_bounds_binary(i),
+    };
+    for &j in &cols[lo..hi] {
+        absorb(j as usize);
+    }
+}
+
 /// CSR attention into an existing state (composable).
 pub fn csr_attention_into<T: Real>(
     pool: &ThreadPool,
@@ -42,9 +80,7 @@ pub fn csr_attention_into<T: Real>(
 ) -> Result<(), AttnError> {
     check_mask_shape(mask.rows(), mask.cols(), q.rows(), k.rows())?;
     graph_attention_into(pool, q, k, v, opts, state, |i, absorb| {
-        for &j in mask.row(i) {
-            absorb(j as usize);
-        }
+        csr_row(mask, i, absorb)
     })
 }
 
@@ -79,24 +115,8 @@ pub fn coo_attention_into<T: Real>(
     state: &mut AttentionState<T>,
 ) -> Result<(), AttnError> {
     check_mask_shape(mask.rows(), mask.cols(), q.rows(), k.rows())?;
-    let cols = mask.col_indices();
     graph_attention_into(pool, q, k, v, opts, state, |i, absorb| {
-        let (lo, hi) = match search {
-            CooSearch::Linear => {
-                let (lo, hi, scanned) = mask.row_bounds_linear(i);
-                if let Some(counter) = opts.counter {
-                    // Flush directly: the driver's tally is per-edge; the
-                    // search cost is a per-row quantity.
-                    let mut t = LocalTally::new(counter);
-                    t.searched(scanned as u64);
-                }
-                (lo, hi)
-            }
-            CooSearch::Binary => mask.row_bounds_binary(i),
-        };
-        for &j in &cols[lo..hi] {
-            absorb(j as usize);
-        }
+        coo_row(mask, search, i, opts.counter, absorb)
     })
 }
 

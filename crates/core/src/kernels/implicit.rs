@@ -27,6 +27,85 @@ fn check_square<T: Real>(q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Result<
     Ok(())
 }
 
+/// Stream row `i`'s local-window neighbors — the single enumeration rule
+/// shared by the standalone kernel and the batched plan executor.
+#[inline]
+pub(crate) fn local_row(l: usize, n: usize, i: usize, absorb: &mut dyn FnMut(usize)) {
+    let (lo, hi) = LocalWindow::row_range(l, n, i);
+    for j in lo..=hi {
+        absorb(j);
+    }
+}
+
+/// Stream row `i`'s 1-D dilated neighbors.
+#[inline]
+pub(crate) fn dilated1d_row(l: usize, w: usize, r: usize, i: usize, absorb: &mut dyn FnMut(usize)) {
+    let stride = r + 1;
+    let steps = Dilated1d::steps(w, r);
+    // Backward arm, nearest-last for cache reuse of low j… the order is
+    // irrelevant to the math (online softmax); walk ascending.
+    let back = steps.min(i / stride);
+    for s in (1..=back).rev() {
+        absorb(i - s * stride);
+    }
+    absorb(i);
+    let fwd = steps.min((l - 1 - i) / stride);
+    for s in 1..=fwd {
+        absorb(i + s * stride);
+    }
+}
+
+/// Stream row `i`'s 2-D dilated (diagonal block) neighbors.
+#[inline]
+pub(crate) fn dilated2d_row(
+    l: usize,
+    block_size: usize,
+    r: usize,
+    i: usize,
+    absorb: &mut dyn FnMut(usize),
+) {
+    let stride = r + 1;
+    if (i % block_size) % stride != 0 {
+        return; // unselected row attends to nothing
+    }
+    let start = (i / block_size) * block_size;
+    let end = (start + block_size).min(l);
+    let mut j = start;
+    while j < end {
+        absorb(j);
+        j += stride;
+    }
+}
+
+/// Stream row `i`'s global-minus-local neighbors.
+#[inline]
+pub(crate) fn global_row(
+    l: usize,
+    globals: &GlobalSet,
+    n_sub: usize,
+    i: usize,
+    absorb: &mut dyn FnMut(usize),
+) {
+    let (lo, hi) = LocalWindow::row_range(l, n_sub, i);
+    if globals.contains(i) {
+        // Global row: everything outside the subtracted window.
+        for j in 0..lo {
+            absorb(j);
+        }
+        for j in hi + 1..l {
+            absorb(j);
+        }
+    } else {
+        // Non-global row: global columns outside the window.
+        for &g in globals.indices() {
+            let g = g as usize;
+            if g < lo || g > hi {
+                absorb(g);
+            }
+        }
+    }
+}
+
 /// Local windowed attention (`|i−j| ≤ n`) into an existing state.
 pub fn local_attention_into<T: Real>(
     pool: &ThreadPool,
@@ -40,10 +119,7 @@ pub fn local_attention_into<T: Real>(
     check_square(q, k, v)?;
     let l = q.rows();
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        let (lo, hi) = LocalWindow::row_range(l, n, i);
-        for j in lo..=hi {
-            absorb(j);
-        }
+        local_row(l, n, i, absorb)
     })
 }
 
@@ -80,20 +156,8 @@ pub fn dilated1d_attention_into<T: Real>(
     }
     check_square(q, k, v)?;
     let l = q.rows();
-    let stride = r + 1;
-    let steps = Dilated1d::steps(w, r);
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        // Backward arm, nearest-last for cache reuse of low j… the order is
-        // irrelevant to the math (online softmax); walk ascending.
-        let back = steps.min(i / stride);
-        for s in (1..=back).rev() {
-            absorb(i - s * stride);
-        }
-        absorb(i);
-        let fwd = steps.min((l - 1 - i) / stride);
-        for s in 1..=fwd {
-            absorb(i + s * stride);
-        }
+        dilated1d_row(l, w, r, i, absorb)
     })
 }
 
@@ -132,18 +196,8 @@ pub fn dilated2d_attention_into<T: Real>(
     }
     check_square(q, k, v)?;
     let l = q.rows();
-    let stride = r + 1;
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        if (i % block_size) % stride != 0 {
-            return; // unselected row attends to nothing
-        }
-        let start = (i / block_size) * block_size;
-        let end = (start + block_size).min(l);
-        let mut j = start;
-        while j < end {
-            absorb(j);
-            j += stride;
-        }
+        dilated2d_row(l, block_size, r, i, absorb)
     })
 }
 
@@ -187,24 +241,7 @@ pub fn global_attention_into<T: Real>(
         });
     }
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        let (lo, hi) = LocalWindow::row_range(l, n_sub, i);
-        if globals.contains(i) {
-            // Global row: everything outside the subtracted window.
-            for j in 0..lo {
-                absorb(j);
-            }
-            for j in hi + 1..l {
-                absorb(j);
-            }
-        } else {
-            // Non-global row: global columns outside the window.
-            for &g in globals.indices() {
-                let g = g as usize;
-                if g < lo || g > hi {
-                    absorb(g);
-                }
-            }
-        }
+        global_row(l, globals, n_sub, i, absorb)
     })
 }
 

@@ -26,28 +26,42 @@
 //! [`baselines::masked_sdp`] (PyTorch-style dense SDP with −∞ masking) and
 //! [`baselines::flash_attention`] (dense online-softmax tiling).
 //!
+//! ## The engine: compiled plans, batched execution
+//!
+//! [`AttentionEngine`] is the recommended entry point: it owns the worker
+//! pool and launch policy, **compiles** kernel compositions into reusable
+//! [`AttentionPlan`]s (geometry validated once), and **executes batches**
+//! of ragged-length sequences in a single flattened launch
+//! ([`AttentionEngine::run_batch`]). The per-kernel free functions below
+//! remain as the low-level API over an explicit pool.
+//!
 //! ## Composition and extensions
 //!
 //! Graph kernels update a resumable [`AttentionState`], so sequential calls
 //! over disjoint masks compute exact attention over the union
-//! ([`dispatch::run_composed`]) — the paper's Fig. 6 evaluation mode.
-//! [`multihead`] provides the multi-head extension the paper lists as
-//! future work; [`verify`] reproduces the Section V-A verification
-//! protocol.
+//! ([`dispatch::run_composed`], or a multi-step [`AttentionPlan`]) — the
+//! paper's Fig. 6 evaluation mode. [`multihead`] provides the multi-head
+//! extension the paper lists as future work; [`verify`] reproduces the
+//! Section V-A verification protocol.
 
 pub mod baselines;
+pub mod batch;
 pub mod dispatch;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod kernels;
 pub mod multihead;
 pub mod options;
+pub mod plan;
 pub mod state;
 pub mod verify;
 
 pub use baselines::{flash_attention, flash_attention_tiled, masked_sdp};
+pub use batch::AttentionRequest;
 pub use dispatch::{run_composed, AttentionKernel};
 pub use driver::{absorb_edge, graph_attention_into, pattern_attention, pattern_attention_into};
+pub use engine::{AttentionEngine, AttentionEngineBuilder};
 pub use error::AttnError;
 pub use kernels::{
     coo_attention, coo_attention_into, csr_attention, csr_attention_into, dia_attention,
@@ -57,6 +71,7 @@ pub use kernels::{
 };
 pub use multihead::{concat_heads, multi_head_attention, split_heads, MultiHeadAttention};
 pub use options::KernelOptions;
+pub use plan::AttentionPlan;
 pub use state::AttentionState;
 pub use verify::{run_paper_verification, run_verification_at, VerificationRecord};
 

@@ -7,10 +7,18 @@
 //! per head (the mask is shared across heads, as in Longformer/BigBird),
 //! concatenation, and an output projection — a full transformer attention
 //! sub-layer usable by the examples.
+//!
+//! Since the engine redesign, the per-head runs are dispatched through the
+//! batched plan executor: all heads of one forward pass flatten into a
+//! **single** pool launch instead of one launch per head (outputs are
+//! unchanged — per-row work is identical).
 
+use crate::batch::{execute_batch, AttentionRequest};
 use crate::dispatch::AttentionKernel;
+use crate::engine::AttentionEngine;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
+use crate::plan::AttentionPlan;
 use gpa_parallel::ThreadPool;
 use gpa_tensor::init::xavier_uniform;
 use gpa_tensor::ops::matmul;
@@ -88,11 +96,37 @@ impl<T: Real> MultiHeadAttention<T> {
 
     /// Forward pass: project, run `kernel` per head (same mask every head),
     /// concatenate, project out. Input and output are `L × d_model`.
+    ///
+    /// All heads run as **one** batched launch through the plan executor.
     pub fn forward(
         &self,
         pool: &ThreadPool,
         x: &Matrix<T>,
         kernel: &AttentionKernel<'_>,
+        opts: &KernelOptions<'_>,
+    ) -> Result<Matrix<T>, AttnError> {
+        let plan = AttentionPlan::single(*kernel)?;
+        self.forward_inner(pool, x, &plan, opts)
+    }
+
+    /// Forward pass through an [`AttentionEngine`] and a compiled plan —
+    /// the engine-native entry point: the plan (usually shared with many
+    /// other layers/requests) is compiled once, and the engine's pool and
+    /// launch policy apply.
+    pub fn forward_on(
+        &self,
+        engine: &AttentionEngine,
+        plan: &AttentionPlan<'_>,
+        x: &Matrix<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        self.forward_inner(engine.pool(), x, plan, &engine.options())
+    }
+
+    fn forward_inner(
+        &self,
+        pool: &ThreadPool,
+        x: &Matrix<T>,
+        plan: &AttentionPlan<'_>,
         opts: &KernelOptions<'_>,
     ) -> Result<Matrix<T>, AttnError> {
         if x.cols() != self.d_model() {
@@ -108,10 +142,10 @@ impl<T: Real> MultiHeadAttention<T> {
         let kh = split_heads(&k, self.heads);
         let vh = split_heads(&v, self.heads);
 
-        let mut outs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            outs.push(kernel.run(pool, &qh[h], &kh[h], &vh[h], opts)?);
-        }
+        let requests: Vec<AttentionRequest<'_, T>> = (0..self.heads)
+            .map(|h| AttentionRequest::new(&qh[h], &kh[h], &vh[h]))
+            .collect();
+        let outs = execute_batch(pool, plan, opts, &requests)?;
         let packed = concat_heads(&outs);
         Ok(matmul(&packed, &self.wo))
     }
@@ -119,6 +153,7 @@ impl<T: Real> MultiHeadAttention<T> {
 
 /// Run one kernel independently per pre-projected head triple — the
 /// "trivial extension" form for callers that manage their own projections.
+/// The heads execute as one batched launch.
 pub fn multi_head_attention<T: Real>(
     pool: &ThreadPool,
     kernel: &AttentionKernel<'_>,
@@ -129,11 +164,14 @@ pub fn multi_head_attention<T: Real>(
 ) -> Result<Vec<Matrix<T>>, AttnError> {
     assert_eq!(qs.len(), ks.len());
     assert_eq!(qs.len(), vs.len());
-    qs.iter()
+    let plan = AttentionPlan::single(*kernel)?;
+    let requests: Vec<AttentionRequest<'_, T>> = qs
+        .iter()
         .zip(ks.iter())
         .zip(vs.iter())
-        .map(|((q, k), v)| kernel.run(pool, q, k, v, opts))
-        .collect()
+        .map(|((q, k), v)| AttentionRequest::new(q, k, v))
+        .collect();
+    execute_batch(pool, &plan, opts, &requests)
 }
 
 #[cfg(test)]
@@ -241,6 +279,25 @@ mod tests {
         // Different (dense) mask → different numbers, same shape.
         assert_eq!(flash.shape(), (l, 16));
         assert!(flash.max_abs_diff(&local) > 1e-9);
+    }
+
+    #[test]
+    fn forward_on_engine_matches_pool_forward() {
+        let l = 16;
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(32, 4, 8, 9);
+        let x = gaussian_matrix(l, 32, 1.0, 78);
+        let engine = crate::AttentionEngine::with_threads(4);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 3 }]).unwrap();
+        let via_engine = layer.forward_on(&engine, &plan, &x).unwrap();
+        let via_pool = layer
+            .forward(
+                engine.pool(),
+                &x,
+                &AttentionKernel::Local { n: 3 },
+                &engine.options(),
+            )
+            .unwrap();
+        assert_eq!(via_engine, via_pool);
     }
 
     #[test]

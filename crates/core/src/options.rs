@@ -1,4 +1,10 @@
 //! Kernel launch options.
+//!
+//! [`KernelOptions`] parameterizes one launch of the low-level per-kernel
+//! functions. Applications normally configure the same knobs once on an
+//! [`crate::AttentionEngine`] (whose [`crate::AttentionEngine::options`]
+//! produces this struct), so options only need to be built by hand when
+//! sweeping schedules or attaching ad-hoc counters.
 
 use gpa_parallel::{Schedule, WorkCounter};
 

@@ -1,0 +1,322 @@
+//! Compiled attention plans — validate once, execute many times.
+//!
+//! A plan is a kernel composition promoted to a first-class value: the
+//! Fig. 6 "Loc + Glo + CSR" chaining, which callers previously expressed by
+//! threading an [`crate::AttentionState`] through manual kernel calls,
+//! compiles into an [`AttentionPlan`] whose geometry and parameters are
+//! checked **once**. The [`crate::AttentionEngine`] then executes the plan
+//! against one sequence or a whole batch without re-validating per launch,
+//! which is where plan reuse pays off in serving loops (the same mask
+//! usually outlives thousands of requests).
+
+use crate::dispatch::AttentionKernel;
+use crate::error::AttnError;
+use gpa_tensor::{Matrix, Real};
+
+/// A validated, reusable kernel composition.
+///
+/// Build one with [`AttentionPlan::new`] (or
+/// [`crate::AttentionEngine::compile`]). Steps run in order against one
+/// shared softmax state per sequence, so a multi-step plan over pairwise
+/// disjoint masks computes exact attention over their union — the paper's
+/// sequential-composition semantics, now launched as **one** parallel
+/// region instead of one per step.
+#[derive(Clone)]
+pub struct AttentionPlan<'a> {
+    steps: Vec<AttentionKernel<'a>>,
+    /// Shape `(Q rows, K/V rows)` pinned by explicit masks / global sets,
+    /// if any step pins one.
+    fixed_shape: Option<(usize, usize)>,
+    /// True if any step requires `Q rows == K/V rows`.
+    requires_square: bool,
+}
+
+impl<'a> AttentionPlan<'a> {
+    /// Compile a kernel composition into a plan.
+    ///
+    /// Validation performed here (and never again at execution time):
+    ///
+    /// - the composition is non-empty;
+    /// - dense baselines ([`AttentionKernel::SdpMasked`],
+    ///   [`AttentionKernel::Flash`]) appear only as single-step plans —
+    ///   they cannot share a softmax state;
+    /// - kernel parameters are well-formed (positive dilated widths /
+    ///   block sizes);
+    /// - every step that pins a geometry (explicit masks, global sets)
+    ///   agrees on one `(rows, cols)` shape, and square-only steps are not
+    ///   combined with a rectangular mask.
+    pub fn new(kernels: &[AttentionKernel<'a>]) -> Result<Self, AttnError> {
+        if kernels.is_empty() {
+            return Err(AttnError::BadParameter {
+                what: "a plan needs at least one kernel",
+            });
+        }
+        if kernels.len() > 1 && kernels.iter().any(|k| !k.is_composable()) {
+            return Err(AttnError::BadParameter {
+                what: "dense baselines cannot run into a shared state",
+            });
+        }
+        let mut fixed_shape: Option<(usize, usize)> = None;
+        let mut requires_square = false;
+        for kernel in kernels {
+            kernel.validate_params()?;
+            let (fixed, square) = kernel.geometry();
+            requires_square |= square;
+            if let Some(shape) = fixed {
+                match fixed_shape {
+                    None => fixed_shape = Some(shape),
+                    Some(prev) if prev != shape => {
+                        return Err(AttnError::MaskShapeMismatch {
+                            mask: shape,
+                            l: prev.0,
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if requires_square {
+            if let Some((rows, cols)) = fixed_shape {
+                if rows != cols {
+                    return Err(AttnError::MaskShapeMismatch {
+                        mask: (rows, cols),
+                        l: cols,
+                    });
+                }
+            }
+        }
+        Ok(AttentionPlan {
+            steps: kernels.to_vec(),
+            fixed_shape,
+            requires_square,
+        })
+    }
+
+    /// Single-kernel plan.
+    pub fn single(kernel: AttentionKernel<'a>) -> Result<Self, AttnError> {
+        Self::new(std::slice::from_ref(&kernel))
+    }
+
+    /// The compiled steps, in execution order.
+    pub fn steps(&self) -> &[AttentionKernel<'a>] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// A compiled plan is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when every step is a graph kernel (shares one softmax state);
+    /// false for single-step dense-baseline plans.
+    pub fn is_composable(&self) -> bool {
+        self.steps.iter().all(|k| k.is_composable())
+    }
+
+    /// The `(Q rows, K/V rows)` shape pinned by the plan's masks, if any.
+    /// `None` means the plan runs at any (square, if
+    /// [`Self::requires_square`]) geometry — the property that lets one
+    /// implicit-kernel plan serve a ragged batch.
+    pub fn fixed_shape(&self) -> Option<(usize, usize)> {
+        self.fixed_shape
+    }
+
+    /// True if the plan requires `Q rows == K/V rows`.
+    pub fn requires_square(&self) -> bool {
+        self.requires_square
+    }
+
+    /// Display label: step names joined with `" + "`, matching the paper's
+    /// figure legends (`"Local + Global + CSR"`).
+    pub fn describe(&self) -> String {
+        self.steps
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    /// Validate one request's geometry against the plan — the per-request
+    /// half of validation (the per-plan half ran in [`Self::new`]).
+    pub(crate) fn validate_request<T: Real>(
+        &self,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+    ) -> Result<(), AttnError> {
+        if k.rows() != v.rows() || (self.requires_square && q.rows() != k.rows()) {
+            return Err(AttnError::ContextLengthMismatch {
+                q: q.rows(),
+                k: k.rows(),
+                v: v.rows(),
+            });
+        }
+        if q.cols() != k.cols() {
+            return Err(AttnError::KeyDimMismatch {
+                q: q.cols(),
+                k: k.cols(),
+            });
+        }
+        if q.cols() == 0 {
+            return Err(AttnError::BadParameter {
+                what: "dk must be positive",
+            });
+        }
+        if let Some((rows, cols)) = self.fixed_shape {
+            if q.rows() != rows || k.rows() != cols {
+                return Err(AttnError::MaskShapeMismatch {
+                    mask: (rows, cols),
+                    l: q.rows(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for AttentionPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttentionPlan")
+            .field("steps", &self.describe())
+            .field("fixed_shape", &self.fixed_shape)
+            .field("requires_square", &self.requires_square)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_masks::{GlobalSet, LocalWindow, MaskPattern};
+    use gpa_sparse::DenseMask;
+    use gpa_tensor::init::qkv;
+
+    #[test]
+    fn empty_plan_rejected() {
+        assert!(matches!(
+            AttentionPlan::new(&[]),
+            Err(AttnError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_baseline_only_single_step() {
+        let single = AttentionPlan::single(AttentionKernel::Flash).unwrap();
+        assert!(!single.is_composable());
+        assert_eq!(single.describe(), "FlashAttention");
+        assert!(matches!(
+            AttentionPlan::new(&[AttentionKernel::Flash, AttentionKernel::Local { n: 1 }]),
+            Err(AttnError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_validation_happens_at_compile_time() {
+        assert!(matches!(
+            AttentionPlan::single(AttentionKernel::Dilated1d { w: 0, r: 1 }),
+            Err(AttnError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            AttentionPlan::single(AttentionKernel::Dilated2d {
+                block_size: 0,
+                r: 1
+            }),
+            Err(AttnError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_consistency_across_steps() {
+        let a = LocalWindow::new(16, 1).to_csr();
+        let b = LocalWindow::new(24, 1).to_csr();
+        // Two explicit masks agreeing on shape: fine.
+        let plan =
+            AttentionPlan::new(&[AttentionKernel::Csr(&a), AttentionKernel::Csr(&a)]).unwrap();
+        assert_eq!(plan.fixed_shape(), Some((16, 16)));
+        assert_eq!(plan.len(), 2);
+        // Disagreeing: rejected at compile time.
+        assert!(matches!(
+            AttentionPlan::new(&[AttentionKernel::Csr(&a), AttentionKernel::Csr(&b)]),
+            Err(AttnError::MaskShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn implicit_plans_run_at_any_length() {
+        let plan = AttentionPlan::new(&[
+            AttentionKernel::Local { n: 2 },
+            AttentionKernel::Dilated1d { w: 5, r: 1 },
+        ])
+        .unwrap();
+        assert!(plan.fixed_shape().is_none());
+        assert!(plan.requires_square());
+        let (q, k, v) = qkv::<f64>(12, 4, 0);
+        plan.validate_request(&q, &k, &v).unwrap();
+        let (q2, k2, v2) = qkv::<f64>(40, 4, 0);
+        plan.validate_request(&q2, &k2, &v2).unwrap();
+    }
+
+    #[test]
+    fn global_set_pins_the_length() {
+        let globals = GlobalSet::new(20, vec![0]);
+        let plan = AttentionPlan::new(&[
+            AttentionKernel::Local { n: 2 },
+            AttentionKernel::Global {
+                globals: &globals,
+                n_sub: 2,
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.fixed_shape(), Some((20, 20)));
+        assert_eq!(plan.describe(), "Local + Global");
+        let (q, k, v) = qkv::<f64>(12, 4, 0);
+        assert!(matches!(
+            plan.validate_request(&q, &k, &v),
+            Err(AttnError::MaskShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn request_validation_catches_bad_inputs() {
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: 1 }).unwrap();
+        let (q, k, _) = qkv::<f64>(8, 4, 0);
+        let (_, _, v_wrong) = qkv::<f64>(9, 4, 0);
+        assert!(matches!(
+            plan.validate_request(&q, &k, &v_wrong),
+            Err(AttnError::ContextLengthMismatch { .. })
+        ));
+        let (q2, _, _) = qkv::<f64>(8, 6, 0);
+        let (_, k2, v2) = qkv::<f64>(8, 4, 0);
+        assert!(matches!(
+            plan.validate_request(&q2, &k2, &v2),
+            Err(AttnError::KeyDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn square_only_step_rejects_rectangular_mask() {
+        let rect = gpa_sparse::CsrMask::empty(4, 8);
+        // Rectangular CSR alone: fine (cross-attention / row slices).
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&rect)).unwrap();
+        assert!(!plan.requires_square());
+        // Combined with a square-only implicit kernel: rejected.
+        assert!(matches!(
+            AttentionPlan::new(&[AttentionKernel::Csr(&rect), AttentionKernel::Local { n: 1 }]),
+            Err(AttnError::MaskShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sdp_plan_has_dense_geometry() {
+        let dense = DenseMask::ones(6, 6);
+        let plan = AttentionPlan::single(AttentionKernel::SdpMasked(&dense)).unwrap();
+        assert_eq!(plan.fixed_shape(), Some((6, 6)));
+        assert!(!plan.is_composable());
+        assert!(!plan.is_empty());
+    }
+}

@@ -11,23 +11,27 @@
 //!   and the per-row `(m, l, O)` states are then merged across devices with
 //!   the online-softmax merge rule. Exactness of this merge is the
 //!   correctness core of any distributed version of the paper's kernels.
+//!
+//! Both executors run on an [`AttentionEngine`]: each simulated device's
+//! work is compiled into an [`AttentionPlan`] (its row slice or column
+//! shard of the mask) and dispatched through the engine, instead of the
+//! hand-rolled per-device kernel loops of the pre-engine API.
 
 use crate::partition::RowPartition;
-use gpa_core::{csr_attention_into, AttentionState, KernelOptions};
-use gpa_parallel::ThreadPool;
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan, AttentionRequest, AttentionState};
 use gpa_sparse::{CooMask, CsrMask};
 use gpa_tensor::{merge_normalized, Matrix, OnlineSoftmaxState, Real};
 
-/// Row-decomposed execution: each device runs the CSR kernel on its own
-/// row range; outputs are stitched back together.
+/// Row-decomposed execution: each device's row slice compiles to a
+/// rectangular-CSR plan (its rows × all columns) executed on the engine;
+/// outputs are stitched back together.
 pub fn row_distributed_attention<T: Real>(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     mask: &CsrMask,
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,
     partition: &RowPartition,
-    opts: &KernelOptions<'_>,
 ) -> Matrix<T> {
     assert_eq!(
         partition.context_len(),
@@ -53,53 +57,33 @@ pub fn row_distributed_attention<T: Real>(
                 .expect("rows of a valid mask remain valid"),
         );
         // Device-local Q slice; K/V stay whole (pulled remotely on demand —
-        // the traffic `comm::analyze` accounts for).
+        // the traffic `comm::analyze` accounts for). The plan's mask is
+        // rectangular (local rows × all columns), which the plan geometry
+        // supports directly.
         let q_local = q.rows_slice(range.start, range.end);
-        let mut state = AttentionState::new(range.len(), v.cols());
-        // The mask here is rectangular (local rows × all columns): reuse
-        // the kernel via a square embedding is unnecessary — the CSR kernel
-        // only requires row count to match Q.
-        csr_rectangular_into(pool, &local_mask, &q_local, k, v, opts, &mut state);
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&local_mask))
+            .expect("a row slice of a valid mask compiles");
+        let device_out = engine
+            .run(&plan, &q_local, k, v)
+            .expect("validated device slice executes");
         for (i, row) in range.clone().enumerate() {
-            out.row_mut(row).copy_from_slice(state.o.row(i));
+            out.row_mut(row).copy_from_slice(device_out.row(i));
         }
     }
     out
 }
 
-/// CSR attention where the mask is `rows × cols` with `cols == K.rows()`;
-/// the public kernel requires a square mask, so the distributed row slice
-/// drives the driver directly.
-fn csr_rectangular_into<T: Real>(
-    pool: &ThreadPool,
-    mask: &CsrMask,
-    q: &Matrix<T>,
-    k: &Matrix<T>,
-    v: &Matrix<T>,
-    opts: &KernelOptions<'_>,
-    state: &mut AttentionState<T>,
-) {
-    assert_eq!(mask.rows(), q.rows());
-    assert_eq!(mask.cols(), k.rows());
-    gpa_core::graph_attention_into(pool, q, k, v, opts, state, |i, absorb| {
-        for &j in mask.row(i) {
-            absorb(j as usize);
-        }
-    })
-    .expect("validated rectangular inputs");
-}
-
 /// KV-shard (ring-style) execution: `shards` devices each own a contiguous
-/// column range of K/V; partial per-row states are computed against each
-/// shard and merged exactly.
+/// column range of K/V; each shard's column-restricted mask compiles to a
+/// plan whose full per-row [`AttentionState`] the engine returns, and the
+/// partial states are merged exactly.
 pub fn kv_sharded_attention<T: Real>(
-    pool: &ThreadPool,
+    engine: &AttentionEngine,
     mask: &CsrMask,
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,
     shards: usize,
-    opts: &KernelOptions<'_>,
 ) -> Matrix<T> {
     let l = q.rows();
     let partition = RowPartition::uniform(l, shards.max(1));
@@ -112,9 +96,13 @@ pub fn kv_sharded_attention<T: Real>(
         let shard_mask = CsrMask::from_coo(
             &CooMask::from_entries(l, l, entries).expect("subset of a valid mask"),
         );
-        let mut partial = AttentionState::new(l, v.cols());
-        csr_attention_into(pool, &shard_mask, q, k, v, opts, &mut partial)
-            .expect("validated shard inputs");
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&shard_mask))
+            .expect("a column shard of a valid mask compiles");
+        let partial = engine
+            .run_batch_states(&plan, &[AttentionRequest::new(q, k, v)])
+            .expect("validated shard inputs")
+            .pop()
+            .expect("one request, one state");
 
         merged = Some(match merged.take() {
             None => partial,
@@ -145,15 +133,15 @@ pub fn kv_sharded_attention<T: Real>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpa_core::csr_attention;
+    use gpa_core::{csr_attention, KernelOptions};
     use gpa_masks::{
         longformer, GlobalMask, GlobalSet, LocalWindow, MaskPattern, RandomUniform, Union,
     };
     use gpa_tensor::init::qkv;
     use gpa_tensor::paper_allclose;
 
-    fn pool() -> ThreadPool {
-        ThreadPool::new(4)
+    fn engine() -> AttentionEngine {
+        AttentionEngine::with_threads(4)
     }
 
     #[test]
@@ -161,12 +149,11 @@ mod tests {
         let l = 96;
         let (q, k, v) = qkv::<f64>(l, 8, 61);
         let mask = longformer(l, 3, vec![0, 48]).to_csr();
-        let p = pool();
-        let single = csr_attention(&p, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let e = engine();
+        let single = csr_attention(e.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
         for devices in [1usize, 2, 3, 7, 96] {
             let part = RowPartition::uniform(l, devices);
-            let distributed =
-                row_distributed_attention(&p, &mask, &q, &k, &v, &part, &KernelOptions::new());
+            let distributed = row_distributed_attention(&e, &mask, &q, &k, &v, &part);
             assert!(paper_allclose(&distributed, &single), "devices = {devices}");
         }
     }
@@ -180,11 +167,10 @@ mod tests {
             GlobalMask::new(GlobalSet::new(l, vec![0, 1])),
         )
         .to_csr();
-        let p = pool();
+        let e = engine();
         let part = RowPartition::degree_balanced(&mask, 4);
-        let single = csr_attention(&p, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let distributed =
-            row_distributed_attention(&p, &mask, &q, &k, &v, &part, &KernelOptions::new());
+        let single = csr_attention(e.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let distributed = row_distributed_attention(&e, &mask, &q, &k, &v, &part);
         assert!(paper_allclose(&distributed, &single));
     }
 
@@ -193,11 +179,10 @@ mod tests {
         let l = 80;
         let (q, k, v) = qkv::<f64>(l, 16, 63);
         let mask = RandomUniform::new(l, 0.15, 9).to_csr();
-        let p = pool();
-        let single = csr_attention(&p, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let e = engine();
+        let single = csr_attention(e.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
         for shards in [1usize, 2, 4, 5, 80] {
-            let sharded =
-                kv_sharded_attention(&p, &mask, &q, &k, &v, shards, &KernelOptions::new());
+            let sharded = kv_sharded_attention(&e, &mask, &q, &k, &v, shards);
             assert!(paper_allclose(&sharded, &single), "shards = {shards}");
         }
     }
@@ -210,9 +195,9 @@ mod tests {
         let (q, k, v) = qkv::<f64>(l, 4, 64);
         let entries: Vec<(usize, usize)> = (0..l / 2).map(|i| (i, i % 3)).collect();
         let mask = CsrMask::from_coo(&CooMask::from_entries(l, l, entries).unwrap());
-        let p = pool();
-        let single = csr_attention(&p, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
-        let sharded = kv_sharded_attention(&p, &mask, &q, &k, &v, 6, &KernelOptions::new());
+        let e = engine();
+        let single = csr_attention(e.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let sharded = kv_sharded_attention(&e, &mask, &q, &k, &v, 6);
         assert!(paper_allclose(&sharded, &single));
         // Fully masked rows stay zero through the merge.
         for i in l / 2..l {

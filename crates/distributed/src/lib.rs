@@ -28,9 +28,8 @@ pub use partition::RowPartition;
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use gpa_core::{csr_attention, KernelOptions};
+    use gpa_core::{csr_attention, AttentionEngine, KernelOptions};
     use gpa_masks::{MaskPattern, RandomUniform};
-    use gpa_parallel::ThreadPool;
     use gpa_tensor::init::qkv;
     use gpa_tensor::paper_allclose;
     use proptest::prelude::*;
@@ -46,16 +45,16 @@ mod proptests {
             devices in 1usize..6,
             seed in 0u64..300,
         ) {
-            let pool = ThreadPool::new(2);
+            let engine = AttentionEngine::with_threads(2);
             let (q, k, v) = qkv::<f64>(l, 8, seed);
             let mask = RandomUniform::new(l, p, seed ^ 3).to_csr();
-            let single = csr_attention(&pool, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+            let single = csr_attention(engine.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
 
             let part = RowPartition::uniform(l, devices);
-            let rows = row_distributed_attention(&pool, &mask, &q, &k, &v, &part, &KernelOptions::new());
+            let rows = row_distributed_attention(&engine, &mask, &q, &k, &v, &part);
             prop_assert!(paper_allclose(&rows, &single));
 
-            let sharded = kv_sharded_attention(&pool, &mask, &q, &k, &v, devices, &KernelOptions::new());
+            let sharded = kv_sharded_attention(&engine, &mask, &q, &k, &v, devices);
             prop_assert!(paper_allclose(&sharded, &single));
         }
 

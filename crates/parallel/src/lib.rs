@@ -14,12 +14,15 @@
 //!   statistics for the load-imbalance analyses of Section V-C;
 //! - [`RowWriter`] / [`CellWriter`]: disjoint-row mutable access to shared
 //!   output buffers without per-element atomics;
+//! - [`RaggedSpace`]: flattened (sequence, row) index spaces, so a batch of
+//!   ragged-length sequences runs as one launch instead of one per sequence;
 //! - [`WorkCounter`] / [`LocalTally`]: operation counting that backs the
 //!   paper's work-optimality claim (Section IV-B).
 
 pub mod metrics;
 pub mod parallel_for;
 pub mod pool;
+pub mod ragged;
 pub mod shared;
 
 pub use metrics::{LocalTally, WorkCounter, WorkReport};
@@ -27,4 +30,5 @@ pub use parallel_for::{
     for_each_index, parallel_for, parallel_for_stats, spin_work, time_best, LaunchStats, Schedule,
 };
 pub use pool::{default_threads, global_pool, on_worker_thread, ThreadPool};
+pub use ragged::RaggedSpace;
 pub use shared::{CellWriter, RowWriter};

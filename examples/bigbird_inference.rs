@@ -1,6 +1,8 @@
 //! BigBird-style classification inference: all three mask components
 //! (local + global + random) composed three ways, with identical outputs —
-//! the Fig. 6 scenario as an application.
+//! the Fig. 6 scenario as an application. Each approach is one compiled
+//! engine plan; the composition runs as a single launch with all three
+//! kernels chained per row.
 //!
 //! ```text
 //! cargo run --release --example bigbird_inference [-- --quick]
@@ -17,14 +19,13 @@ fn main() {
     let dk = 64;
     let window = 50; // paper Fig. 6: local size 50 per direction
     let random_sf = 0.001; // paper Fig. 6: random sparsity
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
 
     // Three designated global tokens (e.g. [CLS] plus two separators).
     let globals = GlobalSet::new(l, vec![0, l / 2, l - 1]);
     let gi: Vec<usize> = globals.indices().iter().map(|&g| g as usize).collect();
 
     let (q, k, v) = init::qkv::<f32>(l, dk, 21);
-    let opts = KernelOptions::new();
 
     // Mask as one union (for SDP and single-CSR runs).
     let union = bigbird(l, window, gi, random_sf, 0xB16B).to_csr();
@@ -36,40 +37,42 @@ fn main() {
 
     // Approach 1: dense masked SDP (the PyTorch way).
     let dense = DenseMask::from_csr(&union);
+    let sdp_plan = engine
+        .compile(&[AttentionKernel::SdpMasked(&dense)])
+        .expect("SDP plan");
     let t = Instant::now();
-    let via_sdp = masked_sdp(&pool, &dense, &q, &k, &v, &opts).unwrap();
+    let via_sdp = engine.run(&sdp_plan, &q, &k, &v).unwrap();
     let t_sdp = t.elapsed().as_secs_f64();
 
     // Approach 2: one work-optimal CSR call.
+    let csr_plan = engine
+        .compile(&[AttentionKernel::Csr(&union)])
+        .expect("CSR plan");
     let t = Instant::now();
-    let via_csr = csr_attention(&pool, &union, &q, &k, &v, &opts).unwrap();
+    let via_csr = engine.run(&csr_plan, &q, &k, &v).unwrap();
     let t_csr = t.elapsed().as_secs_f64();
 
     // Approach 3: sequential kernel composition — implicit local and
-    // global kernels plus a CSR call for the random remainder.
+    // global kernels plus a CSR step for the random remainder, compiled
+    // into one plan.
     let covered = LocalWindow::new(l, window)
         .to_csr()
-        .union(&gpa_masks::GlobalMinusLocal::new(globals.clone(), window).to_csr());
-    let random_rest = gpa_masks::RandomUniform::new(l, random_sf, 0xB16B)
+        .union(&graph_attention::masks::GlobalMinusLocal::new(globals.clone(), window).to_csr());
+    let random_rest = graph_attention::masks::RandomUniform::new(l, random_sf, 0xB16B)
         .to_csr()
         .difference(&covered);
-    let t = Instant::now();
-    let via_composed = run_composed(
-        &pool,
-        &[
+    let composed_plan = engine
+        .compile(&[
             AttentionKernel::Local { n: window },
             AttentionKernel::Global {
                 globals: &globals,
                 n_sub: window,
             },
             AttentionKernel::Csr(&random_rest),
-        ],
-        &q,
-        &k,
-        &v,
-        &opts,
-    )
-    .unwrap();
+        ])
+        .expect("composition plan");
+    let t = Instant::now();
+    let via_composed = engine.run(&composed_plan, &q, &k, &v).unwrap();
     let t_comp = t.elapsed().as_secs_f64();
 
     println!("SDP (masked):        {t_sdp:.3} s");
@@ -78,7 +81,8 @@ fn main() {
         t_sdp / t_csr
     );
     println!(
-        "Loc ∘ Glo ∘ CSR:     {t_comp:.3} s  ({:.1}× vs SDP)",
+        "{:<20} {t_comp:.3} s  ({:.1}× vs SDP)",
+        format!("{}:", composed_plan.describe()),
         t_sdp / t_comp
     );
 

@@ -4,8 +4,8 @@
 //! The paper's kernels are work-optimal "over arbitrary attention masks";
 //! this example builds a mask that is not any standard pattern: a synthetic
 //! molecule-like graph (a backbone chain with random long-range contacts,
-//! like residue contact maps in protein modeling), feeds it to the CSR
-//! kernel, and confirms both correctness and work-optimality.
+//! like residue contact maps in protein modeling), compiles it into an
+//! engine plan, and confirms both correctness and work-optimality.
 //!
 //! ```text
 //! cargo run --release --example custom_graph_mask [-- --quick]
@@ -42,7 +42,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 1_024 } else { 4_096 }; // residues / tokens / graph vertices
     let dk = 32;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::builder().count_work(true).build();
 
     let graph = contact_graph(n, 3 * n, 99);
     println!(
@@ -51,7 +51,7 @@ fn main() {
         graph.nnz(),
         graph.sparsity_factor()
     );
-    let stats = gpa_sparse::degree_stats(&graph);
+    let stats = graph_attention::sparse::degree_stats(&graph);
     println!(
         "degrees: min {}, mean {:.1}, max {} (imbalance {:.2})",
         stats.min, stats.mean, stats.max, stats.imbalance
@@ -61,28 +61,26 @@ fn main() {
     let (q, k, v) = init::qkv::<f32>(n, dk, 5);
 
     // Work-optimal attention over the arbitrary graph.
-    let counter = WorkCounter::new();
-    let opts = KernelOptions::new().with_counter(&counter);
-    let out = csr_attention(&pool, &graph, &q, &k, &v, &opts).expect("attention over graph");
+    let csr_plan = engine
+        .compile(&[AttentionKernel::Csr(&graph)])
+        .expect("graph plan");
+    let out = engine
+        .run(&csr_plan, &q, &k, &v)
+        .expect("attention over graph");
+    let report = engine.work_report().expect("counting enabled");
     println!(
         "CSR kernel: {} dot products == {} edges → work optimal: {}",
-        counter.dot_products(),
+        report.dot_products,
         graph.nnz(),
-        counter.report().is_work_optimal(graph.nnz() as u64)
+        report.is_work_optimal(graph.nnz() as u64)
     );
 
-    // The same graph runs through the generic pattern driver via COO too.
+    // The same graph runs through the COO format too (binary search).
     let coo = graph.to_coo();
-    let out_coo = graph_attention::core::coo_attention(
-        &pool,
-        &coo,
-        CooSearch::Binary,
-        &q,
-        &k,
-        &v,
-        &KernelOptions::new(),
-    )
-    .expect("COO run");
+    let coo_plan = engine
+        .compile(&[AttentionKernel::Coo(&coo, CooSearch::Binary)])
+        .expect("COO plan");
+    let out_coo = engine.run(&coo_plan, &q, &k, &v).expect("COO run");
     println!(
         "COO (binary search) agrees with CSR: {}",
         paper_allclose(&out_coo.cast::<f64>(), &out.cast::<f64>())
@@ -91,8 +89,9 @@ fn main() {
     // Verify against the dense reference on a subsample (full dense check
     // at 4096 is cheap enough too).
     let dense = DenseMask::from_csr(&graph);
-    let reference =
-        masked_sdp(&pool, &dense, &q, &k, &v, &KernelOptions::new()).expect("reference");
+    let reference = engine
+        .run_kernel(AttentionKernel::SdpMasked(&dense), &q, &k, &v)
+        .expect("reference");
     println!(
         "matches dense masked-SDP reference: {} (max |Δ| = {:.2e})",
         paper_allclose(&out, &reference),

@@ -23,7 +23,7 @@ fn main() {
     let l = if quick { 2_048 } else { 8_192 };
     let dk = 64;
     let devices = 8;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
 
     // Longformer mask: window ±64 plus 4 global tokens — globally dense
     // rows are exactly what breaks naive sequence partitioning.
@@ -64,16 +64,18 @@ fn main() {
 
     // --- Executed decompositions, verified exact --------------------------
     let (q, k, v) = init::qkv::<f32>(l, dk, 3);
-    let opts = KernelOptions::new();
-    let single = csr_attention(&pool, &mask, &q, &k, &v, &opts).unwrap();
+    let plan = engine
+        .compile(&[AttentionKernel::Csr(&mask)])
+        .expect("mask plan");
+    let single = engine.run(&plan, &q, &k, &v).unwrap();
 
-    let by_rows = row_distributed_attention(&pool, &mask, &q, &k, &v, &balanced, &opts);
+    let by_rows = row_distributed_attention(&engine, &mask, &q, &k, &v, &balanced);
     println!(
         "\nrow-distributed result identical to single-device: {}",
         paper_allclose(&by_rows.cast::<f64>(), &single.cast::<f64>())
     );
 
-    let by_shards = kv_sharded_attention(&pool, &mask, &q, &k, &v, devices, &opts);
+    let by_shards = kv_sharded_attention(&engine, &mask, &q, &k, &v, devices);
     println!(
         "KV-sharded (ring-style) result identical:           {}",
         paper_allclose(&by_shards.cast::<f64>(), &single.cast::<f64>())

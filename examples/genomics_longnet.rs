@@ -48,7 +48,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let l = if quick { 65_536 } else { 1_000_000 }; // one megabase (or a slice of it)
     let dk = 16;
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
 
     println!("generating {l}-nucleotide synthetic sequence…");
     let dna = synthetic_dna(l, 1234);
@@ -66,17 +66,15 @@ fn main() {
         ladder.configs()
     );
 
-    // Single-head attention over the megabase (Q = K = V = embeddings).
+    // Single-head attention over the megabase (Q = K = V = embeddings),
+    // through a compiled implicit-local plan — nothing materialized.
+    let plan = engine
+        .compile(&[AttentionKernel::Local { n: window }])
+        .expect("LongNet plan");
     let t = Instant::now();
-    let out = local_attention(
-        &pool,
-        window,
-        &embedded,
-        &embedded,
-        &embedded,
-        &KernelOptions::new(),
-    )
-    .expect("megabase attention");
+    let out = engine
+        .run(&plan, &embedded, &embedded, &embedded)
+        .expect("megabase attention");
     let secs = t.elapsed().as_secs_f64();
     println!(
         "attention over {l} tokens: {secs:.2} s on the CPU substrate ({} × {} output)",

@@ -3,9 +3,10 @@
 //! The scenario from the paper's introduction: a document far beyond a
 //! dense-attention budget, processed with local + global sparse attention.
 //! A full multi-head attention sub-layer (projections → per-head graph
-//! kernels → output projection) runs over a synthetic 16k-token document,
-//! and the same layer with dense FlashAttention provides the runtime
-//! comparison.
+//! kernels → output projection) runs over a synthetic 16k-token document
+//! through one [`AttentionEngine`] — all heads batched into a single
+//! launch — and the same layer with dense FlashAttention provides the
+//! runtime comparison.
 //!
 //! ```text
 //! cargo run --release --example longformer_document [-- --quick]
@@ -23,7 +24,7 @@ fn main() {
     let heads = 4;
     let dk = 32;
     let window = 64; // local context per direction
-    let pool = ThreadPool::new(gpa_parallel::default_threads());
+    let engine = AttentionEngine::new();
 
     // Synthetic token embeddings (a real pipeline would come from an
     // embedding table; Gaussian activations exercise the same code path).
@@ -38,47 +39,49 @@ fn main() {
 
     println!("document: {l} tokens, layer: {heads} heads × dk {dk}, window ±{window}");
 
+    // Plans compile once; the layer (and any number of future requests)
+    // reuse them.
+    let local_plan = engine
+        .compile(&[AttentionKernel::Local { n: window }])
+        .expect("local plan");
     let t = Instant::now();
     let sparse_out = layer
-        .forward(
-            &pool,
-            &x,
-            &AttentionKernel::Local { n: window },
-            &KernelOptions::new(),
-        )
+        .forward_on(&engine, &local_plan, &x)
         .expect("sparse forward");
     let local_time = t.elapsed().as_secs_f64();
     println!("local-window forward:       {local_time:.3} s");
 
     // Composition: window + global CLS token (exact Longformer semantics
-    // requires a shared softmax state — run_composed handles it per head).
-    let (q, k, v) = init::qkv::<f32>(l, dk, 11);
-    let t = Instant::now();
-    let composed = run_composed(
-        &pool,
-        &[
+    // requires a shared softmax state — the compiled plan chains both
+    // kernels per row inside one launch).
+    let longformer_plan = engine
+        .compile(&[
             AttentionKernel::Local { n: window },
             AttentionKernel::Global {
                 globals: &globals,
                 n_sub: window,
             },
-        ],
-        &q,
-        &k,
-        &v,
-        &KernelOptions::new(),
-    )
-    .expect("composition");
+        ])
+        .expect("Longformer plan");
+    let (q, k, v) = init::qkv::<f32>(l, dk, 11);
+    let t = Instant::now();
+    let composed = engine
+        .run(&longformer_plan, &q, &k, &v)
+        .expect("composition");
     println!(
-        "single-head local∘global:   {:.3} s ({} output rows)",
+        "single-head {}:   {:.3} s ({} output rows)",
+        longformer_plan.describe(),
         t.elapsed().as_secs_f64(),
         composed.rows()
     );
 
     // Dense baseline on the same layer for the speed comparison.
+    let flash_plan = engine
+        .compile(&[AttentionKernel::Flash])
+        .expect("flash plan");
     let t = Instant::now();
     let dense_out = layer
-        .forward(&pool, &x, &AttentionKernel::Flash, &KernelOptions::new())
+        .forward_on(&engine, &flash_plan, &x)
         .expect("dense forward");
     let dense_time = t.elapsed().as_secs_f64();
     println!("dense FlashAttention layer: {dense_time:.3} s");

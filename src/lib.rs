@@ -27,34 +27,55 @@
 //! ```
 //!
 //! The quickest way in is the [`prelude`]; `examples/quickstart.rs` is the
-//! same flow at full size.
+//! same flow at full size and `examples/batched_serving.rs` shows the
+//! batched serving loop.
 //!
 //! ## Quickstart
 //!
-//! Build a Longformer-style mask, run the work-optimal CSR kernel, and
-//! check it against the dense masked-SDP reference:
+//! Build an [`core::AttentionEngine`] (the single front door to every
+//! kernel), compile a Longformer-style mask into a reusable plan, run the
+//! work-optimal CSR kernel — over one sequence and over a batch — and
+//! check the result against the dense masked-SDP reference:
 //!
 //! ```
 //! use graph_attention::prelude::*;
 //!
-//! let pool = ThreadPool::new(2);
+//! let engine = AttentionEngine::with_threads(2);
 //! let (l, dk) = (64, 8);
 //!
-//! // Sliding window ∪ global tokens, materialized as CSR.
+//! // Sliding window ∪ global tokens, materialized as CSR and compiled
+//! // into a plan: geometry is validated once, here, not per launch.
 //! let mask = longformer(l, 4, vec![0]).to_csr();
+//! let plan = engine.compile(&[AttentionKernel::Csr(&mask)]).unwrap();
 //!
 //! // Seeded uniform [0, 1) Q/K/V, as in the paper's verification setup.
 //! let (q, k, v) = init::qkv::<f64>(l, dk, 42);
 //!
 //! // One dot product per mask edge — "true sparsity".
-//! let out = csr_attention(&pool, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+//! let out = engine.run(&plan, &q, &k, &v).unwrap();
 //! assert_eq!(out.shape(), (l, dk));
+//!
+//! // The same plan serves whole batches in a single flattened launch,
+//! // element-exact with the per-sequence runs.
+//! let (q2, k2, v2) = init::qkv::<f64>(l, dk, 43);
+//! let outs = engine
+//!     .run_batch(
+//!         &plan,
+//!         &[AttentionRequest::new(&q, &k, &v), AttentionRequest::new(&q2, &k2, &v2)],
+//!     )
+//!     .unwrap();
+//! assert_eq!(outs[0], out);
 //!
 //! // The graph kernel matches the dense masked-SDP baseline.
 //! let dense = DenseMask::from_csr(&mask);
-//! let reference = masked_sdp(&pool, &dense, &q, &k, &v, &KernelOptions::new()).unwrap();
+//! let reference = engine
+//!     .run_kernel(AttentionKernel::SdpMasked(&dense), &q, &k, &v)
+//!     .unwrap();
 //! assert!(paper_allclose(&out, &reference));
 //! ```
+//!
+//! The pre-engine free functions (`csr_attention(&pool, …)` and friends)
+//! remain available as the low-level per-kernel API.
 
 pub use gpa_core as core;
 pub use gpa_distributed as distributed;
@@ -68,11 +89,11 @@ pub use gpa_tensor as tensor;
 pub mod prelude {
     pub use gpa_core::{
         csr_attention, flash_attention, local_attention, masked_sdp, pattern_attention,
-        run_composed, AttentionKernel, AttentionState, CooSearch, KernelOptions,
-        MultiHeadAttention,
+        run_composed, AttentionEngine, AttentionEngineBuilder, AttentionKernel, AttentionPlan,
+        AttentionRequest, AttentionState, CooSearch, KernelOptions, MultiHeadAttention,
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
-    pub use gpa_parallel::{ThreadPool, WorkCounter};
+    pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};
 }
@@ -82,10 +103,15 @@ mod tests {
     #[test]
     fn prelude_names_resolve() {
         use crate::prelude::*;
-        let pool = ThreadPool::new(1);
+        let engine = AttentionEngine::with_threads(1);
         let (q, k, v) = init::qkv::<f32>(8, 4, 0);
         let mask = LocalWindow::new(8, 1).to_csr();
-        let out = csr_attention(&pool, &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        let plan = engine.compile(&[AttentionKernel::Csr(&mask)]).unwrap();
+        let out = engine.run(&plan, &q, &k, &v).unwrap();
         assert_eq!(out.shape(), (8, 4));
+        // The legacy free-function surface stays available.
+        let legacy =
+            csr_attention(engine.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
+        assert_eq!(out, legacy);
     }
 }

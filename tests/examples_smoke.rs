@@ -38,6 +38,11 @@ fn quickstart_runs() {
 }
 
 #[test]
+fn batched_serving_runs() {
+    run_example("batched_serving", true);
+}
+
+#[test]
 fn bigbird_inference_runs() {
     run_example("bigbird_inference", true);
 }
