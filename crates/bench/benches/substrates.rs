@@ -43,7 +43,7 @@ fn bench_substrates(c: &mut Criterion) {
 
     // Pool launch overhead at varying grain.
     let pool = ThreadPool::new(gpa_parallel::default_threads());
-    for grain in [1usize, 64] {
+    for grain in [1usize, 4, 16, 64] {
         group.bench_with_input(
             BenchmarkId::new("parallel_for_noop_4096", grain),
             &grain,
@@ -82,6 +82,20 @@ fn bench_substrates(c: &mut Criterion) {
             }
         });
     });
+    // Dynamic-schedule grain sweep over the same batched launch — the data
+    // behind the ROADMAP's "revisit the default grain" item.
+    for grain in [4usize, 16, 64] {
+        let opts = gpa_core::KernelOptions::new().with_schedule(Schedule::Dynamic { grain });
+        group.bench_with_input(
+            BenchmarkId::new("engine_batched_16x256_grain", grain),
+            &grain,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(engine.run_batch_with(&plan, &opts, &requests).unwrap())
+                });
+            },
+        );
+    }
 
     // Projection matmul (multi-head layer building block).
     let a: Matrix<f32> = uniform_matrix(512, 256, 1);

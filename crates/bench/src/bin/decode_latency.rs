@@ -1,0 +1,70 @@
+//! Decode latency — per-token KV-cached decode cost (tokens/sec) vs
+//! context length for each sparse kernel family.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin decode_latency [--quick|--paper]
+//! ```
+
+use gpa_bench::experiments::{run_decode, DecodeConfig};
+use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let engine = args.make_engine();
+    let mut cfg = DecodeConfig::for_scale(args.scale);
+    cfg.seed = args.seed;
+
+    println!(
+        "Decode latency — KV-cached per-token cost on {}",
+        HostInfo::detect().summary()
+    );
+    println!(
+        "context lengths {:?}, dk = {}, window = {}, {}+{} steps per point\n",
+        cfg.context_lengths, cfg.dk, cfg.window, cfg.warmup_steps, cfg.timed_steps
+    );
+
+    let records = run_decode(&engine, &cfg, |r| {
+        eprintln!(
+            "  measured {:<12} L={:<8} -> {} per token ({})",
+            r.algo,
+            r.l,
+            fmt_seconds(r.mean_s),
+            r.note.split(';').next().unwrap_or(""),
+        );
+    });
+
+    // Kernel × context length → tokens/sec (the serving-facing number).
+    let mut headers = vec!["kernel".to_string()];
+    headers.extend(cfg.context_lengths.iter().map(|l| format!("L={l}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let algos: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in &records {
+            if !seen.contains(&r.algo.as_str()) {
+                seen.push(r.algo.as_str());
+            }
+        }
+        seen
+    };
+    let rows: Vec<Vec<String>> = algos
+        .iter()
+        .map(|&algo| {
+            let mut row = vec![algo.to_string()];
+            for &l in &cfg.context_lengths {
+                let cell = records
+                    .iter()
+                    .find(|r| r.algo == algo && r.l == l)
+                    .map(|r| format!("{:.0} tok/s", 1.0 / r.mean_s))
+                    .unwrap_or_else(|| "—".into());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    println!("\n{}", ascii_table(&header_refs, &rows));
+
+    match write_csv(&args.out_dir, "decode", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write CSV: {e}"),
+    }
+}

@@ -2,12 +2,14 @@
 //! §4 for the experiment index) plus the ablation studies.
 
 pub mod ablations;
+pub mod decode;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod table3;
 
 pub use ablations::{run_ablations, AblationConfig};
+pub use decode::{run_decode, DecodeConfig};
 pub use fig3::{run_fig3, Fig3Config};
 pub use fig5::{run_fig5, Fig5Config};
 pub use fig6::{run_fig6, Fig6Config};

@@ -1,4 +1,4 @@
-//! Batched plan execution — many sequences, one launch.
+//! Batched plan execution — many sequences and query windows, one launch.
 //!
 //! The paper's kernels are "single-batch and single-headed" (Section IV-B):
 //! every sequence pays a full pool launch. This module removes that tax for
@@ -6,46 +6,99 @@
 //! flattened into one `(sequence, row)` index space via
 //! [`gpa_parallel::RaggedSpace`] and executed in a **single**
 //! `parallel_for`, with every plan step chained per row against that row's
-//! softmax state. Per-row work is identical — same step order, same
-//! neighbor order, same [`crate::driver::absorb_edge`] recurrence — so
+//! softmax state. Each request carries its own [`Geometry`], so one launch
+//! freely mixes full squares, chunked-prefill windows, and single-row
+//! KV-cached decode requests. Per-row work is identical — same step order,
+//! same neighbor order, same [`crate::driver::absorb_edge`] recurrence — so
 //! batched outputs are element-exact with independent per-sequence runs
-//! (property-tested in `tests/batching.rs`).
+//! (property-tested in `tests/batching.rs` and `tests/geometry.rs`).
 
 use crate::baselines::{flash_attention, masked_sdp};
 use crate::dispatch::AttentionKernel;
 use crate::driver::absorb_edge;
 use crate::error::AttnError;
+use crate::geometry::Geometry;
 use crate::options::KernelOptions;
 use crate::plan::AttentionPlan;
 use crate::state::AttentionState;
 use gpa_parallel::{parallel_for, CellWriter, LocalTally, RaggedSpace, RowWriter, ThreadPool};
 use gpa_tensor::{attention_scale, Matrix, Real};
 
-/// One sequence's borrowed Q/K/V triple in a batched launch.
+/// One request's borrowed Q/K/V triple plus its query-window geometry in a
+/// batched launch.
 ///
 /// Requests in one batch may differ in context length (ragged batches),
-/// key dimension, and value dimension — each is validated against the plan
+/// key dimension, value dimension, and geometry (full squares, prefill
+/// chunks, decode rows) — each is validated against the plan
 /// independently.
 #[derive(Clone, Copy)]
 pub struct AttentionRequest<'a, T> {
-    /// Query matrix, `L_q × dk`.
+    /// Query matrix, `geometry.q_rows × dk`.
     pub q: &'a Matrix<T>,
-    /// Key matrix, `L_kv × dk`.
+    /// Key matrix, `geometry.kv_rows × dk`.
     pub k: &'a Matrix<T>,
-    /// Value matrix, `L_kv × dv`.
+    /// Value matrix, `geometry.kv_rows × dv`.
     pub v: &'a Matrix<T>,
+    /// The query window this request computes.
+    pub geometry: Geometry,
 }
 
 impl<'a, T: Real> AttentionRequest<'a, T> {
-    /// Borrow one sequence's Q/K/V.
+    /// Borrow one sequence's Q/K/V at the inferred geometry: query rows
+    /// starting at absolute offset 0 over `K`'s row count (the full square
+    /// when `Q` and `K` have equally many rows; a prefix window or a
+    /// rectangular explicit-mask request otherwise).
     pub fn new(q: &'a Matrix<T>, k: &'a Matrix<T>, v: &'a Matrix<T>) -> Self {
-        AttentionRequest { q, k, v }
+        AttentionRequest {
+            q,
+            k,
+            v,
+            geometry: Geometry::window(0, q.rows(), k.rows()),
+        }
+    }
+
+    /// Borrow a query window: `Q` holds rows
+    /// `q_offset .. q_offset + Q.rows` of the logical sequence whose
+    /// key/value set is `K`/`V` — the chunked-prefill request shape.
+    pub fn windowed(q: &'a Matrix<T>, k: &'a Matrix<T>, v: &'a Matrix<T>, q_offset: usize) -> Self {
+        AttentionRequest {
+            q,
+            k,
+            v,
+            geometry: Geometry::window(q_offset, q.rows(), k.rows()),
+        }
+    }
+
+    /// Borrow a KV-cached decode request: `Q` is the newest token's single
+    /// query row and `K`/`V` the cache contents (newest token included).
+    ///
+    /// # Panics
+    /// Panics if `K` is empty (decode needs at least the new token).
+    pub fn decode(q: &'a Matrix<T>, k: &'a Matrix<T>, v: &'a Matrix<T>) -> Self {
+        AttentionRequest {
+            q,
+            k,
+            v,
+            geometry: Geometry::decode(k.rows()),
+        }
     }
 
     /// Number of query rows (output rows).
     pub fn rows(&self) -> usize {
         self.q.rows()
     }
+}
+
+/// Split a query matrix into `(window start, owned row chunk)` pieces of at
+/// most `chunk` rows — the request shape chunked prefill feeds to
+/// [`execute_batch`], shared by the engine- and multi-head-level prefill
+/// paths.
+pub(crate) fn chunk_windows<T: Real>(q: &Matrix<T>, chunk: usize) -> Vec<(usize, Matrix<T>)> {
+    let rows = q.rows();
+    (0..rows)
+        .step_by(chunk)
+        .map(|a| (a, q.rows_slice(a, (a + chunk).min(rows))))
+        .collect()
 }
 
 /// Execute a plan over a batch, returning one output matrix per request.
@@ -61,6 +114,9 @@ pub(crate) fn execute_batch<T: Real>(
     requests: &[AttentionRequest<'_, T>],
 ) -> Result<Vec<Matrix<T>>, AttnError> {
     if !plan.is_composable() {
+        for r in requests {
+            plan.validate_request(r.geometry, r.q, r.k, r.v)?;
+        }
         return requests
             .iter()
             .map(|r| match plan.steps()[0] {
@@ -92,7 +148,7 @@ pub(crate) fn execute_batch_states<T: Real>(
         });
     }
     for r in requests {
-        plan.validate_request(r.q, r.k, r.v)?;
+        plan.validate_request(r.geometry, r.q, r.k, r.v)?;
     }
     let mut states: Vec<AttentionState<T>> = requests
         .iter()
@@ -103,7 +159,7 @@ pub(crate) fn execute_batch_states<T: Real>(
         return Ok(states);
     }
 
-    // Per-sequence execution context: writers over that sequence's state
+    // Per-request execution context: writers over that request's state
     // plus the launch-invariant scalars resolved once.
     struct SeqCtx<'s, T> {
         o: RowWriter<'s, T>,
@@ -111,6 +167,7 @@ pub(crate) fn execute_batch_states<T: Real>(
         m: CellWriter<'s, T>,
         scale: T,
         kv_len: usize,
+        q_offset: usize,
     }
     let ctxs: Vec<SeqCtx<'_, T>> = states
         .iter_mut()
@@ -126,6 +183,7 @@ pub(crate) fn execute_batch_states<T: Real>(
                     None => attention_scale(r.q.cols()),
                 },
                 kv_len: r.k.rows(),
+                q_offset: r.geometry.q_offset,
             }
         })
         .collect();
@@ -166,8 +224,10 @@ pub(crate) fn execute_batch_states<T: Real>(
                 };
                 // Chain every plan step against this row's shared state —
                 // the sequential-composition semantics, one row at a time.
+                // Kernels see the *absolute* query index, so windows of a
+                // longer sequence stream exactly the square run's rows.
                 for step in plan.steps() {
-                    step.stream_row(ctx.kv_len, i, opts.counter, &mut absorb);
+                    step.stream_row(ctx.kv_len, ctx.q_offset + i, opts.counter, &mut absorb);
                 }
             }
         });
@@ -345,6 +405,41 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, AttnError::MaskShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn one_launch_mixes_squares_prefill_chunks_and_decode_rows() {
+        // The serving batch shape this module exists for: a full square, a
+        // prefill chunk of a second sequence, and a decode row of a third,
+        // all flattened into ONE parallel_for.
+        let p = pool();
+        let opts = KernelOptions::new();
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap();
+        let (qa, ka, va) = qkv::<f64>(20, 8, 80);
+        let (qb, kb, vb) = qkv::<f64>(32, 8, 81);
+        let (qc, kc, vc) = qkv::<f64>(11, 8, 82);
+        let qb_chunk = qb.rows_slice(8, 24);
+        let qc_last = qc.rows_slice(10, 11);
+        let outs = execute_batch(
+            &p,
+            &plan,
+            &opts,
+            &[
+                AttentionRequest::new(&qa, &ka, &va),
+                AttentionRequest::windowed(&qb_chunk, &kb, &vb, 8),
+                AttentionRequest::decode(&qc_last, &kc, &vc),
+            ],
+        )
+        .unwrap();
+        // Each output is bitwise a row range of the full square run.
+        let full_a = local_attention(&p, 3, &qa, &ka, &va, &opts).unwrap();
+        assert_eq!(outs[0], full_a);
+        let full_b = local_attention(&p, 3, &qb, &kb, &vb, &opts).unwrap();
+        for i in 0..16 {
+            assert_eq!(outs[1].row(i), full_b.row(8 + i), "chunk row {i}");
+        }
+        let full_c = local_attention(&p, 3, &qc, &kc, &vc, &opts).unwrap();
+        assert_eq!(outs[2].row(0), full_c.row(10));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::kernels::{
     dilated2d_attention_into, global_attention_into, local_attention_into, CooSearch,
 };
 use crate::options::KernelOptions;
+use crate::plan::GeometrySpec;
 use crate::state::AttentionState;
 use gpa_masks::GlobalSet;
 use gpa_parallel::{ThreadPool, WorkCounter};
@@ -97,34 +98,75 @@ impl AttentionKernel<'_> {
         }
     }
 
-    /// The geometry this kernel imposes on `(Q rows, K/V rows)`:
-    /// `(fixed shape, requires square)`. Explicit masks pin the shape;
-    /// implicit patterns and the dense baselines accept any square
-    /// geometry; Global and DIA pin a square shape via their context
-    /// length.
-    pub(crate) fn geometry(&self) -> (Option<(usize, usize)>, bool) {
+    /// The geometry constraints this kernel imposes on a query window,
+    /// merged across steps by [`crate::plan::AttentionPlan::new`]:
+    ///
+    /// - explicit masks (COO/CSR) are indexed by **absolute** query row, so
+    ///   they bound `q_offset + q_rows` by their row count and pin
+    ///   `kv_rows` to their column count;
+    /// - Global and DIA pin `kv_rows` to their context length and require
+    ///   a window (`q_offset + q_rows ≤ kv_rows`);
+    /// - the implicit patterns require only a window;
+    /// - the dense baselines run exclusively at the full square geometry.
+    pub(crate) fn geometry_spec(&self) -> GeometrySpec {
+        let mut spec = GeometrySpec::default();
         match self {
-            AttentionKernel::Coo(mask, _) => (Some((mask.rows(), mask.cols())), false),
-            AttentionKernel::Csr(mask) => (Some((mask.rows(), mask.cols())), false),
-            AttentionKernel::Dia(mask) => (Some((mask.context_len(), mask.context_len())), true),
-            AttentionKernel::Global { globals, .. } => {
-                let l = globals.context_len();
-                (Some((l, l)), true)
+            AttentionKernel::Coo(mask, _) => {
+                spec.kv_pin = Some(mask.cols());
+                spec.q_abs_bound = Some(mask.rows());
             }
-            AttentionKernel::SdpMasked(mask) => (Some((mask.rows(), mask.cols())), true),
+            AttentionKernel::Csr(mask) => {
+                spec.kv_pin = Some(mask.cols());
+                spec.q_abs_bound = Some(mask.rows());
+            }
+            AttentionKernel::Dia(mask) => {
+                spec.kv_pin = Some(mask.context_len());
+                spec.requires_window = true;
+            }
+            AttentionKernel::Global { globals, .. } => {
+                spec.kv_pin = Some(globals.context_len());
+                spec.requires_window = true;
+            }
+            AttentionKernel::SdpMasked(mask) => {
+                spec.kv_pin = Some(mask.cols());
+                spec.q_pin = Some(mask.rows());
+                spec.requires_square = true;
+            }
             AttentionKernel::Local { .. }
             | AttentionKernel::Dilated1d { .. }
-            | AttentionKernel::Dilated2d { .. }
-            | AttentionKernel::Flash => (None, true),
+            | AttentionKernel::Dilated2d { .. } => {
+                spec.requires_window = true;
+            }
+            AttentionKernel::Flash => {
+                spec.requires_square = true;
+            }
         }
+        spec
     }
 
-    /// Stream row `i`'s neighbors under key/value set size `kv_len` — the
-    /// per-row enumeration rule each kernel's launch wraps in a
-    /// `parallel_for`, exposed so the batched plan executor can interleave
-    /// many sequences (and chain plan steps) inside one launch. `counter`
-    /// receives the COO linear-search cost; edge work is tallied by the
-    /// caller's absorb hook. Dense baselines have no row rule.
+    /// Enumerate (ascending) the neighbors of **absolute** query row `i`
+    /// under key/value set size `kv_len` — the public form of the per-row
+    /// rule, used by the distributed layer to build shard-restricted decode
+    /// masks without materializing the kernel's full pattern.
+    ///
+    /// # Panics
+    /// Panics on dense baselines (they have no sparse row rule) and, for
+    /// the implicit kernels, if `i >= kv_len` (outside the logical square).
+    pub fn for_each_neighbor(&self, kv_len: usize, i: usize, f: &mut dyn FnMut(usize)) {
+        assert!(
+            self.is_composable(),
+            "dense baselines have no per-row neighbor rule"
+        );
+        self.stream_row(kv_len, i, None, f);
+    }
+
+    /// Stream **absolute** row `i`'s neighbors under key/value set size
+    /// `kv_len` — the per-row enumeration rule each kernel's launch wraps
+    /// in a `parallel_for`, exposed so the batched plan executor can
+    /// interleave many sequences and query windows (and chain plan steps)
+    /// inside one launch. `counter` receives the COO linear-search cost;
+    /// edge work is tallied by the caller's absorb hook. Dense baselines
+    /// have no row rule.
     ///
     /// # Panics
     /// Panics on dense baselines; the plan layer never compiles them into

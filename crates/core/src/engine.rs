@@ -35,6 +35,7 @@
 //! examples) now runs through it.
 
 use crate::batch::{execute_batch, execute_batch_states, AttentionRequest};
+use crate::cache::KvCache;
 use crate::dispatch::AttentionKernel;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
@@ -191,7 +192,9 @@ impl AttentionEngine {
     /// Run a plan over a batch of requests in one flattened launch,
     /// returning one output per request (in order). Requests may have
     /// ragged lengths when the plan's geometry allows it
-    /// ([`AttentionPlan::fixed_shape`] is `None`).
+    /// ([`AttentionPlan::kv_pin`] is `None`), and may mix full squares,
+    /// prefill-chunk windows, and decode rows — each request carries its
+    /// own [`crate::Geometry`].
     pub fn run_batch<T: Real>(
         &self,
         plan: &AttentionPlan<'_>,
@@ -222,6 +225,136 @@ impl AttentionEngine {
         requests: &[AttentionRequest<'_, T>],
     ) -> Result<Vec<AttentionState<T>>, AttnError> {
         execute_batch_states(&self.pool, plan, &self.options(), requests)
+    }
+
+    /// Chunked prefill: append a prompt's `K`/`V` rows to `cache`
+    /// (single-head), then compute the prompt's query rows in windows of
+    /// `chunk` rows — **one** flattened launch mixing every chunk, each a
+    /// [`crate::Geometry`] window against the full cache contents.
+    ///
+    /// Because the kernels see absolute query indices, the stitched output
+    /// is bitwise identical to the square forward over the cache for *any*
+    /// chunk split (property-tested in `tests/geometry.rs`). Returns the
+    /// prompt's `q.rows() × dv` outputs.
+    pub fn prefill_chunked<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        q: &Matrix<T>,
+        k: &Matrix<T>,
+        v: &Matrix<T>,
+        chunk: usize,
+        cache: &mut KvCache<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        if cache.heads() != 1 {
+            return Err(AttnError::BadParameter {
+                what: "engine-level prefill takes a single-head cache",
+            });
+        }
+        if chunk == 0 {
+            return Err(AttnError::BadParameter {
+                what: "prefill chunk size must be positive",
+            });
+        }
+        if q.rows() != k.rows() || q.rows() != v.rows() {
+            return Err(AttnError::ContextLengthMismatch {
+                q: q.rows(),
+                k: k.rows(),
+                v: v.rows(),
+            });
+        }
+        if k.cols() != cache.dk() || v.cols() != cache.dv() {
+            return Err(AttnError::BadParameter {
+                what: "K/V widths do not match the cache's dk/dv",
+            });
+        }
+        let prior = cache.len();
+        cache.extend(0, k, v);
+        let prompt = q.rows();
+        let chunks = crate::batch::chunk_windows(q, chunk);
+        let result = {
+            let cache = &*cache;
+            let requests: Vec<AttentionRequest<'_, T>> = chunks
+                .iter()
+                .map(|(a, q_chunk)| {
+                    AttentionRequest::windowed(q_chunk, cache.k(0), cache.v(0), prior + a)
+                })
+                .collect();
+            execute_batch(&self.pool, plan, &self.options(), &requests)
+        };
+        let outs = match result {
+            Ok(outs) => outs,
+            Err(e) => {
+                // Per-request validation failed (e.g. a length-pinned or
+                // dense plan): roll the append back so the cache still
+                // mirrors the logical token stream.
+                cache.truncate(prior);
+                return Err(e);
+            }
+        };
+        let mut stitched = Matrix::zeros(prompt, v.cols());
+        for ((a, _), out) in chunks.iter().zip(outs.iter()) {
+            for i in 0..out.rows() {
+                stitched.row_mut(a + i).copy_from_slice(out.row(i));
+            }
+        }
+        Ok(stitched)
+    }
+
+    /// One KV-cached decode step: append the new token's key/value rows
+    /// (`k_t`/`v_t`, one row each) to `cache` (single-head), then compute
+    /// the token's attention output — a single
+    /// [`crate::Geometry::decode`] row over the cache, exactly the last
+    /// row of the square forward over every token cached so far.
+    ///
+    /// Graph-kernel plans only (a dense baseline has no incremental form);
+    /// implicit-kernel plans pin no length, so **one** compiled plan
+    /// serves every step of the growing cache.
+    pub fn decode_step<T: Real>(
+        &self,
+        plan: &AttentionPlan<'_>,
+        q_t: &Matrix<T>,
+        k_t: &Matrix<T>,
+        v_t: &Matrix<T>,
+        cache: &mut KvCache<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        if cache.heads() != 1 {
+            return Err(AttnError::BadParameter {
+                what: "engine-level decode takes a single-head cache",
+            });
+        }
+        if !plan.is_composable() {
+            return Err(AttnError::BadParameter {
+                what: "dense baselines have no KV-cached decode form",
+            });
+        }
+        if q_t.rows() != 1 || k_t.rows() != 1 || v_t.rows() != 1 {
+            return Err(AttnError::ContextLengthMismatch {
+                q: q_t.rows(),
+                k: k_t.rows(),
+                v: v_t.rows(),
+            });
+        }
+        if k_t.cols() != cache.dk() || v_t.cols() != cache.dv() {
+            return Err(AttnError::BadParameter {
+                what: "K/V widths do not match the cache's dk/dv",
+            });
+        }
+        let prior = cache.len();
+        cache.append(0, k_t.row(0), v_t.row(0));
+        let result = {
+            let cache = &*cache;
+            let request = AttentionRequest::decode(q_t, cache.k(0), cache.v(0));
+            execute_batch(&self.pool, plan, &self.options(), &[request])
+        };
+        match result {
+            Ok(mut outs) => Ok(outs.pop().expect("one request, one output")),
+            Err(e) => {
+                // Roll the append back: a failed step must not leave a
+                // phantom token in the cache.
+                cache.truncate(prior);
+                Err(e)
+            }
+        }
     }
 
     /// Compile-and-run convenience for one-shot kernel calls.
@@ -321,6 +454,119 @@ mod tests {
             .unwrap();
         let direct = local_attention(engine.pool(), 2, &q, &k, &v, &engine.options()).unwrap();
         assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn prefill_chunked_is_bitwise_the_square_forward() {
+        let engine = AttentionEngine::with_threads(3);
+        let l = 40;
+        let (q, k, v) = qkv::<f64>(l, 8, 84);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 4 }]).unwrap();
+        let full = engine.run(&plan, &q, &k, &v).unwrap();
+        for chunk in [1usize, 7, 16, 40, 100] {
+            let mut cache = crate::KvCache::single(8, 8);
+            let out = engine
+                .prefill_chunked(&plan, &q, &k, &v, chunk, &mut cache)
+                .unwrap();
+            assert_eq!(out, full, "chunk={chunk}");
+            assert_eq!(cache.len(), l);
+        }
+    }
+
+    #[test]
+    fn decode_step_reproduces_the_square_prefix_rows() {
+        let engine = AttentionEngine::with_threads(2);
+        let l = 24;
+        let (q, k, v) = qkv::<f64>(l, 4, 85);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 3 }]).unwrap();
+        let mut cache = crate::KvCache::single(4, 4);
+        for t in 0..l {
+            let out = engine
+                .decode_step(
+                    &plan,
+                    &q.rows_slice(t, t + 1),
+                    &k.rows_slice(t, t + 1),
+                    &v.rows_slice(t, t + 1),
+                    &mut cache,
+                )
+                .unwrap();
+            // Exactly the last row of the square forward over tokens 0..=t.
+            let prefix = engine
+                .run(
+                    &plan,
+                    &q.rows_slice(0, t + 1),
+                    &k.rows_slice(0, t + 1),
+                    &v.rows_slice(0, t + 1),
+                )
+                .unwrap();
+            assert_eq!(out.row(0), prefix.row(t), "step {t}");
+        }
+        assert_eq!(cache.len(), l);
+    }
+
+    #[test]
+    fn serving_surface_rejects_bad_inputs() {
+        let engine = AttentionEngine::with_threads(1);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 1 }]).unwrap();
+        let (q, k, v) = qkv::<f64>(4, 4, 86);
+        let mut multi = crate::KvCache::new(2, 4, 4);
+        assert!(engine
+            .prefill_chunked(&plan, &q, &k, &v, 2, &mut multi)
+            .is_err());
+        let mut cache = crate::KvCache::single(4, 4);
+        assert!(engine
+            .prefill_chunked(&plan, &q, &k, &v, 0, &mut cache)
+            .is_err());
+        assert!(engine.decode_step(&plan, &q, &k, &v, &mut cache).is_err());
+        let flash = engine.compile(&[AttentionKernel::Flash]).unwrap();
+        let one = q.rows_slice(0, 1);
+        assert!(engine
+            .decode_step(&flash, &one, &one, &one, &mut cache)
+            .is_err());
+        // Nothing was appended by the failed calls.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn failed_launches_roll_the_cache_back() {
+        // A plan that passes the pre-append checks but fails per-request
+        // validation (length-pinned Global at the wrong context) must not
+        // leave phantom tokens behind.
+        let engine = AttentionEngine::with_threads(1);
+        let (q, k, v) = qkv::<f64>(4, 4, 87);
+        let globals = gpa_masks::GlobalSet::new(99, vec![0]);
+        let pinned = engine
+            .compile(&[AttentionKernel::Global {
+                globals: &globals,
+                n_sub: 0,
+            }])
+            .unwrap();
+        let mut cache = crate::KvCache::single(4, 4);
+        assert!(engine
+            .prefill_chunked(&pinned, &q, &k, &v, 2, &mut cache)
+            .is_err());
+        assert!(cache.is_empty(), "failed prefill must roll back");
+
+        let ok = engine.compile(&[AttentionKernel::Local { n: 1 }]).unwrap();
+        engine
+            .prefill_chunked(&ok, &q, &k, &v, 2, &mut cache)
+            .unwrap();
+        let one = q.rows_slice(0, 1);
+        assert!(engine
+            .decode_step(&pinned, &one, &one, &one, &mut cache)
+            .is_err());
+        assert_eq!(cache.len(), 4, "failed decode must roll back");
+        // Width mismatches are rejected before any mutation.
+        let wide = Matrix::<f64>::zeros(1, 5);
+        assert!(engine
+            .decode_step(&ok, &one, &wide, &one, &mut cache)
+            .is_err());
+        assert_eq!(cache.len(), 4);
+        // And the rolled-back cache still decodes correctly.
+        engine
+            .decode_step(&ok, &one, &one, &one, &mut cache)
+            .unwrap();
+        assert_eq!(cache.len(), 5);
     }
 
     #[test]

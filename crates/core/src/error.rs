@@ -35,6 +35,16 @@ pub enum AttnError {
         /// Context length from Q.
         l: usize,
     },
+    /// The query window falls outside the logical square attention problem
+    /// (`q_offset + q_rows > kv_rows`).
+    WindowMismatch {
+        /// Absolute index of the first query row.
+        q_offset: usize,
+        /// Number of query rows.
+        q_rows: usize,
+        /// Number of key/value rows.
+        kv_rows: usize,
+    },
     /// A mask parameter is invalid for this kernel (e.g. zero block size).
     BadParameter {
         /// Human-readable description.
@@ -58,6 +68,15 @@ impl fmt::Display for AttnError {
             AttnError::MaskShapeMismatch { mask, l } => {
                 write!(f, "mask shape {mask:?} does not match context length {l}")
             }
+            AttnError::WindowMismatch {
+                q_offset,
+                q_rows,
+                kv_rows,
+            } => write!(
+                f,
+                "query window {q_offset}..{} exceeds key/value context {kv_rows}",
+                q_offset + q_rows
+            ),
             AttnError::BadParameter { what } => write!(f, "bad kernel parameter: {what}"),
         }
     }
@@ -79,5 +98,11 @@ mod tests {
             what: "w must be positive",
         };
         assert!(e.to_string().contains("w must be positive"));
+        let e = AttnError::WindowMismatch {
+            q_offset: 6,
+            q_rows: 3,
+            kv_rows: 8,
+        };
+        assert!(e.to_string().contains("6..9"));
     }
 }

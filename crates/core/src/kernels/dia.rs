@@ -9,6 +9,7 @@
 
 use crate::driver::graph_attention_into;
 use crate::error::AttnError;
+use crate::geometry::Geometry;
 use crate::options::KernelOptions;
 use crate::state::AttentionState;
 use gpa_parallel::ThreadPool;
@@ -29,7 +30,44 @@ pub(crate) fn dia_row(mask: &DiaMask, i: usize, absorb: &mut dyn FnMut(usize)) {
     }
 }
 
-/// DIA attention into an existing state (composable).
+/// DIA attention over any query window: the mask's context length pins
+/// `kv_rows`, and output row `i` is absolute row `geometry.q_offset + i`
+/// of the banded square problem. A band of non-positive offsets is the
+/// causal-decode showcase — its rows never look forward, so KV-cached
+/// decode reproduces the full square forward bitwise.
+#[allow(clippy::too_many_arguments)] // geometry + the paper's parameterization
+pub fn dia_attention_windowed_into<T: Real>(
+    pool: &ThreadPool,
+    mask: &DiaMask,
+    geometry: Geometry,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    if q.rows() != geometry.q_rows || k.rows() != geometry.kv_rows {
+        return Err(AttnError::ContextLengthMismatch {
+            q: q.rows(),
+            k: k.rows(),
+            v: v.rows(),
+        });
+    }
+    if mask.context_len() != geometry.kv_rows {
+        return Err(AttnError::MaskShapeMismatch {
+            mask: (mask.context_len(), mask.context_len()),
+            l: geometry.kv_rows,
+        });
+    }
+    geometry.check_window()?;
+    let off = geometry.q_offset;
+    graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
+        dia_row(mask, off + i, absorb)
+    })
+}
+
+/// DIA attention into an existing state (composable) — square-geometry
+/// wrapper over [`dia_attention_windowed_into`].
 pub fn dia_attention_into<T: Real>(
     pool: &ThreadPool,
     mask: &DiaMask,
@@ -39,15 +77,7 @@ pub fn dia_attention_into<T: Real>(
     opts: &KernelOptions<'_>,
     state: &mut AttentionState<T>,
 ) -> Result<(), AttnError> {
-    if mask.context_len() != q.rows() || mask.context_len() != k.rows() {
-        return Err(AttnError::MaskShapeMismatch {
-            mask: (mask.context_len(), mask.context_len()),
-            l: q.rows(),
-        });
-    }
-    graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        dia_row(mask, i, absorb)
-    })
+    dia_attention_windowed_into(pool, mask, Geometry::square(q.rows()), q, k, v, opts, state)
 }
 
 /// DIA attention with a fresh state; returns the output matrix.

@@ -5,26 +5,41 @@
 //! relative to the index token of a row" by closed-form arithmetic, which
 //! is what lets these kernels reach FlashAttention-class context lengths
 //! (Table II — only `O(L)` statistics beyond Q/K/V/O).
+//!
+//! Every row rule takes the **absolute** query index within a logical
+//! `kv_rows × kv_rows` square, so the kernels run on any
+//! [`Geometry`] window of a longer sequence — a prefill chunk, a single
+//! KV-cached decode row, or the classic full square. The `*_into`
+//! functions below are thin [`Geometry::square`] wrappers over the
+//! `*_windowed_into` general forms.
 
 use crate::driver::graph_attention_into;
 use crate::error::AttnError;
+use crate::geometry::Geometry;
 use crate::options::KernelOptions;
 use crate::state::AttentionState;
 use gpa_masks::{Dilated1d, GlobalSet, LocalWindow};
 use gpa_parallel::ThreadPool;
 use gpa_tensor::{Matrix, Real};
 
-/// Implicit patterns compute neighbor indices from the query index, so the
-/// geometry must be square: `Q`, `K`, `V` share one context length.
-fn check_square<T: Real>(q: &Matrix<T>, k: &Matrix<T>, v: &Matrix<T>) -> Result<(), AttnError> {
-    if q.rows() != k.rows() || q.rows() != v.rows() {
+/// Validate a windowed launch: `Q` carries the window's rows, `K`/`V` the
+/// key/value set, and the window must lie inside the logical square.
+/// (`K.rows == V.rows`, `dk`, and the state shape are checked by the
+/// driver.)
+fn check_window<T: Real>(
+    geometry: Geometry,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+) -> Result<(), AttnError> {
+    if q.rows() != geometry.q_rows || k.rows() != geometry.kv_rows {
         return Err(AttnError::ContextLengthMismatch {
             q: q.rows(),
             k: k.rows(),
             v: v.rows(),
         });
     }
-    Ok(())
+    geometry.check_window()
 }
 
 /// Stream row `i`'s local-window neighbors — the single enumeration rule
@@ -106,7 +121,29 @@ pub(crate) fn global_row(
     }
 }
 
-/// Local windowed attention (`|i−j| ≤ n`) into an existing state.
+/// Local attention (`|i−j| ≤ n`) over any query window: row `i` of the
+/// state/output is absolute row `geometry.q_offset + i` of the logical
+/// `kv_rows × kv_rows` problem.
+#[allow(clippy::too_many_arguments)] // geometry + the paper's parameterization
+pub fn local_attention_windowed_into<T: Real>(
+    pool: &ThreadPool,
+    n: usize,
+    geometry: Geometry,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    check_window(geometry, q, k, v)?;
+    let (l, off) = (geometry.kv_rows, geometry.q_offset);
+    graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
+        local_row(l, n, off + i, absorb)
+    })
+}
+
+/// Local windowed attention (`|i−j| ≤ n`) into an existing state —
+/// square-geometry wrapper over [`local_attention_windowed_into`].
 pub fn local_attention_into<T: Real>(
     pool: &ThreadPool,
     n: usize,
@@ -116,11 +153,7 @@ pub fn local_attention_into<T: Real>(
     opts: &KernelOptions<'_>,
     state: &mut AttentionState<T>,
 ) -> Result<(), AttnError> {
-    check_square(q, k, v)?;
-    let l = q.rows();
-    graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        local_row(l, n, i, absorb)
-    })
+    local_attention_windowed_into(pool, n, Geometry::square(q.rows()), q, k, v, opts, state)
 }
 
 /// Local windowed attention with a fresh state.
@@ -137,12 +170,14 @@ pub fn local_attention<T: Real>(
     Ok(state.into_output())
 }
 
-/// 1-D dilated attention (`|i−j| < w ∧ |i−j| mod (r+1) = 0`) into state.
-#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
-pub fn dilated1d_attention_into<T: Real>(
+/// 1-D dilated attention over any query window (see
+/// [`local_attention_windowed_into`] for the geometry convention).
+#[allow(clippy::too_many_arguments)] // geometry + the paper's parameterization
+pub fn dilated1d_attention_windowed_into<T: Real>(
     pool: &ThreadPool,
     w: usize,
     r: usize,
+    geometry: Geometry,
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,
@@ -154,11 +189,27 @@ pub fn dilated1d_attention_into<T: Real>(
             what: "dilated window width w must be positive",
         });
     }
-    check_square(q, k, v)?;
-    let l = q.rows();
+    check_window(geometry, q, k, v)?;
+    let (l, off) = (geometry.kv_rows, geometry.q_offset);
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        dilated1d_row(l, w, r, i, absorb)
+        dilated1d_row(l, w, r, off + i, absorb)
     })
+}
+
+/// 1-D dilated attention (`|i−j| < w ∧ |i−j| mod (r+1) = 0`) into state —
+/// square-geometry wrapper over [`dilated1d_attention_windowed_into`].
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
+pub fn dilated1d_attention_into<T: Real>(
+    pool: &ThreadPool,
+    w: usize,
+    r: usize,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    dilated1d_attention_windowed_into(pool, w, r, Geometry::square(q.rows()), q, k, v, opts, state)
 }
 
 /// 1-D dilated attention with a fresh state.
@@ -176,13 +227,14 @@ pub fn dilated1d_attention<T: Real>(
     Ok(state.into_output())
 }
 
-/// 2-D dilated (block) attention into state: diagonal blocks of
-/// `block_size`, in-block offsets dilated by `r` on both axes.
-#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
-pub fn dilated2d_attention_into<T: Real>(
+/// 2-D dilated (block) attention over any query window (see
+/// [`local_attention_windowed_into`] for the geometry convention).
+#[allow(clippy::too_many_arguments)] // geometry + the paper's parameterization
+pub fn dilated2d_attention_windowed_into<T: Real>(
     pool: &ThreadPool,
     block_size: usize,
     r: usize,
+    geometry: Geometry,
     q: &Matrix<T>,
     k: &Matrix<T>,
     v: &Matrix<T>,
@@ -194,11 +246,38 @@ pub fn dilated2d_attention_into<T: Real>(
             what: "block_size must be positive",
         });
     }
-    check_square(q, k, v)?;
-    let l = q.rows();
+    check_window(geometry, q, k, v)?;
+    let (l, off) = (geometry.kv_rows, geometry.q_offset);
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        dilated2d_row(l, block_size, r, i, absorb)
+        dilated2d_row(l, block_size, r, off + i, absorb)
     })
+}
+
+/// 2-D dilated (block) attention into state: diagonal blocks of
+/// `block_size`, in-block offsets dilated by `r` on both axes —
+/// square-geometry wrapper over [`dilated2d_attention_windowed_into`].
+#[allow(clippy::too_many_arguments)] // the paper's kernel parameterization
+pub fn dilated2d_attention_into<T: Real>(
+    pool: &ThreadPool,
+    block_size: usize,
+    r: usize,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    dilated2d_attention_windowed_into(
+        pool,
+        block_size,
+        r,
+        Geometry::square(q.rows()),
+        q,
+        k,
+        v,
+        opts,
+        state,
+    )
 }
 
 /// 2-D dilated attention with a fresh state.
@@ -232,8 +311,36 @@ pub fn global_attention_into<T: Real>(
     opts: &KernelOptions<'_>,
     state: &mut AttentionState<T>,
 ) -> Result<(), AttnError> {
-    check_square(q, k, v)?;
-    let l = q.rows();
+    global_attention_windowed_into(
+        pool,
+        globals,
+        n_sub,
+        Geometry::square(q.rows()),
+        q,
+        k,
+        v,
+        opts,
+        state,
+    )
+}
+
+/// Global (non-local) attention over any query window (see
+/// [`local_attention_windowed_into`] for the geometry convention). The
+/// global set's context length pins `kv_rows`.
+#[allow(clippy::too_many_arguments)] // geometry + the paper's parameterization
+pub fn global_attention_windowed_into<T: Real>(
+    pool: &ThreadPool,
+    globals: &GlobalSet,
+    n_sub: usize,
+    geometry: Geometry,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    opts: &KernelOptions<'_>,
+    state: &mut AttentionState<T>,
+) -> Result<(), AttnError> {
+    check_window(geometry, q, k, v)?;
+    let (l, off) = (geometry.kv_rows, geometry.q_offset);
     if globals.context_len() != l {
         return Err(AttnError::MaskShapeMismatch {
             mask: (globals.context_len(), globals.context_len()),
@@ -241,7 +348,7 @@ pub fn global_attention_into<T: Real>(
         });
     }
     graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
-        global_row(l, globals, n_sub, i, absorb)
+        global_row(l, globals, n_sub, off + i, absorb)
     })
 }
 
@@ -404,6 +511,54 @@ mod tests {
             global_attention(&p, &wrong_globals, 0, &q, &k, &v, &KernelOptions::new()),
             Err(AttnError::MaskShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn windowed_rows_are_bitwise_rows_of_the_square_run() {
+        let l = 48;
+        let (q, k, v) = qkv::<f64>(l, 8, 26);
+        let p = pool();
+        let opts = KernelOptions::new();
+        let square = local_attention(&p, 5, &q, &k, &v, &opts).unwrap();
+        for (off, rows) in [(0usize, 48usize), (0, 7), (13, 9), (47, 1)] {
+            let q_win = q.rows_slice(off, off + rows);
+            let mut state = AttentionState::new(rows, v.cols());
+            local_attention_windowed_into(
+                &p,
+                5,
+                Geometry::window(off, rows, l),
+                &q_win,
+                &k,
+                &v,
+                &opts,
+                &mut state,
+            )
+            .unwrap();
+            let out = state.into_output();
+            for i in 0..rows {
+                assert_eq!(out.row(i), square.row(off + i), "off={off} row={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_overhang_rejected() {
+        let l = 16;
+        let (q, k, v) = qkv::<f64>(l, 4, 27);
+        let q_win = q.rows_slice(10, 16);
+        let mut state = AttentionState::new(6, v.cols());
+        let err = local_attention_windowed_into(
+            &pool(),
+            2,
+            Geometry::window(11, 6, l), // 11 + 6 > 16
+            &q_win,
+            &k,
+            &v,
+            &KernelOptions::new(),
+            &mut state,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AttnError::WindowMismatch { .. }));
     }
 
     #[test]

@@ -13,11 +13,13 @@ pub mod dia;
 pub mod explicit;
 pub mod implicit;
 
-pub use dia::{dia_attention, dia_attention_into};
+pub use dia::{dia_attention, dia_attention_into, dia_attention_windowed_into};
 pub use explicit::{
     coo_attention, coo_attention_into, csr_attention, csr_attention_into, CooSearch,
 };
 pub use implicit::{
-    dilated1d_attention, dilated1d_attention_into, dilated2d_attention, dilated2d_attention_into,
-    global_attention, global_attention_into, local_attention, local_attention_into,
+    dilated1d_attention, dilated1d_attention_into, dilated1d_attention_windowed_into,
+    dilated2d_attention, dilated2d_attention_into, dilated2d_attention_windowed_into,
+    global_attention, global_attention_into, global_attention_windowed_into, local_attention,
+    local_attention_into, local_attention_windowed_into,
 };

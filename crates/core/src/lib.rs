@@ -26,14 +26,18 @@
 //! [`baselines::masked_sdp`] (PyTorch-style dense SDP with −∞ masking) and
 //! [`baselines::flash_attention`] (dense online-softmax tiling).
 //!
-//! ## The engine: compiled plans, batched execution
+//! ## The engine: compiled plans, batched execution, serving geometry
 //!
 //! [`AttentionEngine`] is the recommended entry point: it owns the worker
 //! pool and launch policy, **compiles** kernel compositions into reusable
-//! [`AttentionPlan`]s (geometry validated once), and **executes batches**
-//! of ragged-length sequences in a single flattened launch
-//! ([`AttentionEngine::run_batch`]). The per-kernel free functions below
-//! remain as the low-level API over an explicit pool.
+//! [`AttentionPlan`]s (geometry constraints validated once), and
+//! **executes batches** of ragged-length sequences in a single flattened
+//! launch ([`AttentionEngine::run_batch`]). Every request carries a
+//! [`Geometry`] query window, so one launch mixes full squares,
+//! chunked-prefill windows ([`AttentionEngine::prefill_chunked`]), and
+//! KV-cached decode rows ([`AttentionEngine::decode_step`] over a
+//! [`KvCache`]). The per-kernel free functions below remain as the
+//! low-level API over an explicit pool.
 //!
 //! ## Composition and extensions
 //!
@@ -46,10 +50,12 @@
 
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod dispatch;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod geometry;
 pub mod kernels;
 pub mod multihead;
 pub mod options;
@@ -59,15 +65,19 @@ pub mod verify;
 
 pub use baselines::{flash_attention, flash_attention_tiled, masked_sdp};
 pub use batch::AttentionRequest;
+pub use cache::KvCache;
 pub use dispatch::{run_composed, AttentionKernel};
 pub use driver::{absorb_edge, graph_attention_into, pattern_attention, pattern_attention_into};
 pub use engine::{AttentionEngine, AttentionEngineBuilder};
 pub use error::AttnError;
+pub use geometry::Geometry;
 pub use kernels::{
     coo_attention, coo_attention_into, csr_attention, csr_attention_into, dia_attention,
-    dia_attention_into, dilated1d_attention, dilated1d_attention_into, dilated2d_attention,
-    dilated2d_attention_into, global_attention, global_attention_into, local_attention,
-    local_attention_into, CooSearch,
+    dia_attention_into, dia_attention_windowed_into, dilated1d_attention, dilated1d_attention_into,
+    dilated1d_attention_windowed_into, dilated2d_attention, dilated2d_attention_into,
+    dilated2d_attention_windowed_into, global_attention, global_attention_into,
+    global_attention_windowed_into, local_attention, local_attention_into,
+    local_attention_windowed_into, CooSearch,
 };
 pub use multihead::{concat_heads, multi_head_attention, split_heads, MultiHeadAttention};
 pub use options::KernelOptions;

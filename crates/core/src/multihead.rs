@@ -14,6 +14,7 @@
 //! unchanged — per-row work is identical).
 
 use crate::batch::{execute_batch, AttentionRequest};
+use crate::cache::KvCache;
 use crate::dispatch::AttentionKernel;
 use crate::engine::AttentionEngine;
 use crate::error::AttnError;
@@ -120,6 +121,148 @@ impl<T: Real> MultiHeadAttention<T> {
         x: &Matrix<T>,
     ) -> Result<Matrix<T>, AttnError> {
         self.forward_inner(engine.pool(), x, plan, &engine.options())
+    }
+
+    /// An empty [`KvCache`] sized for this layer (one entry per head, the
+    /// layer's `dk` as both key and value dimension).
+    pub fn new_cache(&self) -> KvCache<T> {
+        KvCache::new(self.heads, self.dk(), self.dk())
+    }
+
+    /// Chunked prefill through the KV cache: project the prompt `x`
+    /// (`P × d_model`), append every head's K/V rows to `cache`, and
+    /// compute the prompt's outputs in query windows of `chunk` rows —
+    /// all heads × all chunks flattened into **one** launch. Returns the
+    /// `P × d_model` prompt outputs (identical to [`Self::forward_on`]
+    /// over the same tokens when the cache started empty).
+    pub fn forward_prefill(
+        &self,
+        engine: &AttentionEngine,
+        plan: &AttentionPlan<'_>,
+        cache: &mut KvCache<T>,
+        x: &Matrix<T>,
+        chunk: usize,
+    ) -> Result<Matrix<T>, AttnError> {
+        self.check_cache(cache)?;
+        if chunk == 0 {
+            return Err(AttnError::BadParameter {
+                what: "prefill chunk size must be positive",
+            });
+        }
+        if x.cols() != self.d_model() {
+            return Err(AttnError::StateShapeMismatch {
+                expected: (x.rows(), self.d_model()),
+                actual: x.shape(),
+            });
+        }
+        let q = matmul(x, &self.wq);
+        let k = matmul(x, &self.wk);
+        let v = matmul(x, &self.wv);
+        let qh = split_heads(&q, self.heads);
+        let kh = split_heads(&k, self.heads);
+        let vh = split_heads(&v, self.heads);
+        let prior = cache.len();
+        for h in 0..self.heads {
+            cache.extend(h, &kh[h], &vh[h]);
+        }
+        let prompt = x.rows();
+        let chunks: Vec<(usize, usize, Matrix<T>)> = (0..self.heads)
+            .flat_map(|h| {
+                crate::batch::chunk_windows(&qh[h], chunk)
+                    .into_iter()
+                    .map(move |(a, q_chunk)| (h, a, q_chunk))
+            })
+            .collect();
+        let result = {
+            let cache = &*cache;
+            let requests: Vec<AttentionRequest<'_, T>> = chunks
+                .iter()
+                .map(|(h, a, q_chunk)| {
+                    AttentionRequest::windowed(q_chunk, cache.k(*h), cache.v(*h), prior + a)
+                })
+                .collect();
+            execute_batch(engine.pool(), plan, &engine.options(), &requests)
+        };
+        let outs = match result {
+            Ok(outs) => outs,
+            Err(e) => {
+                // Roll every head's append back: a failed prefill must not
+                // leave phantom tokens in the cache.
+                cache.truncate(prior);
+                return Err(e);
+            }
+        };
+
+        let dk = self.dk();
+        let mut packed = Matrix::zeros(prompt, self.heads * dk);
+        for ((h, a, _), out) in chunks.iter().zip(outs.iter()) {
+            for i in 0..out.rows() {
+                packed.row_mut(a + i)[h * dk..(h + 1) * dk].copy_from_slice(out.row(i));
+            }
+        }
+        Ok(matmul(&packed, &self.wo))
+    }
+
+    /// One KV-cached decode step: project the new token `x_t`
+    /// (`1 × d_model`), append each head's K/V row to `cache`, run every
+    /// head's single-row decode window as **one** batched launch, and
+    /// project the concatenated head outputs back to `1 × d_model`.
+    pub fn forward_decode(
+        &self,
+        engine: &AttentionEngine,
+        plan: &AttentionPlan<'_>,
+        cache: &mut KvCache<T>,
+        x_t: &Matrix<T>,
+    ) -> Result<Matrix<T>, AttnError> {
+        self.check_cache(cache)?;
+        if !plan.is_composable() {
+            return Err(AttnError::BadParameter {
+                what: "dense baselines have no KV-cached decode form",
+            });
+        }
+        if x_t.rows() != 1 || x_t.cols() != self.d_model() {
+            return Err(AttnError::StateShapeMismatch {
+                expected: (1, self.d_model()),
+                actual: x_t.shape(),
+            });
+        }
+        let q = matmul(x_t, &self.wq);
+        let k = matmul(x_t, &self.wk);
+        let v = matmul(x_t, &self.wv);
+        let qh = split_heads(&q, self.heads);
+        let kh = split_heads(&k, self.heads);
+        let vh = split_heads(&v, self.heads);
+        let prior = cache.len();
+        for h in 0..self.heads {
+            cache.append(h, kh[h].row(0), vh[h].row(0));
+        }
+        let result = {
+            let cache = &*cache;
+            let requests: Vec<AttentionRequest<'_, T>> = (0..self.heads)
+                .map(|h| AttentionRequest::decode(&qh[h], cache.k(h), cache.v(h)))
+                .collect();
+            execute_batch(engine.pool(), plan, &engine.options(), &requests)
+        };
+        match result {
+            Ok(outs) => {
+                let packed = concat_heads(&outs);
+                Ok(matmul(&packed, &self.wo))
+            }
+            Err(e) => {
+                // Roll every head's append back — no phantom token on error.
+                cache.truncate(prior);
+                Err(e)
+            }
+        }
+    }
+
+    fn check_cache(&self, cache: &KvCache<T>) -> Result<(), AttnError> {
+        if cache.heads() != self.heads || cache.dk() != self.dk() || cache.dv() != self.dk() {
+            return Err(AttnError::BadParameter {
+                what: "cache does not match the layer's heads/dk (use new_cache)",
+            });
+        }
+        Ok(())
     }
 
     fn forward_inner(
@@ -298,6 +441,76 @@ mod tests {
             )
             .unwrap();
         assert_eq!(via_engine, via_pool);
+    }
+
+    #[test]
+    fn prefill_then_decode_matches_full_forwards_bitwise() {
+        let l = 18;
+        let prompt = 11;
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(24, 3, 8, 21);
+        let x = gaussian_matrix(l, 24, 1.0, 90);
+        let engine = crate::AttentionEngine::with_threads(3);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 2 }]).unwrap();
+
+        // Chunked prefill of the prompt == the full forward over it.
+        let mut cache = layer.new_cache();
+        let x_prompt = x.rows_slice(0, prompt);
+        let prefill = layer
+            .forward_prefill(&engine, &plan, &mut cache, &x_prompt, 4)
+            .unwrap();
+        let full_prompt = layer.forward_on(&engine, &plan, &x_prompt).unwrap();
+        assert_eq!(prefill, full_prompt);
+        assert_eq!(cache.len(), prompt);
+
+        // Every decode step == the last row of the forward over its prefix.
+        for t in prompt..l {
+            let out = layer
+                .forward_decode(&engine, &plan, &mut cache, &x.rows_slice(t, t + 1))
+                .unwrap();
+            let prefix = layer
+                .forward_on(&engine, &plan, &x.rows_slice(0, t + 1))
+                .unwrap();
+            assert_eq!(out.row(0), prefix.row(t), "step {t}");
+        }
+        assert_eq!(cache.len(), l);
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_cache_and_inputs() {
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(16, 2, 4, 3);
+        let engine = crate::AttentionEngine::with_threads(1);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 1 }]).unwrap();
+        let mut wrong_cache: KvCache<f64> = KvCache::new(3, 4, 4);
+        let x_t = gaussian_matrix(1, 16, 1.0, 91);
+        assert!(layer
+            .forward_decode(&engine, &plan, &mut wrong_cache, &x_t)
+            .is_err());
+        let mut cache = layer.new_cache();
+        let x_two = gaussian_matrix(2, 16, 1.0, 92);
+        assert!(layer
+            .forward_decode(&engine, &plan, &mut cache, &x_two)
+            .is_err());
+        assert!(layer
+            .forward_prefill(&engine, &plan, &mut cache, &x_two, 0)
+            .is_err());
+        assert!(cache.is_empty());
+        // A plan that fails per-request validation rolls every head back.
+        let globals = gpa_masks::GlobalSet::new(99, vec![0]);
+        let pinned = engine
+            .compile(&[AttentionKernel::Global {
+                globals: &globals,
+                n_sub: 0,
+            }])
+            .unwrap();
+        assert!(layer
+            .forward_prefill(&engine, &pinned, &mut cache, &x_two, 1)
+            .is_err());
+        assert!(cache.is_empty(), "failed prefill must roll back");
+        let x_t = gaussian_matrix(1, 16, 1.0, 93);
+        assert!(layer
+            .forward_decode(&engine, &pinned, &mut cache, &x_t)
+            .is_err());
+        assert!(cache.is_empty(), "failed decode must roll back");
     }
 
     #[test]

@@ -3,15 +3,65 @@
 //! A plan is a kernel composition promoted to a first-class value: the
 //! Fig. 6 "Loc + Glo + CSR" chaining, which callers previously expressed by
 //! threading an [`crate::AttentionState`] through manual kernel calls,
-//! compiles into an [`AttentionPlan`] whose geometry and parameters are
-//! checked **once**. The [`crate::AttentionEngine`] then executes the plan
-//! against one sequence or a whole batch without re-validating per launch,
-//! which is where plan reuse pays off in serving loops (the same mask
-//! usually outlives thousands of requests).
+//! compiles into an [`AttentionPlan`] whose geometry constraints and
+//! parameters are checked **once**. The [`crate::AttentionEngine`] then
+//! executes the plan against single sequences, ragged batches, prefill
+//! chunks, and KV-cached decode rows without re-deriving per-step
+//! constraints per launch — the same compiled plan serves every
+//! [`Geometry`] its kernels admit, which is how one implicit-kernel plan
+//! outlives thousands of requests *and* every decode step of each.
 
 use crate::dispatch::AttentionKernel;
 use crate::error::AttnError;
+use crate::geometry::Geometry;
 use gpa_tensor::{Matrix, Real};
+
+/// Merged geometry constraints of a plan's steps, computed once at compile
+/// time and checked in O(1) per request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct GeometrySpec {
+    /// Exact `kv_rows` required (explicit mask columns, global/DIA context
+    /// length).
+    pub kv_pin: Option<usize>,
+    /// Upper bound on the absolute query range `q_offset + q_rows`
+    /// (explicit mask rows — masks are indexed by absolute query row).
+    pub q_abs_bound: Option<usize>,
+    /// Exact `q_rows` (and `q_offset == 0`) required — dense SDP masks.
+    pub q_pin: Option<usize>,
+    /// Queries must lie inside the logical square
+    /// (`q_offset + q_rows ≤ kv_rows`) — every implicit kernel.
+    pub requires_window: bool,
+    /// Only the full square geometry is accepted — dense baselines.
+    pub requires_square: bool,
+}
+
+impl GeometrySpec {
+    /// Merge another step's constraints into this spec, rejecting
+    /// contradictions (two masks pinning different key/value lengths).
+    fn merge(&mut self, other: GeometrySpec) -> Result<(), AttnError> {
+        match (self.kv_pin, other.kv_pin) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(AttnError::MaskShapeMismatch { mask: (b, b), l: a });
+            }
+            (None, Some(b)) => self.kv_pin = Some(b),
+            _ => {}
+        }
+        match (self.q_pin, other.q_pin) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(AttnError::MaskShapeMismatch { mask: (b, b), l: a });
+            }
+            (None, Some(b)) => self.q_pin = Some(b),
+            _ => {}
+        }
+        self.q_abs_bound = match (self.q_abs_bound, other.q_abs_bound) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.requires_window |= other.requires_window;
+        self.requires_square |= other.requires_square;
+        Ok(())
+    }
+}
 
 /// A validated, reusable kernel composition.
 ///
@@ -24,11 +74,7 @@ use gpa_tensor::{Matrix, Real};
 #[derive(Clone)]
 pub struct AttentionPlan<'a> {
     steps: Vec<AttentionKernel<'a>>,
-    /// Shape `(Q rows, K/V rows)` pinned by explicit masks / global sets,
-    /// if any step pins one.
-    fixed_shape: Option<(usize, usize)>,
-    /// True if any step requires `Q rows == K/V rows`.
-    requires_square: bool,
+    spec: GeometrySpec,
 }
 
 impl<'a> AttentionPlan<'a> {
@@ -42,9 +88,9 @@ impl<'a> AttentionPlan<'a> {
     ///   they cannot share a softmax state;
     /// - kernel parameters are well-formed (positive dilated widths /
     ///   block sizes);
-    /// - every step that pins a geometry (explicit masks, global sets)
-    ///   agrees on one `(rows, cols)` shape, and square-only steps are not
-    ///   combined with a rectangular mask.
+    /// - the steps' geometry constraints merge consistently: masks pinning
+    ///   a key/value length agree on one value, and square-only steps are
+    ///   not pinned to a rectangular dense mask.
     pub fn new(kernels: &[AttentionKernel<'a>]) -> Result<Self, AttnError> {
         if kernels.is_empty() {
             return Err(AttnError::BadParameter {
@@ -56,39 +102,32 @@ impl<'a> AttentionPlan<'a> {
                 what: "dense baselines cannot run into a shared state",
             });
         }
-        let mut fixed_shape: Option<(usize, usize)> = None;
-        let mut requires_square = false;
+        let mut spec = GeometrySpec::default();
         for kernel in kernels {
             kernel.validate_params()?;
-            let (fixed, square) = kernel.geometry();
-            requires_square |= square;
-            if let Some(shape) = fixed {
-                match fixed_shape {
-                    None => fixed_shape = Some(shape),
-                    Some(prev) if prev != shape => {
-                        return Err(AttnError::MaskShapeMismatch {
-                            mask: shape,
-                            l: prev.0,
-                        });
-                    }
-                    Some(_) => {}
-                }
-            }
+            spec.merge(kernel.geometry_spec())?;
         }
-        if requires_square {
-            if let Some((rows, cols)) = fixed_shape {
-                if rows != cols {
+        if spec.requires_square {
+            if let (Some(q), Some(kv)) = (spec.q_pin, spec.kv_pin) {
+                if q != kv {
                     return Err(AttnError::MaskShapeMismatch {
-                        mask: (rows, cols),
-                        l: cols,
+                        mask: (q, kv),
+                        l: kv,
                     });
                 }
             }
         }
+        if let (Some(q), Some(bound)) = (spec.q_pin, spec.q_abs_bound) {
+            if q > bound {
+                return Err(AttnError::MaskShapeMismatch {
+                    mask: (bound, spec.kv_pin.unwrap_or(bound)),
+                    l: q,
+                });
+            }
+        }
         Ok(AttentionPlan {
             steps: kernels.to_vec(),
-            fixed_shape,
-            requires_square,
+            spec,
         })
     }
 
@@ -118,17 +157,30 @@ impl<'a> AttentionPlan<'a> {
         self.steps.iter().all(|k| k.is_composable())
     }
 
-    /// The `(Q rows, K/V rows)` shape pinned by the plan's masks, if any.
-    /// `None` means the plan runs at any (square, if
-    /// [`Self::requires_square`]) geometry — the property that lets one
-    /// implicit-kernel plan serve a ragged batch.
-    pub fn fixed_shape(&self) -> Option<(usize, usize)> {
-        self.fixed_shape
+    /// The `kv_rows` value pinned by the plan's masks, if any. `None`
+    /// means the plan runs at any key/value length — the property that
+    /// lets one implicit-kernel plan serve a ragged batch *and* every step
+    /// of a growing decode cache.
+    pub fn kv_pin(&self) -> Option<usize> {
+        self.spec.kv_pin
     }
 
-    /// True if the plan requires `Q rows == K/V rows`.
+    /// Upper bound on the absolute query range (`q_offset + q_rows`)
+    /// imposed by explicit masks, if any.
+    pub fn q_bound(&self) -> Option<usize> {
+        self.spec.q_abs_bound
+    }
+
+    /// True if the plan's queries must lie inside the logical square
+    /// (`q_offset + q_rows ≤ kv_rows`) — any implicit-kernel step.
+    pub fn requires_window(&self) -> bool {
+        self.spec.requires_window
+    }
+
+    /// True if the plan only accepts the full square geometry (dense
+    /// baselines).
     pub fn requires_square(&self) -> bool {
-        self.requires_square
+        self.spec.requires_square
     }
 
     /// Display label: step names joined with `" + "`, matching the paper's
@@ -141,15 +193,20 @@ impl<'a> AttentionPlan<'a> {
             .join(" + ")
     }
 
-    /// Validate one request's geometry against the plan — the per-request
-    /// half of validation (the per-plan half ran in [`Self::new`]).
+    /// Validate one request's inputs and window against the plan — the
+    /// per-request half of validation (the per-plan half ran in
+    /// [`Self::new`]). O(1) regardless of step count.
     pub(crate) fn validate_request<T: Real>(
         &self,
+        geometry: Geometry,
         q: &Matrix<T>,
         k: &Matrix<T>,
         v: &Matrix<T>,
     ) -> Result<(), AttnError> {
-        if k.rows() != v.rows() || (self.requires_square && q.rows() != k.rows()) {
+        if q.rows() != geometry.q_rows
+            || k.rows() != geometry.kv_rows
+            || v.rows() != geometry.kv_rows
+        {
             return Err(AttnError::ContextLengthMismatch {
                 q: q.rows(),
                 k: k.rows(),
@@ -167,13 +224,39 @@ impl<'a> AttentionPlan<'a> {
                 what: "dk must be positive",
             });
         }
-        if let Some((rows, cols)) = self.fixed_shape {
-            if q.rows() != rows || k.rows() != cols {
+        if let Some(pin) = self.spec.kv_pin {
+            if geometry.kv_rows != pin {
                 return Err(AttnError::MaskShapeMismatch {
-                    mask: (rows, cols),
-                    l: q.rows(),
+                    mask: (self.spec.q_abs_bound.unwrap_or(pin), pin),
+                    l: geometry.kv_rows,
                 });
             }
+        }
+        if let Some(pin) = self.spec.q_pin {
+            if geometry.q_rows != pin || geometry.q_offset != 0 {
+                return Err(AttnError::MaskShapeMismatch {
+                    mask: (pin, self.spec.kv_pin.unwrap_or(pin)),
+                    l: geometry.q_rows,
+                });
+            }
+        }
+        if let Some(bound) = self.spec.q_abs_bound {
+            if geometry.q_end() > bound {
+                return Err(AttnError::MaskShapeMismatch {
+                    mask: (bound, self.spec.kv_pin.unwrap_or(bound)),
+                    l: geometry.q_end(),
+                });
+            }
+        }
+        if self.spec.requires_window {
+            geometry.check_window()?;
+        }
+        if self.spec.requires_square && !geometry.is_square() {
+            return Err(AttnError::ContextLengthMismatch {
+                q: geometry.q_rows,
+                k: geometry.kv_rows,
+                v: geometry.kv_rows,
+            });
         }
         Ok(())
     }
@@ -183,8 +266,10 @@ impl std::fmt::Debug for AttentionPlan<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AttentionPlan")
             .field("steps", &self.describe())
-            .field("fixed_shape", &self.fixed_shape)
-            .field("requires_square", &self.requires_square)
+            .field("kv_pin", &self.spec.kv_pin)
+            .field("q_bound", &self.spec.q_abs_bound)
+            .field("requires_window", &self.spec.requires_window)
+            .field("requires_square", &self.spec.requires_square)
             .finish()
     }
 }
@@ -195,6 +280,15 @@ mod tests {
     use gpa_masks::{GlobalSet, LocalWindow, MaskPattern};
     use gpa_sparse::DenseMask;
     use gpa_tensor::init::qkv;
+
+    fn validate_square<'a, T: Real>(
+        plan: &AttentionPlan<'_>,
+        q: &'a Matrix<T>,
+        k: &'a Matrix<T>,
+        v: &'a Matrix<T>,
+    ) -> Result<(), AttnError> {
+        plan.validate_request(Geometry::window(0, q.rows(), k.rows()), q, k, v)
+    }
 
     #[test]
     fn empty_plan_rejected() {
@@ -237,9 +331,10 @@ mod tests {
         // Two explicit masks agreeing on shape: fine.
         let plan =
             AttentionPlan::new(&[AttentionKernel::Csr(&a), AttentionKernel::Csr(&a)]).unwrap();
-        assert_eq!(plan.fixed_shape(), Some((16, 16)));
+        assert_eq!(plan.kv_pin(), Some(16));
+        assert_eq!(plan.q_bound(), Some(16));
         assert_eq!(plan.len(), 2);
-        // Disagreeing: rejected at compile time.
+        // Disagreeing key/value lengths: rejected at compile time.
         assert!(matches!(
             AttentionPlan::new(&[AttentionKernel::Csr(&a), AttentionKernel::Csr(&b)]),
             Err(AttnError::MaskShapeMismatch { .. })
@@ -247,22 +342,35 @@ mod tests {
     }
 
     #[test]
-    fn implicit_plans_run_at_any_length() {
+    fn implicit_plans_run_at_any_length_and_any_window() {
         let plan = AttentionPlan::new(&[
             AttentionKernel::Local { n: 2 },
             AttentionKernel::Dilated1d { w: 5, r: 1 },
         ])
         .unwrap();
-        assert!(plan.fixed_shape().is_none());
-        assert!(plan.requires_square());
+        assert!(plan.kv_pin().is_none());
+        assert!(plan.requires_window());
+        assert!(!plan.requires_square());
         let (q, k, v) = qkv::<f64>(12, 4, 0);
-        plan.validate_request(&q, &k, &v).unwrap();
+        validate_square(&plan, &q, &k, &v).unwrap();
         let (q2, k2, v2) = qkv::<f64>(40, 4, 0);
-        plan.validate_request(&q2, &k2, &v2).unwrap();
+        validate_square(&plan, &q2, &k2, &v2).unwrap();
+        // A prefill chunk and a decode row validate against the same plan.
+        let chunk = q2.rows_slice(8, 20);
+        plan.validate_request(Geometry::window(8, 12, 40), &chunk, &k2, &v2)
+            .unwrap();
+        let last = q2.rows_slice(39, 40);
+        plan.validate_request(Geometry::decode(40), &last, &k2, &v2)
+            .unwrap();
+        // But the window must stay inside the logical square.
+        assert!(matches!(
+            plan.validate_request(Geometry::window(30, 12, 40), &chunk, &k2, &v2),
+            Err(AttnError::WindowMismatch { .. })
+        ));
     }
 
     #[test]
-    fn global_set_pins_the_length() {
+    fn global_set_pins_the_kv_length() {
         let globals = GlobalSet::new(20, vec![0]);
         let plan = AttentionPlan::new(&[
             AttentionKernel::Local { n: 2 },
@@ -272,13 +380,18 @@ mod tests {
             },
         ])
         .unwrap();
-        assert_eq!(plan.fixed_shape(), Some((20, 20)));
+        assert_eq!(plan.kv_pin(), Some(20));
         assert_eq!(plan.describe(), "Local + Global");
         let (q, k, v) = qkv::<f64>(12, 4, 0);
         assert!(matches!(
-            plan.validate_request(&q, &k, &v),
+            validate_square(&plan, &q, &k, &v),
             Err(AttnError::MaskShapeMismatch { .. })
         ));
+        // A query window against the pinned length is fine.
+        let (q20, k20, v20) = qkv::<f64>(20, 4, 0);
+        let win = q20.rows_slice(5, 12);
+        plan.validate_request(Geometry::window(5, 7, 20), &win, &k20, &v20)
+            .unwrap();
     }
 
     #[test]
@@ -287,26 +400,37 @@ mod tests {
         let (q, k, _) = qkv::<f64>(8, 4, 0);
         let (_, _, v_wrong) = qkv::<f64>(9, 4, 0);
         assert!(matches!(
-            plan.validate_request(&q, &k, &v_wrong),
+            validate_square(&plan, &q, &k, &v_wrong),
             Err(AttnError::ContextLengthMismatch { .. })
         ));
         let (q2, _, _) = qkv::<f64>(8, 6, 0);
         let (_, k2, v2) = qkv::<f64>(8, 4, 0);
         assert!(matches!(
-            plan.validate_request(&q2, &k2, &v2),
+            validate_square(&plan, &q2, &k2, &v2),
             Err(AttnError::KeyDimMismatch { .. })
         ));
     }
 
     #[test]
-    fn square_only_step_rejects_rectangular_mask() {
+    fn rectangular_mask_composes_with_implicit_kernels_as_a_window() {
+        // Since the geometry refactor, a rectangular CSR (4 query rows over
+        // 8 keys, indexed by absolute row) composes with implicit kernels:
+        // the pair runs as a query window of the logical 8×8 problem.
         let rect = gpa_sparse::CsrMask::empty(4, 8);
-        // Rectangular CSR alone: fine (cross-attention / row slices).
-        let plan = AttentionPlan::single(AttentionKernel::Csr(&rect)).unwrap();
-        assert!(!plan.requires_square());
-        // Combined with a square-only implicit kernel: rejected.
+        let plan =
+            AttentionPlan::new(&[AttentionKernel::Csr(&rect), AttentionKernel::Local { n: 1 }])
+                .unwrap();
+        assert_eq!(plan.kv_pin(), Some(8));
+        assert_eq!(plan.q_bound(), Some(4));
+        assert!(plan.requires_window());
+        let (q8, k8, v8) = qkv::<f64>(8, 4, 0);
+        let win = q8.rows_slice(0, 4);
+        plan.validate_request(Geometry::window(0, 4, 8), &win, &k8, &v8)
+            .unwrap();
+        // Queries beyond the mask's absolute row bound are rejected.
+        let deep = q8.rows_slice(2, 6);
         assert!(matches!(
-            AttentionPlan::new(&[AttentionKernel::Csr(&rect), AttentionKernel::Local { n: 1 }]),
+            plan.validate_request(Geometry::window(2, 4, 8), &deep, &k8, &v8),
             Err(AttnError::MaskShapeMismatch { .. })
         ));
     }
@@ -315,8 +439,16 @@ mod tests {
     fn sdp_plan_has_dense_geometry() {
         let dense = DenseMask::ones(6, 6);
         let plan = AttentionPlan::single(AttentionKernel::SdpMasked(&dense)).unwrap();
-        assert_eq!(plan.fixed_shape(), Some((6, 6)));
+        assert_eq!(plan.kv_pin(), Some(6));
+        assert!(plan.requires_square());
         assert!(!plan.is_composable());
         assert!(!plan.is_empty());
+        // Dense baselines accept only the full square geometry.
+        let (q, k, v) = qkv::<f64>(6, 4, 0);
+        validate_square(&plan, &q, &k, &v).unwrap();
+        let one = q.rows_slice(5, 6);
+        assert!(plan
+            .validate_request(Geometry::decode(6), &one, &k, &v)
+            .is_err());
     }
 }

@@ -20,6 +20,7 @@ use gpa_masks::{
     RandomUniform, Union,
 };
 use gpa_parallel::ThreadPool;
+use gpa_sparse::{DenseMask, DiaMask};
 use gpa_tensor::init::qkv;
 use gpa_tensor::{allclose, Matrix};
 
@@ -189,6 +190,32 @@ pub fn run_verification_at(
             &reference,
         ));
     }
+    // The DIA kernel (Section VI-A's sparse-representation extension)
+    // against an asymmetric multi-band mask no implicit kernel covers.
+    {
+        let w = window as i64;
+        let band = DiaMask::new(l, vec![-(l as i64) / 2, -w, -1, 0, 1, w, (l as i64) / 3])
+            .expect("band offsets fit the context");
+        let reference = masked_sdp(
+            pool,
+            &DenseMask::from_csr(&band.to_csr()),
+            &q,
+            &k,
+            &v,
+            &opts,
+        )
+        .unwrap();
+        let out = AttentionKernel::Dia(&band)
+            .run(pool, &q, &k, &v, &opts)
+            .unwrap();
+        records.push(record_comparison(
+            "DIA",
+            "diagonal-band",
+            band.nnz() as f64 / (l as f64 * l as f64),
+            &out,
+            &reference,
+        ));
+    }
 
     records
 }
@@ -201,8 +228,12 @@ mod tests {
     fn paper_protocol_passes_for_all_kernels() {
         let pool = ThreadPool::new(4);
         let records = run_paper_verification(&pool);
-        // 6 masks × 2 explicit kernels + 4 implicit kernels.
-        assert_eq!(records.len(), 16);
+        // 6 masks × 2 explicit kernels + 4 implicit kernels + DIA.
+        assert_eq!(records.len(), 17);
+        assert!(
+            records.iter().any(|r| r.kernel == "DIA"),
+            "the DIA kernel must be covered by the Section V-A protocol"
+        );
         for r in &records {
             assert!(
                 r.passed,

@@ -18,7 +18,9 @@
 //! hand-rolled per-device kernel loops of the pre-engine API.
 
 use crate::partition::RowPartition;
-use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan, AttentionRequest, AttentionState};
+use gpa_core::{
+    AttentionEngine, AttentionKernel, AttentionPlan, AttentionRequest, AttentionState, KvCache,
+};
 use gpa_sparse::{CooMask, CsrMask};
 use gpa_tensor::{merge_normalized, Matrix, OnlineSoftmaxState, Real};
 
@@ -68,6 +70,53 @@ pub fn row_distributed_attention<T: Real>(
             .expect("validated device slice executes");
         for (i, row) in range.clone().enumerate() {
             out.row_mut(row).copy_from_slice(device_out.row(i));
+        }
+    }
+    out
+}
+
+/// Row-decomposed execution of an *implicit* kernel via query windows: each
+/// device's row slice becomes a windowed request of the same compiled plan
+/// (its rows at their absolute offset, against the full K/V), so **no mask
+/// is materialized anywhere** — the geometry refactor's distributed
+/// dividend. All device slices execute as one batched launch, which is
+/// also the single-launch shape a real multi-process version would issue
+/// per device.
+///
+/// # Panics
+/// Panics if the kernel is a dense baseline or pins a key/value length
+/// other than `q.rows()`.
+pub fn row_distributed_windowed_attention<T: Real>(
+    engine: &AttentionEngine,
+    kernel: &AttentionKernel<'_>,
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    partition: &RowPartition,
+) -> Matrix<T> {
+    assert_eq!(
+        partition.context_len(),
+        q.rows(),
+        "partition/context mismatch"
+    );
+    let plan = AttentionPlan::single(*kernel).expect("distributed kernel compiles");
+    let q_slices: Vec<(usize, Matrix<T>)> = partition
+        .ranges()
+        .iter()
+        .filter(|range| !range.is_empty())
+        .map(|range| (range.start, q.rows_slice(range.start, range.end)))
+        .collect();
+    let requests: Vec<AttentionRequest<'_, T>> = q_slices
+        .iter()
+        .map(|(start, q_local)| AttentionRequest::windowed(q_local, k, v, *start))
+        .collect();
+    let outs = engine
+        .run_batch(&plan, &requests)
+        .expect("validated device windows execute");
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    for ((start, _), device_out) in q_slices.iter().zip(outs.iter()) {
+        for i in 0..device_out.rows() {
+            out.row_mut(start + i).copy_from_slice(device_out.row(i));
         }
     }
     out
@@ -130,6 +179,87 @@ pub fn kv_sharded_attention<T: Real>(
         .unwrap_or_else(|| Matrix::zeros(l, v.cols()))
 }
 
+/// KV-sharded decode — the sharding showcase of the geometry refactor: one
+/// query row (the newest token of a [`KvCache`]) computed against `shards`
+/// simulated devices, each owning a contiguous column range of the cache.
+///
+/// Each shard enumerates the decode row's neighbors through the kernel's
+/// own row rule ([`AttentionKernel::for_each_neighbor`] at the absolute
+/// index), keeps only its columns, and runs them as a single-row
+/// [`gpa_core::Geometry::decode`] request; the per-shard `(O, l, m)`
+/// softmax states then merge exactly, the same reduction a ring of devices
+/// would perform. The result equals the last row of the square forward
+/// over the cache (verified in tests).
+///
+/// # Panics
+/// Panics if the cache is empty or multi-head, or the kernel is a dense
+/// baseline.
+pub fn kv_sharded_decode<T: Real>(
+    engine: &AttentionEngine,
+    kernel: &AttentionKernel<'_>,
+    q_t: &Matrix<T>,
+    cache: &KvCache<T>,
+    shards: usize,
+) -> Matrix<T> {
+    assert_eq!(
+        cache.heads(),
+        1,
+        "decode sharding takes a single-head cache"
+    );
+    let kv_len = cache.len();
+    assert!(kv_len > 0, "decode needs at least one cached token");
+    let t = kv_len - 1;
+    let mut neighbors = Vec::new();
+    kernel.for_each_neighbor(kv_len, t, &mut |j| neighbors.push(j));
+
+    let partition = RowPartition::uniform(kv_len, shards.max(1));
+    let mut merged: Option<AttentionState<T>> = None;
+    for shard in partition.ranges() {
+        let entries: Vec<(usize, usize)> = neighbors
+            .iter()
+            .copied()
+            .filter(|j| shard.contains(j))
+            .map(|j| (t, j))
+            .collect();
+        if entries.is_empty() {
+            continue; // this shard owns none of the row's edges
+        }
+        let shard_mask = CsrMask::from_coo(
+            &CooMask::from_entries(t + 1, kv_len, entries).expect("row-t entries are in range"),
+        );
+        let plan = AttentionPlan::single(AttentionKernel::Csr(&shard_mask))
+            .expect("a shard of one decode row compiles");
+        let partial = engine
+            .run_batch_states(
+                &plan,
+                &[AttentionRequest::decode(q_t, cache.k(0), cache.v(0))],
+            )
+            .expect("validated shard inputs")
+            .pop()
+            .expect("one request, one state");
+        merged = Some(match merged.take() {
+            None => partial,
+            Some(mut acc) => {
+                let mut sa = OnlineSoftmaxState {
+                    m: acc.m[0],
+                    l: acc.l[0],
+                };
+                let sb = OnlineSoftmaxState {
+                    m: partial.m[0],
+                    l: partial.l[0],
+                };
+                merge_normalized(&mut sa, acc.o.row_mut(0), &sb, partial.o.row(0));
+                acc.m[0] = sa.m;
+                acc.l[0] = sa.l;
+                acc
+            }
+        });
+    }
+    merged
+        .map(|s| s.into_output())
+        .unwrap_or_else(|| Matrix::zeros(1, cache.dv()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +302,56 @@ mod tests {
         let single = csr_attention(e.pool(), &mask, &q, &k, &v, &KernelOptions::new()).unwrap();
         let distributed = row_distributed_attention(&e, &mask, &q, &k, &v, &part);
         assert!(paper_allclose(&distributed, &single));
+    }
+
+    #[test]
+    fn windowed_row_distribution_is_exact_without_materializing_masks() {
+        let l = 72;
+        let (q, k, v) = qkv::<f64>(l, 8, 65);
+        let e = engine();
+        let kernel = AttentionKernel::Local { n: 4 };
+        let plan = AttentionPlan::single(kernel).unwrap();
+        let single = e.run(&plan, &q, &k, &v).unwrap();
+        for devices in [1usize, 2, 5, 72] {
+            let part = RowPartition::uniform(l, devices);
+            let distributed = row_distributed_windowed_attention(&e, &kernel, &q, &k, &v, &part);
+            // Windows stream the same absolute rows ⇒ bitwise equality.
+            assert_eq!(distributed, single, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn kv_sharded_decode_matches_the_square_forward_last_row() {
+        let l = 40;
+        let (q, k, v) = qkv::<f64>(l, 8, 66);
+        let e = engine();
+        let globals = GlobalSet::evenly_spaced(l, 3);
+        let kernels = [
+            AttentionKernel::Local { n: 5 },
+            AttentionKernel::Dilated1d { w: 9, r: 2 },
+            AttentionKernel::Global {
+                globals: &globals,
+                n_sub: 0,
+            },
+        ];
+        let mut cache = KvCache::single(8, 8);
+        cache.extend(0, &k, &v);
+        let q_t = q.rows_slice(l - 1, l);
+        for kernel in &kernels {
+            let plan = AttentionPlan::single(*kernel).unwrap();
+            let single = e.run(&plan, &q, &k, &v).unwrap();
+            for shards in [1usize, 2, 3, 7, 40] {
+                let sharded = kv_sharded_decode(&e, kernel, &q_t, &cache, shards);
+                assert_eq!(sharded.shape(), (1, 8));
+                let mut row = Matrix::zeros(1, 8);
+                row.row_mut(0).copy_from_slice(single.row(l - 1));
+                assert!(
+                    paper_allclose(&sharded, &row),
+                    "{} shards = {shards}",
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]

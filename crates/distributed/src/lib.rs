@@ -13,16 +13,23 @@
 //!   K/V rows a sparse mask actually needs vs the dense all-gather
 //!   baseline — plus a simple makespan model;
 //! - [`exec`]: *executed* decompositions verified exact against the
-//!   single-device kernels: row distribution (sequence parallelism) and
-//!   ring-style KV sharding, whose per-row softmax-state merge is the
-//!   correctness core of any distributed online-softmax attention.
+//!   single-device kernels: row distribution (sequence parallelism) — via
+//!   explicit mask slices or, for implicit kernels, mask-free
+//!   [`gpa_core::Geometry`] query windows — and ring-style KV sharding,
+//!   whose per-row softmax-state merge is the correctness core of any
+//!   distributed online-softmax attention. KV-cached decode is the
+//!   sharding showcase ([`exec::kv_sharded_decode`]): one query row
+//!   merged across shards through the same `(O, l, m)` reduction.
 
 pub mod comm;
 pub mod exec;
 pub mod partition;
 
 pub use comm::{analyze, CommStats, DeviceCost};
-pub use exec::{kv_sharded_attention, row_distributed_attention};
+pub use exec::{
+    kv_sharded_attention, kv_sharded_decode, row_distributed_attention,
+    row_distributed_windowed_attention,
+};
 pub use partition::RowPartition;
 
 #[cfg(test)]

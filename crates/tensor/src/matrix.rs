@@ -152,6 +152,37 @@ impl<T: Real> Matrix<T> {
         }
     }
 
+    /// Append one row at the bottom — the amortized-O(row) growth step a
+    /// KV cache performs once per generated token.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "row length {} does not match {} columns",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Reserve backing storage for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
+    /// Drop every row past the first `rows` — the rollback counterpart of
+    /// [`Self::push_row`]. A no-op when the matrix is already shorter.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        if rows < self.rows {
+            self.data.truncate(rows * self.cols);
+            self.rows = rows;
+        }
+    }
+
     /// Map every element.
     pub fn map(&self, f: impl Fn(T) -> T) -> Matrix<T> {
         Matrix {
@@ -287,6 +318,37 @@ mod tests {
         assert_eq!(s.shape(), (2, 2));
         assert_eq!(s.row(0), m.row(1));
         assert_eq!(s.row(1), m.row(2));
+    }
+
+    #[test]
+    fn push_row_grows_the_matrix() {
+        let mut m: Matrix<f64> = Matrix::zeros(0, 3);
+        m.reserve_rows(2);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        let grown = m;
+        let built: Matrix<f64> = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(grown, built);
+    }
+
+    #[test]
+    fn truncate_rows_rolls_back_pushes() {
+        let mut m: Matrix<f64> = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let before = m.clone();
+        m.push_row(&[5.0, 6.0]);
+        m.truncate_rows(2);
+        assert_eq!(m, before);
+        m.truncate_rows(5); // longer than the matrix: no-op
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn push_row_checks_width() {
+        let mut m: Matrix<f32> = Matrix::zeros(1, 3);
+        m.push_row(&[1.0, 2.0]);
     }
 
     #[test]

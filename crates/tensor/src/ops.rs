@@ -11,11 +11,32 @@ use crate::real::Real;
 
 /// Dot product of two equal-length slices — the innermost operation of every
 /// attention kernel (one per mask non-zero).
+///
+/// Written as a chunked loop over four independent accumulators: strict
+/// IEEE semantics forbid LLVM from reassociating a single-accumulator
+/// reduction, so the naive iterator sum compiles to a serial add chain.
+/// Independent lanes break that dependency, letting the loop vectorize
+/// (and contract each lane's multiply-add into a hardware FMA on targets
+/// that have one). The lanes combine once at the end, so the summation
+/// order — hence the result — is deterministic for a given length.
 #[inline(always)]
 pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
-    // Iterator form elides bounds checks and vectorizes.
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    let split = a.len() & !3;
+    let (a_main, a_tail) = a.split_at(split);
+    let (b_main, b_tail) = b.split_at(split);
+    let mut acc = [T::ZERO; 4];
+    for (ca, cb) in a_main.chunks_exact(4).zip(b_main.chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = T::ZERO;
+    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// `out += w · v` — fold one weighted value row into an accumulator.
@@ -101,6 +122,25 @@ mod tests {
         assert_eq!(dot(&a, &b), 12.0);
         let empty: [f64; 0] = [];
         assert_eq!(dot(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_every_chunk_remainder() {
+        // Lengths 0..=9 cover main-loop counts 0..2 with tails 0..3.
+        for len in 0..10usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 + 1.0) * 0.5).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64) - 2.5).collect();
+            let naive: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+            let got = dot(&a, &b);
+            assert!((got - naive).abs() < 1e-12, "len={len}: {got} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic_per_length() {
+        let a: Vec<f32> = (0..67).map(|i| ((i * 37) % 19) as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..67).map(|i| ((i * 11) % 23) as f32 - 9.0).collect();
+        assert_eq!(dot(&a, &b), dot(&a, &b));
     }
 
     #[test]

@@ -72,6 +72,24 @@
 //!     .run_kernel(AttentionKernel::SdpMasked(&dense), &q, &k, &v)
 //!     .unwrap();
 //! assert!(paper_allclose(&out, &reference));
+//!
+//! // Serving geometry: chunked prefill fills a KV cache (bitwise equal to
+//! // the square forward for any chunk split), then each generated token
+//! // decodes as a single cached row — the last row of the square forward
+//! // over everything so far.
+//! let window_plan = engine.compile(&[AttentionKernel::Local { n: 4 }]).unwrap();
+//! let mut cache = KvCache::single(dk, dk);
+//! let prefill = engine
+//!     .prefill_chunked(&window_plan, &q, &k, &v, 16, &mut cache)
+//!     .unwrap();
+//! assert_eq!(prefill, engine.run(&window_plan, &q, &k, &v).unwrap());
+//!
+//! let (q_t, k_t, v_t) = init::qkv::<f64>(1, dk, 99);
+//! let token_out = engine
+//!     .decode_step(&window_plan, &q_t, &k_t, &v_t, &mut cache)
+//!     .unwrap();
+//! assert_eq!(token_out.shape(), (1, dk));
+//! assert_eq!(cache.len(), l + 1);
 //! ```
 //!
 //! The pre-engine free functions (`csr_attention(&pool, …)` and friends)
@@ -90,7 +108,8 @@ pub mod prelude {
     pub use gpa_core::{
         csr_attention, flash_attention, local_attention, masked_sdp, pattern_attention,
         run_composed, AttentionEngine, AttentionEngineBuilder, AttentionKernel, AttentionPlan,
-        AttentionRequest, AttentionState, CooSearch, KernelOptions, MultiHeadAttention,
+        AttentionRequest, AttentionState, CooSearch, Geometry, KernelOptions, KvCache,
+        MultiHeadAttention,
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};

@@ -63,6 +63,11 @@ fn genomics_longnet_runs() {
 }
 
 #[test]
+fn incremental_decode_runs() {
+    run_example("incremental_decode", true);
+}
+
+#[test]
 fn longformer_document_runs() {
     run_example("longformer_document", true);
 }

@@ -1,0 +1,324 @@
+//! Rectangular geometry is exact: query windows, chunked prefill, and
+//! KV-cached decode must reproduce the square forward **bitwise**.
+//!
+//! Three properties anchor the serving surface:
+//!
+//! 1. a windowed implicit kernel equals both the rectangular-CSR reference
+//!    mask over the same window and the corresponding rows of the square
+//!    run;
+//! 2. chunked prefill over *any* chunk split is the full square forward;
+//! 3. each decode step through a [`KvCache`] is the last row of the square
+//!    forward over the tokens cached so far — and for causal masks (whose
+//!    rows never look forward) prefill + decode reassembles the full
+//!    square forward exactly.
+
+use graph_attention::core::KvCache;
+use graph_attention::prelude::*;
+use graph_attention::sparse::{CooMask, CsrMask, DiaMask};
+use proptest::prelude::*;
+
+fn engine() -> AttentionEngine {
+    AttentionEngine::with_threads(3)
+}
+
+/// Restrict a square CSR mask to absolute query rows `0..q_end` (keeping
+/// absolute row indices — the executor's explicit-mask convention).
+fn restrict_rows(mask: &CsrMask, q_end: usize) -> CsrMask {
+    let entries: Vec<(usize, usize)> = mask.iter().filter(|&(r, _)| r < q_end).collect();
+    CsrMask::from_coo(&CooMask::from_entries(q_end, mask.cols(), entries).unwrap())
+}
+
+/// Restrict a square CSR mask to the `prefix × prefix` leading block.
+fn restrict_square(mask: &CsrMask, prefix: usize) -> CsrMask {
+    let entries: Vec<(usize, usize)> = mask
+        .iter()
+        .filter(|&(r, c)| r < prefix && c < prefix)
+        .collect();
+    CsrMask::from_coo(&CooMask::from_entries(prefix, prefix, entries).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property 1 — every implicit kernel (and DIA) on a random query
+    /// window is bitwise equal to (a) the rectangular-CSR reference mask
+    /// of the same window and (b) the matching rows of the square run.
+    #[test]
+    fn windowed_kernels_match_rectangular_csr_and_square_rows(
+        l in 4usize..36,
+        dk in 1usize..8,
+        n in 0usize..5,
+        w in 1usize..8,
+        r in 0usize..3,
+        off_frac in 0.0f64..1.0,
+        rows_frac in 0.0f64..1.0,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed);
+        let off = ((l - 1) as f64 * off_frac) as usize;
+        let rows = 1 + ((l - off - 1) as f64 * rows_frac) as usize;
+        let q_win = q.rows_slice(off, off + rows);
+        let globals = GlobalSet::evenly_spaced(l, n.min(l));
+        let dia = DiaMask::new(l, vec![-((n % l.max(2)) as i64), 0, (w % l) as i64 % l as i64])
+            .unwrap();
+
+        let square_masks: Vec<(AttentionKernel<'_>, CsrMask)> = vec![
+            (AttentionKernel::Local { n }, LocalWindow::new(l, n).to_csr()),
+            (
+                AttentionKernel::Dilated1d { w, r },
+                graph_attention::masks::Dilated1d::new(l, w, r).to_csr(),
+            ),
+            (
+                AttentionKernel::Dilated2d { block_size: w, r },
+                graph_attention::masks::Dilated2d::new(l, w, r).to_csr(),
+            ),
+            (
+                AttentionKernel::Global { globals: &globals, n_sub: n },
+                graph_attention::masks::GlobalMinusLocal::new(globals.clone(), n).to_csr(),
+            ),
+            (AttentionKernel::Dia(&dia), dia.to_csr()),
+        ];
+
+        for (kernel, square_csr) in &square_masks {
+            let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+            let windowed = e
+                .run_batch(&plan, &[AttentionRequest::windowed(&q_win, &k, &v, off)])
+                .unwrap()
+                .pop()
+                .unwrap();
+
+            // (a) The rectangular-CSR reference over the same window.
+            let rect = restrict_rows(square_csr, off + rows);
+            let rect_plan = e.compile(&[AttentionKernel::Csr(&rect)]).unwrap();
+            let via_rect = e
+                .run_batch(&rect_plan, &[AttentionRequest::windowed(&q_win, &k, &v, off)])
+                .unwrap()
+                .pop()
+                .unwrap();
+            prop_assert!(windowed == via_rect, "{} vs rect CSR", kernel.name());
+
+            // (b) The matching rows of the full square run.
+            let square = e.run(&plan, &q, &k, &v).unwrap();
+            for i in 0..rows {
+                prop_assert!(
+                    windowed.row(i) == square.row(off + i),
+                    "{} row {} (off {})",
+                    kernel.name(),
+                    i,
+                    off
+                );
+            }
+        }
+    }
+
+    /// Property 2 — chunked prefill over any chunk split is bitwise the
+    /// square forward, for every composable kernel family.
+    #[test]
+    fn any_chunked_prefill_is_bitwise_the_full_forward(
+        l in 2usize..32,
+        dk in 1usize..8,
+        n in 0usize..5,
+        chunk in 1usize..40,
+        density in 0.05f64..0.8,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0x9E0);
+        let globals = GlobalSet::evenly_spaced(l, (n + 1).min(l));
+        let csr = graph_attention::masks::RandomUniform::new(l, density, seed).to_csr();
+        let coo = csr.to_coo();
+        let dia = DiaMask::local(l, n);
+
+        let kernels: Vec<AttentionKernel<'_>> = vec![
+            AttentionKernel::Local { n },
+            AttentionKernel::Dilated1d { w: n + 1, r: 1 },
+            AttentionKernel::Dilated2d { block_size: n + 1, r: 1 },
+            AttentionKernel::Global { globals: &globals, n_sub: n },
+            AttentionKernel::Dia(&dia),
+            AttentionKernel::Csr(&csr),
+            AttentionKernel::Coo(&coo, CooSearch::Linear),
+        ];
+        for kernel in &kernels {
+            let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+            let full = e.run(&plan, &q, &k, &v).unwrap();
+            let mut cache = KvCache::single(dk, dk);
+            let prefill = e
+                .prefill_chunked(&plan, &q, &k, &v, chunk, &mut cache)
+                .unwrap();
+            prop_assert!(prefill == full, "{} chunk={}", kernel.name(), chunk);
+            prop_assert_eq!(cache.len(), l);
+        }
+    }
+
+    /// Property 3 — prefill a prompt, then decode the remaining tokens one
+    /// at a time through the KvCache: every decode step is bitwise the
+    /// last row of the square forward over the tokens so far, for every
+    /// composable kernel family (length-pinning kernels get a per-prefix
+    /// mask, exactly as the square reference does).
+    #[test]
+    fn prefill_plus_decode_reproduces_every_square_prefix(
+        l in 2usize..24,
+        dk in 1usize..6,
+        n in 0usize..4,
+        chunk in 1usize..8,
+        density in 0.1f64..0.9,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0xD3C);
+        let prompt = 1 + (seed as usize % l);
+        let full_csr = graph_attention::masks::RandomUniform::new(l, density, seed).to_csr();
+        let global_indices: Vec<usize> = vec![0];
+
+        // Length-free plans: compiled once, reused for prefill and every
+        // decode step of the growing cache.
+        let implicit: Vec<AttentionKernel<'_>> = vec![
+            AttentionKernel::Local { n },
+            AttentionKernel::Dilated1d { w: n + 1, r: 1 },
+            AttentionKernel::Dilated2d { block_size: n + 2, r: 1 },
+        ];
+        for kernel in &implicit {
+            let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+            let mut cache = KvCache::single(dk, dk);
+            let prefill = e
+                .prefill_chunked(
+                    &plan,
+                    &q.rows_slice(0, prompt),
+                    &k.rows_slice(0, prompt),
+                    &v.rows_slice(0, prompt),
+                    chunk,
+                    &mut cache,
+                )
+                .unwrap();
+            let square_prompt = e.run(
+                &plan,
+                &q.rows_slice(0, prompt),
+                &k.rows_slice(0, prompt),
+                &v.rows_slice(0, prompt),
+            )
+            .unwrap();
+            prop_assert!(prefill == square_prompt, "{} prefill", kernel.name());
+            for t in prompt..l {
+                let out = e
+                    .decode_step(
+                        &plan,
+                        &q.rows_slice(t, t + 1),
+                        &k.rows_slice(t, t + 1),
+                        &v.rows_slice(t, t + 1),
+                        &mut cache,
+                    )
+                    .unwrap();
+                let prefix = e.run(
+                    &plan,
+                    &q.rows_slice(0, t + 1),
+                    &k.rows_slice(0, t + 1),
+                    &v.rows_slice(0, t + 1),
+                )
+                .unwrap();
+                prop_assert!(out.row(0) == prefix.row(t), "{} step {}", kernel.name(), t);
+            }
+        }
+
+        // Length-pinned families: the mask grows with the prefix on both
+        // the decode side and the square-reference side.
+        let mut cache = KvCache::single(dk, dk);
+        cache.extend(0, &k.rows_slice(0, prompt), &v.rows_slice(0, prompt));
+        for t in prompt..l {
+            cache.append(0, k.row(t), v.row(t));
+            let len = t + 1;
+            let q_t = q.rows_slice(t, t + 1);
+            let prefix_q = q.rows_slice(0, len);
+            let prefix_k = k.rows_slice(0, len);
+            let prefix_v = v.rows_slice(0, len);
+
+            let globals = GlobalSet::new(len, global_indices.clone());
+            let dia = DiaMask::local(len, n);
+            let csr = restrict_square(&full_csr, len);
+            let coo = csr.to_coo();
+            let pinned: Vec<AttentionKernel<'_>> = vec![
+                AttentionKernel::Global { globals: &globals, n_sub: n },
+                AttentionKernel::Dia(&dia),
+                AttentionKernel::Csr(&csr),
+                AttentionKernel::Coo(&coo, CooSearch::Binary),
+            ];
+            for kernel in &pinned {
+                let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+                let out = e
+                    .run_batch(
+                        &plan,
+                        &[AttentionRequest::decode(&q_t, cache.k(0), cache.v(0))],
+                    )
+                    .unwrap()
+                    .pop()
+                    .unwrap();
+                let prefix = e.run(&plan, &prefix_q, &prefix_k, &prefix_v).unwrap();
+                prop_assert!(out.row(0) == prefix.row(t), "{} step {}", kernel.name(), t);
+            }
+        }
+    }
+
+    /// The headline invariant in its strongest form: for a *causal* mask
+    /// (a DIA band of non-positive offsets — rows never look forward),
+    /// chunked prefill of a prompt followed by per-token decode through
+    /// the KvCache reassembles the full square forward **bitwise**.
+    #[test]
+    fn causal_prefill_plus_decode_is_bitwise_the_full_square_forward(
+        l in 2usize..28,
+        dk in 1usize..8,
+        band in 1usize..6,
+        chunk in 1usize..10,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0xCA5);
+        let prompt = 1 + (seed as usize % l);
+
+        // The full-sequence causal band and its per-prefix restrictions
+        // share one offset set; causal rows are prefix-independent.
+        let offsets: Vec<i64> = (0..=band as i64).map(|d| -d).collect();
+        let clip = |len: usize| -> DiaMask {
+            DiaMask::new(
+                len,
+                offsets.iter().copied().filter(|d| d.unsigned_abs() < len as u64).collect(),
+            )
+            .unwrap()
+        };
+        let full_mask = clip(l);
+        let full_plan = e.compile(&[AttentionKernel::Dia(&full_mask)]).unwrap();
+        let full = e.run(&full_plan, &q, &k, &v).unwrap();
+
+        let mut assembled = Matrix::zeros(l, dk);
+        let mut cache = KvCache::single(dk, dk);
+        let prompt_mask = clip(prompt);
+        let prompt_plan = e.compile(&[AttentionKernel::Dia(&prompt_mask)]).unwrap();
+        let prefill = e
+            .prefill_chunked(
+                &prompt_plan,
+                &q.rows_slice(0, prompt),
+                &k.rows_slice(0, prompt),
+                &v.rows_slice(0, prompt),
+                chunk,
+                &mut cache,
+            )
+            .unwrap();
+        for i in 0..prompt {
+            assembled.row_mut(i).copy_from_slice(prefill.row(i));
+        }
+        for t in prompt..l {
+            let step_mask = clip(t + 1);
+            let step_plan = e.compile(&[AttentionKernel::Dia(&step_mask)]).unwrap();
+            let out = e
+                .decode_step(
+                    &step_plan,
+                    &q.rows_slice(t, t + 1),
+                    &k.rows_slice(t, t + 1),
+                    &v.rows_slice(t, t + 1),
+                    &mut cache,
+                )
+                .unwrap();
+            assembled.row_mut(t).copy_from_slice(out.row(0));
+        }
+        prop_assert_eq!(&assembled, &full);
+    }
+}

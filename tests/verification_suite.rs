@@ -19,8 +19,16 @@ fn paper_protocol_all_kernels_pass() {
             r.kernel, r.mask, r.max_abs_diff
         );
     }
-    // All six paper kernels must be covered.
-    for kernel in ["COO", "CSR", "Local", "Dilated-1D", "Dilated-2D", "Global"] {
+    // All six paper kernels plus the DIA extension must be covered.
+    for kernel in [
+        "COO",
+        "CSR",
+        "Local",
+        "Dilated-1D",
+        "Dilated-2D",
+        "Global",
+        "DIA",
+    ] {
         assert!(kernels_seen.contains(kernel), "missing kernel {kernel}");
     }
 }
