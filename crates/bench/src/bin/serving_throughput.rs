@@ -1,0 +1,75 @@
+//! Serving throughput — continuous batching vs one-sequence-at-a-time:
+//! tokens/sec and tick-latency percentiles (p50/p99) vs offered load.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin serving_throughput [--quick|--paper]
+//! ```
+
+use gpa_bench::experiments::{run_serving, ServingConfig};
+use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ServingConfig::for_scale(args.scale);
+    cfg.seed = args.seed;
+
+    println!(
+        "Serving throughput — continuous batching vs sequential on {}",
+        HostInfo::detect().summary()
+    );
+    println!(
+        "{} sequences per point, prompts {:?}, decode {:?}, dk = {}, window = {}, \
+         chunk = {}, ≤{} in flight, {}-token KV budget\n",
+        cfg.sequences,
+        cfg.prompt,
+        cfg.decode,
+        cfg.dk,
+        cfg.window,
+        cfg.prefill_chunk,
+        cfg.max_in_flight,
+        cfg.kv_budget_tokens
+    );
+
+    let records = run_serving(args.threads, &cfg, |r| {
+        eprintln!(
+            "  measured {:<10} gap={:<4} -> {} per {} ({})",
+            r.algo,
+            r.sf_target,
+            fmt_seconds(r.mean_s),
+            if r.algo == "Continuous" {
+                "tick"
+            } else {
+                "sequence"
+            },
+            r.note,
+        );
+    });
+
+    // Offered load × algo → mean launch-unit time and latency percentiles.
+    let headers = ["arrival gap", "algo", "mean", "p50 latency", "p99 latency"];
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let pct = |tag: &str| {
+                r.note
+                    .split("; ")
+                    .find_map(|kv| kv.strip_prefix(tag))
+                    .map(|v| format!("{v} ticks"))
+                    .unwrap_or_else(|| "—".into())
+            };
+            vec![
+                format!("{:.0}", r.sf_target),
+                r.algo.clone(),
+                fmt_seconds(r.mean_s),
+                pct("p50t="),
+                pct("p99t="),
+            ]
+        })
+        .collect();
+    println!("\n{}", ascii_table(&headers, &rows));
+
+    match write_csv(&args.out_dir, "serving", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write CSV: {e}"),
+    }
+}

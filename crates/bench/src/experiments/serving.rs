@@ -1,0 +1,342 @@
+//! Serving throughput — continuous batching vs one-sequence-at-a-time as
+//! offered load grows.
+//!
+//! One seeded workload per offered-load point (mixed prompt/decode
+//! lengths, priorities, and arrival gaps) is served two ways:
+//!
+//! - **Continuous** — through `gpa-serve`'s [`Scheduler`]: every tick one
+//!   batched launch carries all runnable prefill chunks and decode rows,
+//!   so per-token launch overhead is paid once per tick. Wall-time samples
+//!   are per-tick durations; the *tick-latency* percentiles (p50/p99 of
+//!   submission→completion in virtual ticks) are simulation-deterministic
+//!   per seed, so they live in the record's note and survive the
+//!   regression join.
+//! - **Sequential** — the naive baseline: each sequence served alone via
+//!   chunked prefill plus per-token [`gpa_core::AttentionEngine`] decode
+//!   steps, one launch per chunk/token. Wall-time samples are
+//!   per-sequence durations.
+//!
+//! Offered load is the mean arrival gap in ticks: `gap = 0` is a
+//! saturating burst, large gaps approach the idle regime where batching
+//! cannot help. The correctness claim (continuous outputs bitwise equal
+//! the sequential serve) is enforced by `tests/serving_sim.rs`; a
+//! spot-check also runs here under `cfg(test)`.
+
+use crate::args::Scale;
+use crate::report::Record;
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
+use gpa_serve::{
+    generate_trace, sequential_reference, Completion, Scheduler, ServeConfig, TraceEvent, TraceSpec,
+};
+use std::time::Instant;
+
+/// Sweep configuration for the serving-throughput experiment.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Mean inter-arrival gaps (ticks) to sweep — the offered-load axis,
+    /// smaller is heavier.
+    pub arrival_gaps: Vec<u64>,
+    /// Sequences per workload point.
+    pub sequences: usize,
+    /// Inclusive prompt-length range.
+    pub prompt: (usize, usize),
+    /// Inclusive generated-token range.
+    pub decode: (usize, usize),
+    /// Key/value dimension.
+    pub dk: usize,
+    /// Local-attention window per direction.
+    pub window: usize,
+    /// Scheduler admission policy.
+    pub max_in_flight: usize,
+    /// KV token budget.
+    pub kv_budget_tokens: usize,
+    /// Prefill chunk rows.
+    pub prefill_chunk: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ServingConfig {
+    /// Configuration for a CLI scale.
+    pub fn for_scale(scale: Scale) -> ServingConfig {
+        match scale {
+            Scale::Quick => ServingConfig {
+                arrival_gaps: vec![0, 2, 8],
+                sequences: 12,
+                prompt: (8, 24),
+                decode: (4, 8),
+                dk: 16,
+                window: 4,
+                max_in_flight: 4,
+                kv_budget_tokens: 256,
+                prefill_chunk: 8,
+                seed: 0x5EED,
+            },
+            Scale::Default => ServingConfig {
+                arrival_gaps: vec![0, 4, 16],
+                sequences: 64,
+                prompt: (64, 256),
+                decode: (32, 64),
+                dk: 64,
+                window: 32,
+                max_in_flight: 16,
+                kv_budget_tokens: 1 << 14,
+                prefill_chunk: 64,
+                seed: 0x5EED,
+            },
+            Scale::Paper => ServingConfig {
+                arrival_gaps: vec![0, 8, 32],
+                sequences: 256,
+                prompt: (256, 2048),
+                decode: (64, 128),
+                dk: 64,
+                window: 64,
+                max_in_flight: 32,
+                kv_budget_tokens: 1 << 18,
+                prefill_chunk: 256,
+                seed: 0x5EED,
+            },
+        }
+    }
+
+    fn scheduler_config(&self) -> ServeConfig {
+        ServeConfig {
+            max_in_flight: self.max_in_flight,
+            kv_budget_tokens: self.kv_budget_tokens,
+            arrival_window: 0,
+            prefill_chunk: self.prefill_chunk,
+        }
+    }
+
+    fn trace_spec(&self, gap: u64) -> TraceSpec {
+        TraceSpec {
+            sequences: self.sequences,
+            prompt: self.prompt,
+            decode: self.decode,
+            dk: self.dk,
+            arrival_gap: (0, 2 * gap),
+            priority_classes: 2,
+            seed: self.seed ^ gap.wrapping_mul(0x9E37_79B9),
+        }
+    }
+}
+
+/// Percentile of already-sorted data by nearest-rank.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Serve one workload through the scheduler; returns per-tick wall-time
+/// samples, the completions, and total tokens computed.
+fn run_continuous(
+    engine_threads: Option<usize>,
+    cfg: &ServingConfig,
+    trace: &[TraceEvent<f32>],
+) -> (Vec<f64>, Vec<Completion<f32>>, usize) {
+    let engine = match engine_threads {
+        Some(t) => AttentionEngine::with_threads(t),
+        None => AttentionEngine::new(),
+    };
+    let mut scheduler: Scheduler<'static, f32> =
+        Scheduler::new(engine, cfg.scheduler_config()).expect("valid scheduler config");
+    let plan = scheduler
+        .register_plan(
+            AttentionPlan::single(AttentionKernel::Local { n: cfg.window })
+                .expect("window plan compiles"),
+        )
+        .expect("implicit plans register");
+    // Retarget the trace's plan ids at this scheduler's plan.
+    let mut completions = Vec::new();
+    let mut samples = Vec::new();
+    let mut next = 0usize;
+    while next < trace.len() || !scheduler.is_idle() {
+        while next < trace.len() && trace[next].at <= scheduler.now() {
+            let mut request = trace[next].request.clone();
+            request.plan = plan;
+            scheduler.submit(request).expect("trace requests are valid");
+            next += 1;
+        }
+        let started = Instant::now();
+        let report = scheduler.tick().expect("healthy workload ticks");
+        samples.push(started.elapsed().as_secs_f64());
+        completions.extend(report.completed);
+    }
+    let tokens = completions.iter().map(|c| c.output.rows()).sum();
+    (samples, completions, tokens)
+}
+
+/// Serve the same workload one sequence at a time (the pre-scheduler
+/// serving loop); returns per-sequence wall-time samples and total tokens.
+fn run_sequential(
+    engine_threads: Option<usize>,
+    cfg: &ServingConfig,
+    trace: &[TraceEvent<f32>],
+) -> (Vec<f64>, usize) {
+    let engine = match engine_threads {
+        Some(t) => AttentionEngine::with_threads(t),
+        None => AttentionEngine::new(),
+    };
+    let plan = AttentionPlan::single(AttentionKernel::Local { n: cfg.window })
+        .expect("window plan compiles");
+    let mut samples = Vec::with_capacity(trace.len());
+    let mut tokens = 0usize;
+    for event in trace {
+        let started = Instant::now();
+        let out = sequential_reference(&engine, &plan, &event.request, cfg.prefill_chunk)
+            .expect("healthy workload serves");
+        samples.push(started.elapsed().as_secs_f64());
+        tokens += out.rows();
+        std::hint::black_box(out);
+    }
+    (samples, tokens)
+}
+
+/// Run the serving sweep, streaming each record to `on_record`.
+pub fn run_serving(
+    threads: Option<usize>,
+    cfg: &ServingConfig,
+    mut on_record: impl FnMut(&Record),
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    let mean_prompt = (cfg.prompt.0 + cfg.prompt.1) / 2;
+    for &gap in &cfg.arrival_gaps {
+        let trace: Vec<TraceEvent<f32>> =
+            generate_trace(&cfg.trace_spec(gap), &[gpa_serve::PlanId::default()]);
+
+        let (tick_samples, completions, tokens) = run_continuous(threads, cfg, &trace);
+        let mut latencies: Vec<u64> = completions.iter().map(Completion::latency_ticks).collect();
+        latencies.sort_unstable();
+        let stat = crate::protocol::BenchStat::from_samples(&tick_samples);
+        let total_s: f64 = tick_samples.iter().sum();
+        let rec = Record {
+            experiment: "serving".into(),
+            algo: "Continuous".into(),
+            l: mean_prompt,
+            dk: cfg.dk,
+            sf_target: gap as f64,
+            sf_achieved: f64::NAN,
+            mean_s: stat.mean,
+            min_s: stat.min,
+            max_s: stat.max,
+            std_s: stat.std,
+            iters: stat.iters,
+            // Tick-latency percentiles are virtual-clock quantities:
+            // deterministic per seed, machine-independent, safe in the
+            // regression join key. Tokens/sec goes to stdout only.
+            note: format!(
+                "gap={gap}; window={}; p50t={}; p99t={}",
+                cfg.window,
+                percentile(&latencies, 50.0),
+                percentile(&latencies, 99.0),
+            ),
+        };
+        on_record(&rec);
+        records.push(rec);
+        let continuous_tps = tokens as f64 / total_s;
+
+        let (seq_samples, seq_tokens) = run_sequential(threads, cfg, &trace);
+        assert_eq!(seq_tokens, tokens, "same workload, same token count");
+        let stat = crate::protocol::BenchStat::from_samples(&seq_samples);
+        let rec = Record {
+            experiment: "serving".into(),
+            algo: "Sequential".into(),
+            l: mean_prompt,
+            dk: cfg.dk,
+            sf_target: gap as f64,
+            sf_achieved: f64::NAN,
+            mean_s: stat.mean,
+            min_s: stat.min,
+            max_s: stat.max,
+            std_s: stat.std,
+            iters: stat.iters,
+            note: format!("gap={gap}; window={}", cfg.window),
+        };
+        on_record(&rec);
+        records.push(rec);
+        let sequential_tps = tokens as f64 / seq_samples.iter().sum::<f64>();
+        eprintln!(
+            "  gap={gap}: continuous {continuous_tps:.0} tok/s vs sequential {sequential_tps:.0} tok/s ({:.2}x)",
+            continuous_tps / sequential_tps
+        );
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServingConfig {
+        ServingConfig {
+            arrival_gaps: vec![0, 3],
+            sequences: 5,
+            prompt: (2, 6),
+            decode: (1, 3),
+            dk: 4,
+            window: 2,
+            max_in_flight: 3,
+            kv_budget_tokens: 64,
+            prefill_chunk: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_both_algos_at_every_load() {
+        let cfg = tiny();
+        let mut streamed = 0usize;
+        let records = run_serving(Some(2), &cfg, |_| streamed += 1);
+        assert_eq!(records.len(), streamed);
+        assert_eq!(records.len(), 2 * cfg.arrival_gaps.len());
+        for gap in &cfg.arrival_gaps {
+            for algo in ["Continuous", "Sequential"] {
+                assert!(
+                    records
+                        .iter()
+                        .any(|r| r.algo == algo && r.sf_target == *gap as f64),
+                    "missing {algo} at gap {gap}"
+                );
+            }
+        }
+        assert!(records.iter().all(|r| r.mean_s > 0.0 && r.iters > 0));
+        // Latency percentiles only on the scheduler rows.
+        assert!(records
+            .iter()
+            .filter(|r| r.algo == "Continuous")
+            .all(|r| r.note.contains("p50t=") && r.note.contains("p99t=")));
+    }
+
+    #[test]
+    fn continuous_serving_is_bitwise_the_sequential_reference() {
+        // The measured loop must serve real attention: spot-check every
+        // completion against the sequential reference (the exhaustive
+        // version of this check lives in tests/serving_sim.rs).
+        let cfg = tiny();
+        let trace: Vec<TraceEvent<f32>> =
+            generate_trace(&cfg.trace_spec(1), &[gpa_serve::PlanId::default()]);
+        let (_, completions, _) = run_continuous(Some(2), &cfg, &trace);
+        assert_eq!(completions.len(), trace.len());
+        let engine = AttentionEngine::with_threads(2);
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: cfg.window }).unwrap();
+        for c in &completions {
+            let expect = sequential_reference(
+                &engine,
+                &plan,
+                &trace[c.id.as_u64() as usize].request,
+                cfg.prefill_chunk,
+            )
+            .unwrap();
+            assert_eq!(c.output, expect);
+        }
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let sorted = [1u64, 2, 3, 4, 10];
+        assert_eq!(percentile(&sorted, 50.0), 3);
+        assert_eq!(percentile(&sorted, 99.0), 10);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+}

@@ -89,6 +89,26 @@ impl<'a, T: Real> AttentionRequest<'a, T> {
     }
 }
 
+/// One sequence's pending decode token in a multi-sequence batched decode
+/// launch ([`crate::AttentionEngine::decode_steps_batched`]): the new
+/// token's query/key/value rows plus exclusive access to that sequence's
+/// cache.
+///
+/// The engine validates every step **before** mutating any cache, appends
+/// every step's K/V rows, runs all decode rows as one flattened launch,
+/// and on failure truncates every cache back — so a batch of steps either
+/// all land or none do.
+pub struct DecodeStep<'a, T> {
+    /// The new token's query row, `1 × dk`.
+    pub q_t: &'a Matrix<T>,
+    /// The new token's key row, `1 × dk`.
+    pub k_t: &'a Matrix<T>,
+    /// The new token's value row, `1 × dv`.
+    pub v_t: &'a Matrix<T>,
+    /// The sequence's single-head cache (appended to by the launch).
+    pub cache: &'a mut crate::cache::KvCache<T>,
+}
+
 /// Split a query matrix into `(window start, owned row chunk)` pieces of at
 /// most `chunk` rows — the request shape chunked prefill feeds to
 /// [`execute_batch`], shared by the engine- and multi-head-level prefill

@@ -60,11 +60,12 @@ pub mod kernels;
 pub mod multihead;
 pub mod options;
 pub mod plan;
+pub mod slots;
 pub mod state;
 pub mod verify;
 
 pub use baselines::{flash_attention, flash_attention_tiled, masked_sdp};
-pub use batch::AttentionRequest;
+pub use batch::{AttentionRequest, DecodeStep};
 pub use cache::KvCache;
 pub use dispatch::{run_composed, AttentionKernel};
 pub use driver::{absorb_edge, graph_attention_into, pattern_attention, pattern_attention_into};
@@ -79,9 +80,12 @@ pub use kernels::{
     global_attention_windowed_into, local_attention, local_attention_into,
     local_attention_windowed_into, CooSearch,
 };
-pub use multihead::{concat_heads, multi_head_attention, split_heads, MultiHeadAttention};
+pub use multihead::{
+    concat_heads, multi_head_attention, split_heads, LayerDecodeStep, MultiHeadAttention,
+};
 pub use options::KernelOptions;
 pub use plan::AttentionPlan;
+pub use slots::{SlotId, SlotPool};
 pub use state::AttentionState;
 pub use verify::{run_paper_verification, run_verification_at, VerificationRecord};
 

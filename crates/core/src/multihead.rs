@@ -52,6 +52,21 @@ pub fn concat_heads<T: Real>(heads: &[Matrix<T>]) -> Matrix<T> {
     Matrix::from_fn(l, heads.len() * dk, |i, j| heads[j / dk].get(i, j % dk))
 }
 
+/// Per-head (Q, K, V) projections of one token's input row.
+type ProjectedHeads<T> = (Vec<Matrix<T>>, Vec<Matrix<T>>, Vec<Matrix<T>>);
+
+/// One sequence's pending decode token in a multi-sequence batched layer
+/// decode ([`MultiHeadAttention::forward_decode_batched`]): the new
+/// token's `1 × d_model` input plus exclusive access to that sequence's
+/// per-head cache.
+pub struct LayerDecodeStep<'a, T> {
+    /// The new token's input row, `1 × d_model`.
+    pub x_t: &'a Matrix<T>,
+    /// The sequence's per-head cache (see
+    /// [`MultiHeadAttention::new_cache`]).
+    pub cache: &'a mut KvCache<T>,
+}
+
 /// A multi-head attention layer with learned (randomly initialized)
 /// projections.
 pub struct MultiHeadAttention<T> {
@@ -251,6 +266,83 @@ impl<T: Real> MultiHeadAttention<T> {
             Err(e) => {
                 // Roll every head's append back — no phantom token on error.
                 cache.truncate(prior);
+                Err(e)
+            }
+        }
+    }
+
+    /// Batched decode: advance many sequences through this layer by one
+    /// token each — `sequences × heads` single-row decode requests
+    /// flattened into **one** launch (the continuous-batching shape, one
+    /// level up from [`crate::AttentionEngine::decode_steps_batched`]).
+    ///
+    /// Per-row work is identical to per-sequence [`Self::forward_decode`]
+    /// calls, so each returned `1 × d_model` output is bitwise identical
+    /// to them. Every step is validated before any cache is mutated, and
+    /// a failed launch rolls every sequence's appends back.
+    pub fn forward_decode_batched(
+        &self,
+        engine: &AttentionEngine,
+        plan: &AttentionPlan<'_>,
+        steps: &mut [LayerDecodeStep<'_, T>],
+    ) -> Result<Vec<Matrix<T>>, AttnError> {
+        if !plan.is_composable() {
+            return Err(AttnError::BadParameter {
+                what: "dense baselines have no KV-cached decode form",
+            });
+        }
+        // Validate every step before mutating any cache.
+        for step in steps.iter() {
+            self.check_cache(step.cache)?;
+            if step.x_t.rows() != 1 || step.x_t.cols() != self.d_model() {
+                return Err(AttnError::StateShapeMismatch {
+                    expected: (1, self.d_model()),
+                    actual: step.x_t.shape(),
+                });
+            }
+        }
+        // Project every token, then append all heads of all sequences.
+        let projected: Vec<ProjectedHeads<T>> = steps
+            .iter()
+            .map(|step| {
+                let q = matmul(step.x_t, &self.wq);
+                let k = matmul(step.x_t, &self.wk);
+                let v = matmul(step.x_t, &self.wv);
+                (
+                    split_heads(&q, self.heads),
+                    split_heads(&k, self.heads),
+                    split_heads(&v, self.heads),
+                )
+            })
+            .collect();
+        let priors: Vec<usize> = steps.iter().map(|s| s.cache.len()).collect();
+        for (step, (_, kh, vh)) in steps.iter_mut().zip(&projected) {
+            for h in 0..self.heads {
+                step.cache.append(h, kh[h].row(0), vh[h].row(0));
+            }
+        }
+        let result = {
+            let requests: Vec<AttentionRequest<'_, T>> = steps
+                .iter()
+                .zip(&projected)
+                .flat_map(|(step, (qh, _, _))| {
+                    (0..self.heads).map(move |h| {
+                        AttentionRequest::decode(&qh[h], step.cache.k(h), step.cache.v(h))
+                    })
+                })
+                .collect();
+            execute_batch(engine.pool(), plan, &engine.options(), &requests)
+        };
+        match result {
+            Ok(outs) => Ok(outs
+                .chunks(self.heads)
+                .map(|head_outs| matmul(&concat_heads(head_outs), &self.wo))
+                .collect()),
+            Err(e) => {
+                // Roll every sequence's appends back — no phantom tokens.
+                for (step, &prior) in steps.iter_mut().zip(&priors) {
+                    step.cache.truncate(prior);
+                }
                 Err(e)
             }
         }
@@ -473,6 +565,68 @@ mod tests {
             assert_eq!(out.row(0), prefix.row(t), "step {t}");
         }
         assert_eq!(cache.len(), l);
+    }
+
+    #[test]
+    fn batched_layer_decode_matches_per_sequence_decode_bitwise() {
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(24, 3, 8, 21);
+        let engine = crate::AttentionEngine::with_threads(3);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 2 }]).unwrap();
+        // Three sequences at ragged context lengths, prefilled via the
+        // single-sequence path.
+        let lens = [4usize, 9, 1];
+        let xs: Vec<Matrix<f64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| gaussian_matrix(l + 1, 24, 1.0, 60 + i as u64))
+            .collect();
+        let mut batched_caches: Vec<KvCache<f64>> = Vec::new();
+        for (x, &l) in xs.iter().zip(&lens) {
+            let mut cache = layer.new_cache();
+            layer
+                .forward_prefill(&engine, &plan, &mut cache, &x.rows_slice(0, l), 4)
+                .unwrap();
+            batched_caches.push(cache);
+        }
+        let mut independent_caches = batched_caches.clone();
+        let toks: Vec<Matrix<f64>> = xs
+            .iter()
+            .zip(&lens)
+            .map(|(x, &l)| x.rows_slice(l, l + 1))
+            .collect();
+        let mut steps: Vec<LayerDecodeStep<'_, f64>> = batched_caches
+            .iter_mut()
+            .zip(&toks)
+            .map(|(cache, x_t)| LayerDecodeStep { x_t, cache })
+            .collect();
+        let batched = layer
+            .forward_decode_batched(&engine, &plan, &mut steps)
+            .unwrap();
+        assert_eq!(batched.len(), 3);
+        for (i, (x_t, cache)) in toks.iter().zip(independent_caches.iter_mut()).enumerate() {
+            let single = layer.forward_decode(&engine, &plan, cache, x_t).unwrap();
+            assert_eq!(batched[i], single, "sequence {i}");
+        }
+        // A failed batched launch rolls every sequence back.
+        let globals = gpa_masks::GlobalSet::new(99, vec![0]);
+        let pinned = engine
+            .compile(&[AttentionKernel::Global {
+                globals: &globals,
+                n_sub: 0,
+            }])
+            .unwrap();
+        let before: Vec<usize> = batched_caches.iter().map(KvCache::len).collect();
+        let mut steps: Vec<LayerDecodeStep<'_, f64>> = batched_caches
+            .iter_mut()
+            .zip(&toks)
+            .map(|(cache, x_t)| LayerDecodeStep { x_t, cache })
+            .collect();
+        assert!(layer
+            .forward_decode_batched(&engine, &pinned, &mut steps)
+            .is_err());
+        for (i, (cache, &prior)) in batched_caches.iter().zip(&before).enumerate() {
+            assert_eq!(cache.len(), prior, "sequence {i} must be rolled back");
+        }
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Sequence slots — a budgeted pool of per-sequence KV caches.
+//!
+//! A serving scheduler keeps one [`KvCache`] per in-flight sequence, and
+//! the resource that actually limits how many sequences can be in flight
+//! is the *total* number of cached tokens across all of them (the KV
+//! memory budget — the axis "The Sparse Frontier" maps serving trade-offs
+//! along). [`SlotPool`] owns that accounting: each sequence is admitted
+//! into a slot with an up-front **token reservation** (its prompt plus
+//! every token it may generate), the pool refuses allocations that would
+//! overshoot the budget, and releasing a slot returns its reservation.
+//! Reserving the worst case at admission is what makes the budget
+//! invariant checkable per tick: a sequence that was admitted can always
+//! grow to its declared length without any mid-flight eviction.
+
+use crate::cache::KvCache;
+use gpa_tensor::Real;
+
+/// Opaque handle to one live slot in a [`SlotPool`].
+///
+/// Handles are invalidated by [`SlotPool::release`]; using a released
+/// handle panics (slots are recycled, so a stale handle is a logic error,
+/// not a recoverable condition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotId {
+    index: usize,
+    generation: u64,
+}
+
+struct Slot<T> {
+    cache: KvCache<T>,
+    reserved: usize,
+    generation: u64,
+}
+
+/// A pool of per-sequence [`KvCache`]s under one global token budget.
+///
+/// ```
+/// use gpa_core::SlotPool;
+///
+/// let mut pool: SlotPool<f32> = SlotPool::new(100);
+/// let a = pool.try_allocate(1, 8, 8, 60).expect("fits");
+/// assert!(pool.try_allocate(1, 8, 8, 50).is_none(), "would exceed budget");
+/// pool.cache_mut(a).append(0, &[0.0; 8], &[0.0; 8]);
+/// assert_eq!(pool.used_tokens(), 1);
+/// pool.release(a);
+/// assert_eq!(pool.reserved_tokens(), 0);
+/// ```
+pub struct SlotPool<T> {
+    slots: Vec<Option<Slot<T>>>,
+    free: Vec<usize>,
+    budget: usize,
+    reserved: usize,
+    next_generation: u64,
+}
+
+impl<T: Real> SlotPool<T> {
+    /// Empty pool with a total reservation budget of `budget_tokens`
+    /// cached tokens (summed across all live slots).
+    pub fn new(budget_tokens: usize) -> Self {
+        SlotPool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            budget: budget_tokens,
+            reserved: 0,
+            next_generation: 0,
+        }
+    }
+
+    /// The pool's total token budget.
+    pub fn budget_tokens(&self) -> usize {
+        self.budget
+    }
+
+    /// Tokens currently reserved by live slots.
+    pub fn reserved_tokens(&self) -> usize {
+        self.reserved
+    }
+
+    /// Unreserved headroom, in tokens.
+    pub fn available_tokens(&self) -> usize {
+        self.budget - self.reserved
+    }
+
+    /// Tokens actually cached right now, summed across live slots (always
+    /// ≤ [`Self::reserved_tokens`] when every slot stays within its
+    /// reservation).
+    pub fn used_tokens(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.cache.len() * s.cache.heads())
+            .sum()
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// True when no slots are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when a reservation of `tokens` would fit the remaining budget.
+    pub fn can_reserve(&self, tokens: usize) -> bool {
+        tokens <= self.available_tokens()
+    }
+
+    /// Allocate a slot holding an empty `heads`-head cache (`dk`/`dv` key
+    /// and value dimensions) with a reservation of `reserve_tokens`
+    /// cache rows (`tokens × heads` for a multi-head slot). Returns `None`
+    /// — without mutating anything — when the reservation does not fit.
+    pub fn try_allocate(
+        &mut self,
+        heads: usize,
+        dk: usize,
+        dv: usize,
+        reserve_tokens: usize,
+    ) -> Option<SlotId> {
+        let rows = reserve_tokens.checked_mul(heads)?;
+        if !self.can_reserve(rows) {
+            return None;
+        }
+        self.reserved += rows;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let slot = Slot {
+            cache: KvCache::new(heads, dk, dv),
+            reserved: rows,
+            generation,
+        };
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index] = Some(slot);
+                index
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        Some(SlotId { index, generation })
+    }
+
+    fn slot(&self, id: SlotId) -> &Slot<T> {
+        let slot = self.slots[id.index].as_ref().expect("released slot");
+        assert_eq!(slot.generation, id.generation, "stale slot handle");
+        slot
+    }
+
+    /// The slot's cache.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn cache(&self, id: SlotId) -> &KvCache<T> {
+        &self.slot(id).cache
+    }
+
+    /// The slot's cache, mutably.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn cache_mut(&mut self, id: SlotId) -> &mut KvCache<T> {
+        let slot = self.slots[id.index].as_mut().expect("released slot");
+        assert_eq!(slot.generation, id.generation, "stale slot handle");
+        &mut slot.cache
+    }
+
+    /// The slot's token reservation, in cache rows.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn reservation(&self, id: SlotId) -> usize {
+        self.slot(id).reserved
+    }
+
+    /// Release a slot, returning its reservation to the budget and its
+    /// cache (with whatever tokens it still holds) to the caller.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn release(&mut self, id: SlotId) -> KvCache<T> {
+        let slot = self.slots[id.index].take().expect("released slot");
+        assert_eq!(slot.generation, id.generation, "stale slot handle");
+        self.reserved -= slot.reserved;
+        self.free.push(id.index);
+        slot.cache
+    }
+
+    /// Assert the pool's budget invariants: total reservations within the
+    /// budget, and every live slot's cache within its own reservation.
+    /// The serving simulation calls this after every scheduler tick.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn assert_within_budget(&self) {
+        assert!(
+            self.reserved <= self.budget,
+            "reserved {} tokens exceed the budget {}",
+            self.reserved,
+            self.budget
+        );
+        for slot in self.slots.iter().flatten() {
+            let rows = slot.cache.len() * slot.cache.heads();
+            assert!(
+                rows <= slot.reserved,
+                "slot holds {rows} cache rows but reserved only {}",
+                slot.reserved
+            );
+        }
+    }
+}
+
+impl<T: Real> std::fmt::Debug for SlotPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotPool")
+            .field("slots", &self.len())
+            .field("budget_tokens", &self.budget)
+            .field("reserved_tokens", &self.reserved)
+            .field("used_tokens", &self.used_tokens())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_respects_the_budget() {
+        let mut pool: SlotPool<f64> = SlotPool::new(10);
+        let a = pool.try_allocate(1, 4, 4, 6).unwrap();
+        assert_eq!(pool.reserved_tokens(), 6);
+        assert_eq!(pool.available_tokens(), 4);
+        assert!(pool.can_reserve(4));
+        assert!(!pool.can_reserve(5));
+        // A reservation that does not fit leaves the pool untouched.
+        assert!(pool.try_allocate(1, 4, 4, 5).is_none());
+        assert_eq!(pool.reserved_tokens(), 6);
+        let b = pool.try_allocate(1, 4, 4, 4).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.available_tokens(), 0);
+        pool.assert_within_budget();
+        pool.release(a);
+        assert_eq!(pool.reserved_tokens(), 4);
+        pool.release(b);
+        assert!(pool.is_empty());
+        assert_eq!(pool.available_tokens(), 10);
+    }
+
+    #[test]
+    fn multi_head_reservations_count_rows_per_head() {
+        let mut pool: SlotPool<f32> = SlotPool::new(8);
+        // 2 heads × 3 tokens = 6 rows of the budget.
+        let id = pool.try_allocate(2, 4, 4, 3).unwrap();
+        assert_eq!(pool.reserved_tokens(), 6);
+        assert_eq!(pool.reservation(id), 6);
+        assert!(pool.try_allocate(2, 4, 4, 2).is_none(), "4 rows > 2 left");
+        for h in 0..2 {
+            pool.cache_mut(id).append(h, &[0.0; 4], &[0.0; 4]);
+        }
+        assert_eq!(pool.used_tokens(), 2);
+        pool.assert_within_budget();
+    }
+
+    #[test]
+    fn released_cache_keeps_its_tokens() {
+        let mut pool: SlotPool<f64> = SlotPool::new(4);
+        let id = pool.try_allocate(1, 2, 2, 2).unwrap();
+        pool.cache_mut(id).append(0, &[1.0, 2.0], &[3.0, 4.0]);
+        let cache = pool.release(id);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.k(0).row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn slot_indices_are_recycled_but_handles_are_not() {
+        let mut pool: SlotPool<f64> = SlotPool::new(8);
+        let a = pool.try_allocate(1, 2, 2, 2).unwrap();
+        pool.release(a);
+        let b = pool.try_allocate(1, 2, 2, 2).unwrap();
+        // Recycled index, fresh generation: `a` must no longer resolve.
+        assert_ne!(a, b);
+        assert_eq!(pool.cache(b).len(), 0);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.cache(a);
+        }));
+        assert!(stale.is_err(), "stale handle must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "released slot")]
+    fn released_handle_panics() {
+        let mut pool: SlotPool<f64> = SlotPool::new(8);
+        let a = pool.try_allocate(1, 2, 2, 2).unwrap();
+        pool.release(a);
+        let _ = pool.cache(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache rows but reserved only")]
+    fn overgrown_slot_fails_the_budget_check() {
+        let mut pool: SlotPool<f64> = SlotPool::new(8);
+        let a = pool.try_allocate(1, 2, 2, 1).unwrap();
+        pool.cache_mut(a).append(0, &[0.0; 2], &[0.0; 2]);
+        pool.cache_mut(a).append(0, &[0.0; 2], &[0.0; 2]);
+        pool.assert_within_budget();
+    }
+
+    #[test]
+    fn debug_formats() {
+        let pool: SlotPool<f32> = SlotPool::new(3);
+        assert!(format!("{pool:?}").contains("SlotPool"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the serving scheduler's public API.
+
+use crate::request::RequestId;
+use gpa_core::AttnError;
+use std::fmt;
+
+/// Failure of a scheduler operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The scheduler configuration is invalid (zero budget, zero chunk…).
+    BadConfig {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A submitted request referenced a plan id this scheduler never
+    /// registered.
+    UnknownPlan,
+    /// A submitted request is malformed (shape mismatch, empty prompt…).
+    BadRequest {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A submitted request can never be admitted: its total KV need
+    /// exceeds the scheduler's whole budget. Rejected at submission,
+    /// before any cache exists for it.
+    OverBudget {
+        /// Tokens the request would need resident at completion.
+        need: usize,
+        /// The scheduler's total KV token budget.
+        budget: usize,
+    },
+    /// A batched launch failed. The tick was rolled back atomically (see
+    /// `Scheduler::tick`); when the failure is attributable to one
+    /// sequence's geometry not fitting its plan, `request` names it so the
+    /// caller can [`crate::Scheduler::cancel`] it and keep serving.
+    Launch {
+        /// The sequence whose request could not run under its plan, when
+        /// identifiable.
+        request: Option<RequestId>,
+        /// The underlying engine error.
+        source: AttnError,
+    },
+    /// The trace replay did not drain within its tick bound — a stuck or
+    /// starved workload.
+    NotDrained {
+        /// Ticks executed before giving up.
+        ticks: u64,
+        /// Sequences still pending or in flight.
+        outstanding: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig { what } => write!(f, "bad scheduler config: {what}"),
+            ServeError::UnknownPlan => write!(f, "request references an unregistered plan"),
+            ServeError::BadRequest { what } => write!(f, "bad request: {what}"),
+            ServeError::OverBudget { need, budget } => write!(
+                f,
+                "request needs {need} KV tokens but the whole budget is {budget}"
+            ),
+            ServeError::Launch { request, source } => match request {
+                Some(id) => write!(
+                    f,
+                    "batched launch failed on request #{}: {source}",
+                    id.as_u64()
+                ),
+                None => write!(f, "batched launch failed: {source}"),
+            },
+            ServeError::NotDrained { ticks, outstanding } => write!(
+                f,
+                "workload not drained after {ticks} ticks ({outstanding} sequences outstanding)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Launch { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<AttnError> for ServeError {
+    fn from(e: AttnError) -> Self {
+        ServeError::Launch {
+            request: None,
+            source: e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ServeError::BadConfig { what: "x" }
+            .to_string()
+            .contains("x"));
+        assert!(ServeError::UnknownPlan.to_string().contains("unregistered"));
+        assert!(ServeError::OverBudget { need: 9, budget: 4 }
+            .to_string()
+            .contains("9"));
+        let launch = ServeError::Launch {
+            request: Some(RequestId(7)),
+            source: AttnError::BadParameter { what: "w" },
+        };
+        assert!(launch.to_string().contains("#7"));
+        assert!(launch.to_string().contains("w"));
+        assert!(std::error::Error::source(&launch).is_some());
+        assert!(ServeError::NotDrained {
+            ticks: 3,
+            outstanding: 2
+        }
+        .to_string()
+        .contains("3 ticks"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Request, completion, and per-tick report types for the scheduler.
+
+use gpa_tensor::Matrix;
+
+/// Handle to a plan registered with a [`crate::Scheduler`] — requests name
+/// the compiled plan they want to run under by this id.
+/// The default id names the scheduler's **first** registered plan —
+/// convenient for single-plan workloads and for trace generators whose
+/// requests are retargeted at submission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(pub(crate) usize);
+
+/// Handle to a submitted request, assigned by
+/// [`crate::Scheduler::submit`] in submission order (ids are strictly
+/// increasing, which is what the FIFO invariants are stated against).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub(crate) u64);
+
+impl RequestId {
+    /// The id's position in submission order (0 for the first request a
+    /// scheduler accepted, 1 for the second, …).
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One sequence's worth of serving work: a prompt to prefill plus the
+/// query/key/value rows of every token it will generate.
+///
+/// The request owns its data (`total × dk` / `total × dv` matrices, where
+/// `total = q.rows()`): rows `0..prompt` are the prompt, consumed by
+/// chunked prefill; each row `t ≥ prompt` is one generated token, consumed
+/// by one decode step per scheduler tick. In a real deployment the decode
+/// rows would come from the model's projections token by token; here they
+/// are part of the workload so traces are replayable and the output is
+/// checkable bitwise against a sequential reference.
+#[derive(Clone)]
+pub struct ServeRequest<T> {
+    /// The registered plan this sequence runs under.
+    pub plan: PlanId,
+    /// Priority class — **lower is more urgent**; admission is strict
+    /// priority across classes and FIFO within one.
+    pub priority: u8,
+    /// Rows of `q`/`k`/`v` that form the prompt (`1..=q.rows()`).
+    pub prompt: usize,
+    /// Query rows for every token, `total × dk`.
+    pub q: Matrix<T>,
+    /// Key rows for every token, `total × dk`.
+    pub k: Matrix<T>,
+    /// Value rows for every token, `total × dv`.
+    pub v: Matrix<T>,
+}
+
+impl<T> ServeRequest<T> {
+    /// Total tokens (prompt + generated) — also the sequence's KV token
+    /// reservation at admission.
+    pub fn total_tokens(&self) -> usize
+    where
+        T: gpa_tensor::Real,
+    {
+        self.q.rows()
+    }
+}
+
+/// A finished sequence: its full `total × dv` attention output plus the
+/// virtual-clock timestamps of its lifecycle.
+#[derive(Clone)]
+pub struct Completion<T> {
+    /// The id [`crate::Scheduler::submit`] returned for this sequence.
+    pub id: RequestId,
+    /// The request's priority class.
+    pub priority: u8,
+    /// The plan the sequence ran under.
+    pub plan: PlanId,
+    /// Attention output for every token, `total × dv`; rows `0..prompt`
+    /// from prefill, the rest one decode row per tick.
+    pub output: Matrix<T>,
+    /// Tick at which the request was submitted.
+    pub submitted: u64,
+    /// Tick at which it was admitted into a KV slot.
+    pub admitted: u64,
+    /// Tick at which its last row was computed.
+    pub completed: u64,
+}
+
+impl<T> Completion<T> {
+    /// End-to-end latency in ticks (submission to completion, inclusive of
+    /// the completing tick).
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed - self.submitted + 1
+    }
+
+    /// Ticks spent queued before admission.
+    pub fn queue_ticks(&self) -> u64 {
+        self.admitted - self.submitted
+    }
+}
+
+impl<T> std::fmt::Debug for Completion<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("id", &self.id)
+            .field("priority", &self.priority)
+            .field("plan", &self.plan)
+            .field("submitted", &self.submitted)
+            .field("admitted", &self.admitted)
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one [`crate::Scheduler::tick`] did.
+pub struct TickReport<T> {
+    /// The virtual time this tick executed at.
+    pub tick: u64,
+    /// Requests admitted into KV slots this tick, in admission order.
+    pub admitted: Vec<RequestId>,
+    /// Batched launches issued (one per distinct plan with runnable work).
+    pub launches: usize,
+    /// Total attention rows computed across those launches (prefill-chunk
+    /// rows plus one row per decoding sequence).
+    pub rows_computed: usize,
+    /// Sequences that finished this tick, in completion order.
+    pub completed: Vec<Completion<T>>,
+}
+
+impl<T> std::fmt::Debug for TickReport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickReport")
+            .field("tick", &self.tick)
+            .field("admitted", &self.admitted)
+            .field("launches", &self.launches)
+            .field("rows_computed", &self.rows_computed)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}

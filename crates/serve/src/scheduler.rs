@@ -1,0 +1,806 @@
+//! The continuous-batching scheduler.
+//!
+//! One [`Scheduler`] owns an [`AttentionEngine`], a set of registered
+//! [`AttentionPlan`]s, per-priority pending queues, and a budgeted
+//! [`SlotPool`] of per-sequence KV caches. Time is a **virtual clock** of
+//! ticks: every [`Scheduler::tick`] admits what fits, then flattens *all*
+//! runnable work — each prefilling sequence's next chunk of query rows
+//! plus each decoding sequence's next token row — into **one**
+//! [`AttentionEngine::run_batch`] launch per distinct plan (a single
+//! launch when the workload shares a plan), exactly the mixed-geometry
+//! batch shape the engine's [`gpa_core::Geometry`] windows exist for.
+//!
+//! ## Admission policy
+//!
+//! - **Arrival batching**: a request waits [`ServeConfig::arrival_window`]
+//!   ticks in its queue before becoming eligible, so bursts admit (and
+//!   prefill) together;
+//! - **Strict priority, FIFO within a class**: classes admit in ascending
+//!   priority value; within a class the queue is FIFO, and an eligible
+//!   head that does not fit blocks *all* lower-priority admission (no
+//!   overtaking), which is what makes admission starvation-free for any
+//!   request that can ever fit;
+//! - **KV budget**: admission reserves the sequence's *worst-case* token
+//!   count (prompt + every token it may generate) in the [`SlotPool`], so
+//!   an admitted sequence can always run to completion without eviction
+//!   and the budget can never be exceeded mid-flight. A request whose
+//!   total exceeds the whole budget is rejected at submission, before any
+//!   cache exists for it.
+//!
+//! ## Failure atomicity
+//!
+//! A tick either applies completely or not at all: if any launch fails,
+//! every decode-token append is rolled back, this tick's admissions are
+//! **un-admitted** (slots released, requests returned to their queue
+//! fronts in order), cursors do not advance, and the virtual clock does
+//! not move — a failed tick leaves no trace. The returned
+//! [`crate::ServeError::Launch`] names the offending request when its
+//! geometry provably cannot run under its plan, so the caller can
+//! [`Scheduler::cancel`] it and the rest of the workload drains untouched
+//! (exercised by `tests/serving_sim.rs`).
+
+use crate::error::ServeError;
+use crate::request::{Completion, PlanId, RequestId, ServeRequest, TickReport};
+use gpa_core::{AttentionEngine, AttentionPlan, AttentionRequest, AttnError, SlotId, SlotPool};
+use gpa_tensor::{Matrix, Real};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Admission-policy knobs for a [`Scheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum sequences holding KV slots at once.
+    pub max_in_flight: usize,
+    /// Total KV token budget across all in-flight sequences (reserved at
+    /// admission for each sequence's full length).
+    pub kv_budget_tokens: usize,
+    /// Ticks a request waits in its queue before it is eligible for
+    /// admission — lets bursts of arrivals batch their prefills together.
+    pub arrival_window: u64,
+    /// Query rows per prefill chunk: each prefilling sequence advances by
+    /// at most this many rows per tick, bounding per-tick prefill work so
+    /// decode rows never wait behind a whole long prompt.
+    pub prefill_chunk: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 32,
+            kv_budget_tokens: 1 << 16,
+            arrival_window: 0,
+            prefill_chunk: 128,
+        }
+    }
+}
+
+struct Pending<T> {
+    id: RequestId,
+    submitted: u64,
+    request: ServeRequest<T>,
+}
+
+enum Phase {
+    /// `done` prompt rows computed so far.
+    Prefill { done: usize },
+    /// `done` tokens decoded so far.
+    Decode { done: usize },
+}
+
+struct InFlight<T> {
+    id: RequestId,
+    priority: u8,
+    plan: usize,
+    slot: SlotId,
+    prompt: usize,
+    phase: Phase,
+    q: Matrix<T>,
+    k: Matrix<T>,
+    v: Matrix<T>,
+    out: Matrix<T>,
+    submitted: u64,
+    admitted: u64,
+}
+
+impl<T: Real> InFlight<T> {
+    fn total(&self) -> usize {
+        self.q.rows()
+    }
+
+    fn is_complete(&self) -> bool {
+        match self.phase {
+            Phase::Prefill { .. } => false,
+            Phase::Decode { done } => self.prompt + done == self.total(),
+        }
+    }
+}
+
+/// This tick's unit of work for one sequence.
+enum Work {
+    /// Prefill query rows `start .. start + rows` against the prompt KV.
+    Prefill { start: usize, rows: usize },
+    /// Decode token `t` (appends its K/V row, computes one decode row).
+    Decode { t: usize },
+}
+
+/// The continuous-batching serving scheduler — see the [module
+/// docs](self) for the policy and [`crate`] for an end-to-end example.
+///
+/// `'p` is the lifetime of mask data borrowed by the registered plans
+/// (implicit-kernel plans borrow nothing and work with `'static`).
+pub struct Scheduler<'p, T> {
+    engine: AttentionEngine,
+    config: ServeConfig,
+    plans: Vec<AttentionPlan<'p>>,
+    pending: BTreeMap<u8, VecDeque<Pending<T>>>,
+    pending_len: usize,
+    in_flight: Vec<InFlight<T>>,
+    slots: SlotPool<T>,
+    now: u64,
+    next_id: u64,
+}
+
+impl<'p, T: Real> Scheduler<'p, T> {
+    /// Build a scheduler owning `engine` under the given admission policy.
+    pub fn new(engine: AttentionEngine, config: ServeConfig) -> Result<Self, ServeError> {
+        if config.max_in_flight == 0 {
+            return Err(ServeError::BadConfig {
+                what: "max_in_flight must be positive",
+            });
+        }
+        if config.prefill_chunk == 0 {
+            return Err(ServeError::BadConfig {
+                what: "prefill_chunk must be positive",
+            });
+        }
+        if config.kv_budget_tokens == 0 {
+            return Err(ServeError::BadConfig {
+                what: "kv_budget_tokens must be positive",
+            });
+        }
+        Ok(Scheduler {
+            engine,
+            config,
+            plans: Vec::new(),
+            pending: BTreeMap::new(),
+            pending_len: 0,
+            in_flight: Vec::new(),
+            slots: SlotPool::new(config.kv_budget_tokens),
+            now: 0,
+            next_id: 0,
+        })
+    }
+
+    /// Register a compiled plan; submitted requests name it by the
+    /// returned id. Dense-baseline plans are rejected — they have no
+    /// prefill-window or decode-row form.
+    pub fn register_plan(&mut self, plan: AttentionPlan<'p>) -> Result<PlanId, ServeError> {
+        if !plan.is_composable() {
+            return Err(ServeError::BadRequest {
+                what: "dense baseline plans have no serving form",
+            });
+        }
+        self.plans.push(plan);
+        Ok(PlanId(self.plans.len() - 1))
+    }
+
+    /// A registered plan.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this scheduler's
+    /// [`Self::register_plan`].
+    pub fn plan(&self, id: PlanId) -> &AttentionPlan<'p> {
+        &self.plans[id.0]
+    }
+
+    /// The engine this scheduler launches through.
+    pub fn engine(&self) -> &AttentionEngine {
+        &self.engine
+    }
+
+    /// The admission policy.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Current virtual time (ticks executed so far).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Requests queued but not yet admitted.
+    pub fn pending_len(&self) -> usize {
+        self.pending_len
+    }
+
+    /// Sequences currently holding KV slots.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Pending + in-flight sequences.
+    pub fn outstanding(&self) -> usize {
+        self.pending_len + self.in_flight.len()
+    }
+
+    /// True when nothing is pending or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    /// The KV token budget.
+    pub fn kv_budget_tokens(&self) -> usize {
+        self.slots.budget_tokens()
+    }
+
+    /// KV tokens reserved by in-flight sequences.
+    pub fn kv_reserved_tokens(&self) -> usize {
+        self.slots.reserved_tokens()
+    }
+
+    /// KV tokens actually cached right now.
+    pub fn kv_used_tokens(&self) -> usize {
+        self.slots.used_tokens()
+    }
+
+    /// Assert the KV budget invariants (reservations within the budget,
+    /// every cache within its reservation) — the serving simulation calls
+    /// this after every tick.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn assert_kv_invariants(&self) {
+        self.slots.assert_within_budget();
+    }
+
+    /// Queue a request. Validation is immediate (shape checks, plan
+    /// lookup, and the can-it-ever-fit budget check); admission happens on
+    /// a later [`Self::tick`]. No KV cache exists — and nothing is
+    /// mutated — for a rejected request.
+    pub fn submit(&mut self, request: ServeRequest<T>) -> Result<RequestId, ServeError> {
+        if self.plans.get(request.plan.0).is_none() {
+            return Err(ServeError::UnknownPlan);
+        }
+        let total = request.q.rows();
+        if total == 0 {
+            return Err(ServeError::BadRequest {
+                what: "a request needs at least one token",
+            });
+        }
+        if request.k.rows() != total || request.v.rows() != total {
+            return Err(ServeError::BadRequest {
+                what: "Q/K/V row counts differ",
+            });
+        }
+        if request.q.cols() != request.k.cols() {
+            return Err(ServeError::BadRequest {
+                what: "Q and K disagree on the key dimension",
+            });
+        }
+        if request.q.cols() == 0 || request.v.cols() == 0 {
+            return Err(ServeError::BadRequest {
+                what: "key/value dimensions must be positive",
+            });
+        }
+        if request.prompt == 0 || request.prompt > total {
+            return Err(ServeError::BadRequest {
+                what: "prompt must cover between 1 and all of the rows",
+            });
+        }
+        if total > self.slots.budget_tokens() {
+            return Err(ServeError::OverBudget {
+                need: total,
+                budget: self.slots.budget_tokens(),
+            });
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending
+            .entry(request.priority)
+            .or_default()
+            .push_back(Pending {
+                id,
+                submitted: self.now,
+                request,
+            });
+        self.pending_len += 1;
+        Ok(id)
+    }
+
+    /// Drop a request, pending or in flight (releasing its KV slot).
+    /// Returns false when the id is unknown or already completed.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        for queue in self.pending.values_mut() {
+            if let Some(pos) = queue.iter().position(|p| p.id == id) {
+                queue.remove(pos);
+                self.pending_len -= 1;
+                return true;
+            }
+        }
+        if let Some(pos) = self.in_flight.iter().position(|s| s.id == id) {
+            let seq = self.in_flight.remove(pos);
+            self.slots.release(seq.slot);
+            return true;
+        }
+        false
+    }
+
+    /// Admit eligible pending requests in (priority class, FIFO) order
+    /// until one does not fit; admission appends the prompt's K/V rows to
+    /// the sequence's fresh cache.
+    fn admit(&mut self, now: u64) -> Vec<RequestId> {
+        let mut admitted = Vec::new();
+        'classes: for queue in self.pending.values_mut() {
+            while let Some(front) = queue.front() {
+                if now < front.submitted + self.config.arrival_window {
+                    // Class head still batching arrivals; it does not
+                    // block other classes (FIFO within the class holds —
+                    // later same-class requests are younger still).
+                    break;
+                }
+                let total = front.request.q.rows();
+                if self.in_flight.len() >= self.config.max_in_flight
+                    || !self.slots.can_reserve(total)
+                {
+                    // An eligible head that cannot be placed blocks all
+                    // lower-priority admission: no overtaking, so every
+                    // placeable request is eventually admitted.
+                    break 'classes;
+                }
+                let p = queue.pop_front().expect("front exists");
+                self.pending_len -= 1;
+                let r = p.request;
+                let slot = self
+                    .slots
+                    .try_allocate(1, r.q.cols(), r.v.cols(), total)
+                    .expect("reservation checked above");
+                self.slots.cache_mut(slot).extend(
+                    0,
+                    &r.k.rows_slice(0, r.prompt),
+                    &r.v.rows_slice(0, r.prompt),
+                );
+                let out = Matrix::zeros(total, r.v.cols());
+                self.in_flight.push(InFlight {
+                    id: p.id,
+                    priority: r.priority,
+                    plan: r.plan.0,
+                    slot,
+                    prompt: r.prompt,
+                    phase: Phase::Prefill { done: 0 },
+                    q: r.q,
+                    k: r.k,
+                    v: r.v,
+                    out,
+                    submitted: p.submitted,
+                    admitted: now,
+                });
+                admitted.push(p.id);
+            }
+        }
+        admitted
+    }
+
+    /// Advance the virtual clock by one tick: admit, gather every
+    /// in-flight sequence's next unit of work, launch it all batched (one
+    /// `run_batch` per distinct plan), apply outputs, and retire finished
+    /// sequences.
+    ///
+    /// On a launch failure the tick is rolled back atomically — appends
+    /// truncated, this tick's admissions un-admitted, no cursor or clock
+    /// movement — and the returned error names the offending request when
+    /// identifiable; see the [module docs](self).
+    pub fn tick(&mut self) -> Result<TickReport<T>, ServeError> {
+        let now = self.now;
+        let admitted = self.admit(now);
+
+        // Pre-append cache lengths of every in-flight sequence — the
+        // rollback point if any launch below fails.
+        let priors: Vec<usize> = self
+            .in_flight
+            .iter()
+            .map(|s| self.slots.cache(s.slot).len())
+            .collect();
+
+        // One unit of work per in-flight sequence; decode work appends its
+        // token's K/V row now (rolled back on failure).
+        let work: Vec<(usize, Work)> = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let w = match s.phase {
+                    Phase::Prefill { done } => Work::Prefill {
+                        start: done,
+                        rows: self.config.prefill_chunk.min(s.prompt - done),
+                    },
+                    Phase::Decode { done } => Work::Decode { t: s.prompt + done },
+                };
+                (i, w)
+            })
+            .collect();
+        for (i, w) in &work {
+            if let Work::Decode { t } = w {
+                let s = &self.in_flight[*i];
+                self.slots
+                    .cache_mut(s.slot)
+                    .append(0, s.k.row(*t), s.v.row(*t));
+            }
+        }
+
+        // Group by plan (BTreeMap: deterministic launch order) and launch.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (wi, (i, _)) in work.iter().enumerate() {
+            groups.entry(self.in_flight[*i].plan).or_default().push(wi);
+        }
+        let q_windows: Vec<Matrix<T>> = work
+            .iter()
+            .map(|(i, w)| {
+                let s = &self.in_flight[*i];
+                match *w {
+                    Work::Prefill { start, rows } => s.q.rows_slice(start, start + rows),
+                    Work::Decode { t } => s.q.rows_slice(t, t + 1),
+                }
+            })
+            .collect();
+        let mut outputs: Vec<Option<Matrix<T>>> = (0..work.len()).map(|_| None).collect();
+        let mut rows_computed = 0usize;
+        let mut launches = 0usize;
+        let mut failure: Option<(usize, AttnError)> = None;
+        for (plan_idx, items) in &groups {
+            let requests: Vec<AttentionRequest<'_, T>> = items
+                .iter()
+                .map(|&wi| {
+                    let (i, w) = &work[wi];
+                    let cache = self.slots.cache(self.in_flight[*i].slot);
+                    match *w {
+                        Work::Prefill { start, .. } => AttentionRequest::windowed(
+                            &q_windows[wi],
+                            cache.k(0),
+                            cache.v(0),
+                            start,
+                        ),
+                        Work::Decode { .. } => {
+                            AttentionRequest::decode(&q_windows[wi], cache.k(0), cache.v(0))
+                        }
+                    }
+                })
+                .collect();
+            match self.engine.run_batch(&self.plans[*plan_idx], &requests) {
+                Ok(outs) => {
+                    launches += 1;
+                    rows_computed += outs.iter().map(Matrix::rows).sum::<usize>();
+                    for (&wi, out) in items.iter().zip(outs) {
+                        outputs[wi] = Some(out);
+                    }
+                }
+                Err(e) => {
+                    failure = Some((*plan_idx, e));
+                    break;
+                }
+            }
+        }
+        if let Some((failed_plan, e)) = failure {
+            // The engine reports one error per batch; re-check the failed
+            // group's geometries against the plan's compiled constraints
+            // to name the offender, so callers can cancel it and recover.
+            let offender = groups[&failed_plan].iter().find_map(|&wi| {
+                let (i, w) = &work[wi];
+                let s = &self.in_flight[*i];
+                let plan = &self.plans[failed_plan];
+                let (kv_rows, q_end) = match *w {
+                    Work::Prefill { start, rows } => (s.prompt, start + rows),
+                    Work::Decode { t } => (t + 1, t + 1),
+                };
+                let pinned_wrong = plan.kv_pin().is_some_and(|pin| kv_rows != pin);
+                let out_of_bound = plan.q_bound().is_some_and(|bound| q_end > bound);
+                (pinned_wrong || out_of_bound).then_some(s.id)
+            });
+            // Atomic rollback, part 1: every pre-existing sequence's cache
+            // back to its pre-append length, no cursor or clock movement.
+            for (s, &prior) in self.in_flight.iter().zip(&priors) {
+                self.slots.cache_mut(s.slot).truncate(prior);
+            }
+            // Part 2: un-admit this tick's admissions — release their
+            // slots and push them back to their queue fronts (popping from
+            // the in-flight tail and pushing front restores FIFO order),
+            // so a failed tick leaves NO trace, admissions included.
+            for _ in 0..admitted.len() {
+                let s = self.in_flight.pop().expect("admissions sit at the tail");
+                self.slots.release(s.slot);
+                self.pending
+                    .entry(s.priority)
+                    .or_default()
+                    .push_front(Pending {
+                        id: s.id,
+                        submitted: s.submitted,
+                        request: ServeRequest {
+                            plan: PlanId(s.plan),
+                            priority: s.priority,
+                            prompt: s.prompt,
+                            q: s.q,
+                            k: s.k,
+                            v: s.v,
+                        },
+                    });
+                self.pending_len += 1;
+            }
+            return Err(ServeError::Launch {
+                request: offender,
+                source: e,
+            });
+        }
+
+        // Apply outputs and advance each sequence's cursor.
+        for ((i, w), out) in work.iter().zip(outputs) {
+            let out = out.expect("all launches succeeded");
+            let s = &mut self.in_flight[*i];
+            match *w {
+                Work::Prefill { start, rows } => {
+                    for r in 0..rows {
+                        s.out.row_mut(start + r).copy_from_slice(out.row(r));
+                    }
+                    let done = start + rows;
+                    s.phase = if done == s.prompt {
+                        Phase::Decode { done: 0 }
+                    } else {
+                        Phase::Prefill { done }
+                    };
+                }
+                Work::Decode { t } => {
+                    s.out.row_mut(t).copy_from_slice(out.row(0));
+                    s.phase = Phase::Decode {
+                        done: t + 1 - s.prompt,
+                    };
+                }
+            }
+        }
+
+        // Retire completed sequences (in in-flight — i.e. admission —
+        // order), releasing their KV reservations.
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].is_complete() {
+                let s = self.in_flight.remove(i);
+                self.slots.release(s.slot);
+                completed.push(Completion {
+                    id: s.id,
+                    priority: s.priority,
+                    plan: PlanId(s.plan),
+                    output: s.out,
+                    submitted: s.submitted,
+                    admitted: s.admitted,
+                    completed: now,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        self.now += 1;
+        Ok(TickReport {
+            tick: now,
+            admitted,
+            launches,
+            rows_computed,
+            completed,
+        })
+    }
+}
+
+impl<T: Real> std::fmt::Debug for Scheduler<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("plans", &self.plans.len())
+            .field("pending", &self.pending_len)
+            .field("in_flight", &self.in_flight.len())
+            .field("kv_reserved", &self.slots.reserved_tokens())
+            .field("kv_budget", &self.slots.budget_tokens())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_core::AttentionKernel;
+    use gpa_tensor::init::qkv;
+
+    fn request(
+        plan: PlanId,
+        priority: u8,
+        prompt: usize,
+        total: usize,
+        seed: u64,
+    ) -> ServeRequest<f64> {
+        let (q, k, v) = qkv::<f64>(total, 4, seed);
+        ServeRequest {
+            plan,
+            priority,
+            prompt,
+            q,
+            k,
+            v,
+        }
+    }
+
+    fn scheduler(config: ServeConfig) -> (Scheduler<'static, f64>, PlanId) {
+        let mut s = Scheduler::new(AttentionEngine::with_threads(2), config).unwrap();
+        let plan = s
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+            .unwrap();
+        (s, plan)
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = ServeConfig {
+            max_in_flight: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad),
+            Err(ServeError::BadConfig { .. })
+        ));
+        let bad = ServeConfig {
+            prefill_chunk: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad).is_err());
+        let bad = ServeConfig {
+            kv_budget_tokens: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad).is_err());
+    }
+
+    #[test]
+    fn submit_validation_rejects_bad_requests() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            kv_budget_tokens: 16,
+            ..ServeConfig::default()
+        });
+        // Unknown plan.
+        let r = request(PlanId(9), 0, 2, 4, 1);
+        assert_eq!(s.submit(r), Err(ServeError::UnknownPlan));
+        // Prompt outside 1..=total.
+        let r = request(plan, 0, 0, 4, 2);
+        assert!(matches!(s.submit(r), Err(ServeError::BadRequest { .. })));
+        let r = request(plan, 0, 5, 4, 3);
+        assert!(matches!(s.submit(r), Err(ServeError::BadRequest { .. })));
+        // Mismatched K rows.
+        let mut r = request(plan, 0, 2, 4, 4);
+        r.k = Matrix::zeros(3, 4);
+        assert!(matches!(s.submit(r), Err(ServeError::BadRequest { .. })));
+        // Over the whole budget: rejected at submission.
+        let r = request(plan, 0, 2, 17, 5);
+        assert_eq!(
+            s.submit(r),
+            Err(ServeError::OverBudget {
+                need: 17,
+                budget: 16
+            })
+        );
+        assert!(s.is_idle(), "rejected requests leave no state behind");
+        assert_eq!(s.kv_used_tokens(), 0);
+    }
+
+    #[test]
+    fn dense_plans_cannot_register() {
+        let mut s: Scheduler<'static, f64> =
+            Scheduler::new(AttentionEngine::with_threads(1), ServeConfig::default()).unwrap();
+        assert!(matches!(
+            s.register_plan(AttentionPlan::single(AttentionKernel::Flash).unwrap()),
+            Err(ServeError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn single_sequence_runs_to_completion() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 4,
+            kv_budget_tokens: 64,
+            arrival_window: 0,
+            prefill_chunk: 3,
+        });
+        let id = s.submit(request(plan, 0, 7, 10, 11)).unwrap();
+        let mut completions = Vec::new();
+        for _ in 0..32 {
+            completions.extend(s.tick().unwrap().completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(completions.len(), 1);
+        let c = &completions[0];
+        assert_eq!(c.id, id);
+        assert_eq!(c.output.shape(), (10, 4));
+        // ceil(7/3) = 3 prefill ticks + 3 decode ticks, admitted at tick 0.
+        assert_eq!(c.admitted, 0);
+        assert_eq!(c.completed, 5);
+        assert_eq!(s.kv_reserved_tokens(), 0, "slot released on completion");
+    }
+
+    #[test]
+    fn admission_respects_budget_and_in_flight_caps() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 1,
+            kv_budget_tokens: 8,
+            arrival_window: 0,
+            prefill_chunk: 8,
+        });
+        // Both fit the budget alone; the cap admits them one at a time.
+        s.submit(request(plan, 0, 2, 3, 21)).unwrap();
+        s.submit(request(plan, 0, 2, 3, 22)).unwrap();
+        let r = s.tick().unwrap();
+        assert_eq!(r.admitted.len(), 1);
+        assert_eq!(s.in_flight_len(), 1);
+        assert_eq!(s.pending_len(), 1);
+        s.assert_kv_invariants();
+        for _ in 0..16 {
+            if s.is_idle() {
+                break;
+            }
+            s.tick().unwrap();
+            s.assert_kv_invariants();
+        }
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn arrival_window_delays_admission() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            arrival_window: 2,
+            ..ServeConfig::default()
+        });
+        s.submit(request(plan, 0, 2, 2, 31)).unwrap();
+        assert!(s.tick().unwrap().admitted.is_empty(), "tick 0: batching");
+        assert!(s.tick().unwrap().admitted.is_empty(), "tick 1: batching");
+        let r = s.tick().unwrap();
+        assert_eq!(r.admitted.len(), 1, "tick 2: eligible");
+    }
+
+    #[test]
+    fn strict_priority_with_fifo_within_a_class() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 1,
+            kv_budget_tokens: 64,
+            arrival_window: 0,
+            prefill_chunk: 8,
+        });
+        let low_a = s.submit(request(plan, 3, 2, 2, 41)).unwrap();
+        let low_b = s.submit(request(plan, 3, 2, 2, 42)).unwrap();
+        let high = s.submit(request(plan, 0, 2, 2, 43)).unwrap();
+        let mut order = Vec::new();
+        for _ in 0..16 {
+            order.extend(s.tick().unwrap().admitted);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(order, vec![high, low_a, low_b]);
+    }
+
+    #[test]
+    fn cancel_pending_and_in_flight() {
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 1,
+            ..ServeConfig::default()
+        });
+        let a = s.submit(request(plan, 0, 4, 8, 51)).unwrap();
+        let b = s.submit(request(plan, 0, 4, 8, 52)).unwrap();
+        s.tick().unwrap(); // admits a only (cap 1)
+        assert!(s.cancel(b), "pending cancel");
+        assert!(s.cancel(a), "in-flight cancel");
+        assert!(!s.cancel(a), "double cancel is a no-op");
+        assert_eq!(s.kv_reserved_tokens(), 0);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let (s, _) = scheduler(ServeConfig::default());
+        assert!(format!("{s:?}").contains("Scheduler"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Seeded workload traces and the virtual-clock replay harness.
+//!
+//! A trace is a list of (arrival tick, [`ServeRequest`]) events, generated
+//! deterministically from a [`TraceSpec`] seed — mixed prompt lengths,
+//! decode lengths, priorities, plans, and inter-arrival gaps. [`replay`]
+//! drives a [`Scheduler`] through a trace on its virtual clock, and
+//! [`sequential_reference`] computes what any single sequence *must*
+//! produce (the naive one-sequence-at-a-time serving loop: chunked prefill
+//! plus per-token decode). Because batched launches do identical per-row
+//! work, the scheduler's outputs are **bitwise equal** to the reference —
+//! the property `tests/serving_sim.rs` checks across randomized traces.
+
+use crate::error::ServeError;
+use crate::request::{Completion, PlanId, ServeRequest};
+use crate::scheduler::Scheduler;
+use gpa_core::{AttentionEngine, AttentionPlan, AttnError, KvCache};
+use gpa_tensor::{init::qkv, Matrix, Real};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Shape of a randomized serving workload — every field inclusive-range or
+/// count, every draw taken from one seeded generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpec {
+    /// Number of sequences in the trace.
+    pub sequences: usize,
+    /// Inclusive range of prompt lengths.
+    pub prompt: (usize, usize),
+    /// Inclusive range of generated-token counts (0 allowed: prefill-only
+    /// sequences).
+    pub decode: (usize, usize),
+    /// Key/value dimension of every sequence.
+    pub dk: usize,
+    /// Inclusive range of inter-arrival gaps, in ticks.
+    pub arrival_gap: (u64, u64),
+    /// Priorities are drawn uniformly from `0..priority_classes`
+    /// (clamped to at least one class).
+    pub priority_classes: u8,
+    /// Master seed — same spec, same trace, bit for bit.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            sequences: 8,
+            prompt: (4, 16),
+            decode: (0, 8),
+            dk: 8,
+            arrival_gap: (0, 2),
+            priority_classes: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One trace event: the request and the tick it arrives at.
+#[derive(Clone)]
+pub struct TraceEvent<T> {
+    /// Arrival tick (nondecreasing across a generated trace).
+    pub at: u64,
+    /// The request to submit at that tick.
+    pub request: ServeRequest<T>,
+}
+
+fn draw_incl(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    assert!(lo <= hi, "empty range");
+    lo + rng.gen_range(0..hi - lo + 1)
+}
+
+/// Generate a seeded workload trace, cycling requests over `plans`
+/// (uniformly at random). Events come back sorted by arrival tick, ready
+/// for [`replay`].
+///
+/// # Panics
+/// Panics if `plans` is empty or a spec range is empty/inverted.
+pub fn generate_trace<T: Real>(spec: &TraceSpec, plans: &[PlanId]) -> Vec<TraceEvent<T>> {
+    assert!(!plans.is_empty(), "a trace needs at least one plan");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let classes = spec.priority_classes.max(1);
+    let mut at = 0u64;
+    (0..spec.sequences)
+        .map(|i| {
+            let prompt = draw_incl(&mut rng, spec.prompt).max(1);
+            let decode = draw_incl(&mut rng, spec.decode);
+            let total = prompt + decode;
+            let (q, k, v) = qkv::<T>(
+                total,
+                spec.dk,
+                spec.seed ^ (0xA5A5_0000 + i as u64).wrapping_mul(0x9E37),
+            );
+            let priority = rng.gen_range(0..classes as usize) as u8;
+            let plan = plans[rng.gen_range(0..plans.len())];
+            let (glo, ghi) = spec.arrival_gap;
+            assert!(glo <= ghi, "empty arrival-gap range");
+            at += glo + rng.gen_range(0..(ghi - glo + 1) as usize) as u64;
+            TraceEvent {
+                at,
+                request: ServeRequest {
+                    plan,
+                    priority,
+                    prompt,
+                    q,
+                    k,
+                    v,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Drive `scheduler` through a trace on its virtual clock: events are
+/// submitted when the clock reaches their arrival tick, the scheduler
+/// ticks until idle, and all completions come back in completion order.
+///
+/// `max_ticks` bounds the drive — exceeding it returns
+/// [`ServeError::NotDrained`], which doubles as the simulation's
+/// starvation check: on a healthy scheduler every submitted sequence
+/// completes within a bound computable from the trace itself.
+///
+/// # Panics
+/// Panics if the trace is not sorted by arrival tick.
+pub fn replay<T: Real>(
+    scheduler: &mut Scheduler<'_, T>,
+    trace: &[TraceEvent<T>],
+    max_ticks: u64,
+) -> Result<Vec<Completion<T>>, ServeError> {
+    assert!(
+        trace.windows(2).all(|w| w[0].at <= w[1].at),
+        "trace events must be sorted by arrival tick"
+    );
+    let mut completions = Vec::new();
+    let mut next = 0usize;
+    let mut ticks = 0u64;
+    while next < trace.len() || !scheduler.is_idle() {
+        while next < trace.len() && trace[next].at <= scheduler.now() {
+            scheduler.submit(trace[next].request.clone())?;
+            next += 1;
+        }
+        completions.extend(scheduler.tick()?.completed);
+        ticks += 1;
+        if ticks > max_ticks {
+            return Err(ServeError::NotDrained {
+                ticks,
+                outstanding: (trace.len() - next) + scheduler.outstanding(),
+            });
+        }
+    }
+    Ok(completions)
+}
+
+/// The naive one-sequence-at-a-time serving reference: chunked prefill of
+/// the prompt into a fresh cache, then one [`AttentionEngine::decode_step`]
+/// per generated token. Returns the sequence's full `total × dv` output —
+/// what the continuous-batching scheduler must reproduce **bitwise**.
+pub fn sequential_reference<T: Real>(
+    engine: &AttentionEngine,
+    plan: &AttentionPlan<'_>,
+    request: &ServeRequest<T>,
+    prefill_chunk: usize,
+) -> Result<Matrix<T>, AttnError> {
+    let total = request.q.rows();
+    let prompt = request.prompt;
+    let mut cache = KvCache::single(request.k.cols(), request.v.cols());
+    let mut out = Matrix::zeros(total, request.v.cols());
+    let prefill = engine.prefill_chunked(
+        plan,
+        &request.q.rows_slice(0, prompt),
+        &request.k.rows_slice(0, prompt),
+        &request.v.rows_slice(0, prompt),
+        prefill_chunk,
+        &mut cache,
+    )?;
+    for i in 0..prompt {
+        out.row_mut(i).copy_from_slice(prefill.row(i));
+    }
+    for t in prompt..total {
+        let row = engine.decode_step(
+            plan,
+            &request.q.rows_slice(t, t + 1),
+            &request.k.rows_slice(t, t + 1),
+            &request.v.rows_slice(t, t + 1),
+            &mut cache,
+        )?;
+        out.row_mut(t).copy_from_slice(row.row(0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use gpa_core::{AttentionKernel, AttentionPlan};
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let spec = TraceSpec {
+            sequences: 12,
+            priority_classes: 3,
+            ..TraceSpec::default()
+        };
+        let plans = [PlanId(0), PlanId(1)];
+        let a: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+        let b: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+        assert_eq!(a.len(), 12);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.request.q, y.request.q, "same seed, same data");
+            assert_eq!(x.request.priority, y.request.priority);
+        }
+        let other: Vec<TraceEvent<f64>> = generate_trace(
+            &TraceSpec {
+                seed: spec.seed ^ 1,
+                ..spec
+            },
+            &plans,
+        );
+        assert!(
+            a.iter()
+                .zip(&other)
+                .any(|(x, y)| x.request.q != y.request.q),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn replay_drains_and_matches_the_reference() {
+        let mut scheduler: Scheduler<'static, f64> = Scheduler::new(
+            AttentionEngine::with_threads(2),
+            ServeConfig {
+                max_in_flight: 3,
+                kv_budget_tokens: 128,
+                arrival_window: 1,
+                prefill_chunk: 4,
+            },
+        )
+        .unwrap();
+        let plan = scheduler
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+            .unwrap();
+        let trace: Vec<TraceEvent<f64>> = generate_trace(
+            &TraceSpec {
+                sequences: 6,
+                prompt: (2, 9),
+                decode: (0, 5),
+                dk: 4,
+                arrival_gap: (0, 3),
+                priority_classes: 2,
+                seed: 7,
+            },
+            &[plan],
+        );
+        let completions = replay(&mut scheduler, &trace, 10_000).unwrap();
+        assert_eq!(completions.len(), trace.len());
+        for c in &completions {
+            // Ids are assigned in submission (= trace) order.
+            let event = &trace[c.id.as_u64() as usize];
+            let expect = sequential_reference(
+                scheduler.engine(),
+                scheduler.plan(c.plan),
+                &event.request,
+                scheduler.config().prefill_chunk,
+            )
+            .unwrap();
+            assert_eq!(c.output, expect, "must be bitwise the sequential serve");
+        }
+    }
+
+    #[test]
+    fn replay_reports_starvation_via_tick_bound() {
+        let mut scheduler: Scheduler<'static, f64> =
+            Scheduler::new(AttentionEngine::with_threads(1), ServeConfig::default()).unwrap();
+        let plan = scheduler
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 1 }).unwrap())
+            .unwrap();
+        let trace: Vec<TraceEvent<f64>> = generate_trace(
+            &TraceSpec {
+                sequences: 4,
+                ..TraceSpec::default()
+            },
+            &[plan],
+        );
+        assert!(matches!(
+            replay(&mut scheduler, &trace, 2),
+            Err(ServeError::NotDrained { .. })
+        ));
+    }
+}

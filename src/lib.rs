@@ -27,8 +27,9 @@
 //! ```
 //!
 //! The quickest way in is the [`prelude`]; `examples/quickstart.rs` is the
-//! same flow at full size and `examples/batched_serving.rs` shows the
-//! batched serving loop.
+//! same flow at full size, `examples/batched_serving.rs` shows the batched
+//! serving loop, and `examples/continuous_serving.rs` drives the
+//! continuous-batching scheduler ([`serve`]) over a seeded workload trace.
 //!
 //! ## Quickstart
 //!
@@ -100,6 +101,7 @@ pub use gpa_distributed as distributed;
 pub use gpa_masks as masks;
 pub use gpa_memmodel as memmodel;
 pub use gpa_parallel as parallel;
+pub use gpa_serve as serve;
 pub use gpa_sparse as sparse;
 pub use gpa_tensor as tensor;
 
@@ -113,6 +115,7 @@ pub mod prelude {
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
+    pub use gpa_serve::{Scheduler, ServeConfig, ServeRequest};
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};
 }

@@ -3,9 +3,12 @@
 //! are bit-identical no matter how rows are scheduled — a property the
 //! benchmark methodology silently relies on.
 
-use graph_attention::core::{csr_attention, local_attention, AttentionKernel, KernelOptions};
+use graph_attention::core::{
+    csr_attention, local_attention, AttentionEngine, AttentionKernel, AttentionPlan, KernelOptions,
+};
 use graph_attention::masks::{MaskPattern, RandomUniform};
 use graph_attention::parallel::{Schedule, ThreadPool};
+use graph_attention::serve::{generate_trace, replay, Scheduler, ServeConfig, TraceSpec};
 use graph_attention::tensor::init::qkv;
 
 #[test]
@@ -82,6 +85,68 @@ fn repeated_runs_identical() {
             .run(&pool, &q, &k, &v, &KernelOptions::new())
             .unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn serving_trace_identical_across_pool_sizes() {
+    // The continuous-batching scheduler inherits the kernels' bitwise
+    // schedule-independence: replaying one seeded trace on pools of 1, 2,
+    // and 4 workers must produce identical outputs, identical completion
+    // *order*, and identical completion ticks — the scheduler's control
+    // flow is a pure function of the virtual clock, never of thread
+    // timing.
+    let spec = TraceSpec {
+        sequences: 10,
+        prompt: (3, 18),
+        decode: (0, 6),
+        dk: 8,
+        arrival_gap: (0, 2),
+        priority_classes: 2,
+        seed: 0xD17,
+    };
+    let config = ServeConfig {
+        max_in_flight: 3,
+        kv_budget_tokens: 96,
+        arrival_window: 1,
+        prefill_chunk: 4,
+    };
+    let run = |threads: usize| {
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+        let plans = vec![
+            scheduler
+                .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap())
+                .unwrap(),
+            scheduler
+                .register_plan(
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w: 4, r: 1 }).unwrap(),
+                )
+                .unwrap(),
+        ];
+        let trace = generate_trace::<f32>(&spec, &plans);
+        replay(&mut scheduler, &trace, 100_000).unwrap()
+    };
+    let reference = run(1);
+    assert_eq!(reference.len(), spec.sequences);
+    for threads in [2usize, 4] {
+        let completions = run(threads);
+        assert_eq!(completions.len(), reference.len());
+        for (a, b) in reference.iter().zip(&completions) {
+            assert_eq!(a.id, b.id, "{threads} threads changed completion order");
+            assert_eq!(
+                (a.admitted, a.completed),
+                (b.admitted, b.completed),
+                "{threads} threads changed the schedule of {:?}",
+                a.id
+            );
+            assert_eq!(
+                a.output.as_slice(),
+                b.output.as_slice(),
+                "{threads} threads changed bits of {:?}",
+                a.id
+            );
+        }
     }
 }
 

@@ -48,6 +48,11 @@ fn bigbird_inference_runs() {
 }
 
 #[test]
+fn continuous_serving_runs() {
+    run_example("continuous_serving", true);
+}
+
+#[test]
 fn custom_graph_mask_runs() {
     run_example("custom_graph_mask", true);
 }

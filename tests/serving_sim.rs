@@ -1,0 +1,421 @@
+//! Deterministic simulation of the continuous-batching scheduler.
+//!
+//! A seeded virtual-clock workload generator replays randomized arrival
+//! traces (mixed prompt lengths, decode lengths, arrival gaps, priority
+//! classes, and kernels) through `gpa-serve`'s [`Scheduler`] and checks,
+//! for **every** trace:
+//!
+//! 1. **Bitwise equivalence** — each completed sequence's full output
+//!    equals the naive one-sequence-at-a-time reference (chunked prefill +
+//!    per-token decode) bit for bit: continuous batching changes the
+//!    schedule, never the numbers;
+//! 2. **KV budget** — reservations never exceed the budget and no cache
+//!    outgrows its reservation, checked after every tick;
+//! 3. **No starvation** — every submitted sequence completes within a
+//!    bound computed from the trace itself (worst-case serial service);
+//! 4. **FIFO within a priority class** — admission preserves submission
+//!    order inside a class, and equal-shape same-class sequences complete
+//!    in submission order;
+//! 5. **Atomic rollback** — a failed batched launch rolls every
+//!    sequence's cache back and leaves the scheduler in a state that
+//!    still serves bitwise-correct outputs once the offender is cancelled
+//!    (separate test below).
+
+use graph_attention::prelude::*;
+use graph_attention::serve::{
+    generate_trace, sequential_reference, Completion, Scheduler, ServeError, TraceEvent, TraceSpec,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Scheduler + plans used by one simulated trace. Three length-free plans
+/// (two single-kernel, one composed) so traces mix kernels per sequence.
+fn build_scheduler(
+    threads: usize,
+    config: ServeConfig,
+) -> (Scheduler<'static, f64>, Vec<graph_attention::serve::PlanId>) {
+    let mut scheduler = Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+    let plans = vec![
+        scheduler
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+            .unwrap(),
+        scheduler
+            .register_plan(
+                AttentionPlan::single(AttentionKernel::Dilated1d { w: 3, r: 2 }).unwrap(),
+            )
+            .unwrap(),
+        scheduler
+            .register_plan(
+                AttentionPlan::new(&[
+                    AttentionKernel::Local { n: 1 },
+                    AttentionKernel::Dilated2d {
+                        block_size: 3,
+                        r: 1,
+                    },
+                ])
+                .unwrap(),
+            )
+            .unwrap(),
+    ];
+    (scheduler, plans)
+}
+
+/// Worst-case ticks to drain `trace` on a healthy scheduler: last arrival
+/// plus the arrival window plus fully *serial* service of every sequence
+/// (each needs `ceil(prompt/chunk)` prefill ticks and one tick per decode
+/// token), plus slack. Exceeding this bound means starvation.
+fn starvation_bound(trace: &[TraceEvent<f64>], config: &ServeConfig) -> u64 {
+    let service: u64 = trace
+        .iter()
+        .map(|e| {
+            let prompt = e.request.prompt;
+            let decode = e.request.q.rows() - prompt;
+            (prompt.div_ceil(config.prefill_chunk) + decode + 1) as u64
+        })
+        .sum();
+    let last_arrival = trace.last().map_or(0, |e| e.at);
+    last_arrival + config.arrival_window + service + 64
+}
+
+/// Drive one trace through the scheduler tick by tick, checking the KV
+/// invariants after every tick, and return the completions.
+fn drive(
+    scheduler: &mut Scheduler<'_, f64>,
+    trace: &[TraceEvent<f64>],
+    max_ticks: u64,
+) -> Vec<Completion<f64>> {
+    let mut completions = Vec::new();
+    let mut next = 0usize;
+    let mut ticks = 0u64;
+    while next < trace.len() || !scheduler.is_idle() {
+        while next < trace.len() && trace[next].at <= scheduler.now() {
+            scheduler.submit(trace[next].request.clone()).unwrap();
+            next += 1;
+        }
+        let report = scheduler.tick().unwrap();
+        // Invariant 2: the KV budget holds after every single tick.
+        scheduler.assert_kv_invariants();
+        assert!(
+            scheduler.kv_reserved_tokens() <= scheduler.kv_budget_tokens(),
+            "reservations exceed the budget"
+        );
+        assert!(
+            scheduler.kv_used_tokens() <= scheduler.kv_reserved_tokens(),
+            "cached tokens exceed reservations"
+        );
+        assert!(
+            scheduler.in_flight_len() <= scheduler.config().max_in_flight,
+            "in-flight cap violated"
+        );
+        completions.extend(report.completed);
+        ticks += 1;
+        // Invariant 3: no starvation — the trace drains within its bound.
+        assert!(
+            ticks <= max_ticks,
+            "not drained after {ticks} ticks (bound {max_ticks}): starvation"
+        );
+    }
+    completions
+}
+
+/// Check invariants 1 and 4 on a drained trace's completions.
+fn check_completions(
+    scheduler: &Scheduler<'_, f64>,
+    trace: &[TraceEvent<f64>],
+    completions: &[Completion<f64>],
+) {
+    assert_eq!(completions.len(), trace.len(), "every sequence completes");
+
+    // Invariant 1: bitwise equivalence with the sequential reference.
+    for c in completions {
+        let request = &trace[c.id.as_u64() as usize].request;
+        let expect = sequential_reference(
+            scheduler.engine(),
+            scheduler.plan(c.plan),
+            request,
+            scheduler.config().prefill_chunk,
+        )
+        .unwrap();
+        assert_eq!(
+            c.output,
+            expect,
+            "sequence {} must match the sequential serve bitwise",
+            c.id.as_u64()
+        );
+    }
+
+    // Invariant 4: FIFO within a priority class. Ids are submission order.
+    for a in completions {
+        for b in completions {
+            if a.priority != b.priority || a.id >= b.id {
+                continue;
+            }
+            assert!(
+                a.admitted <= b.admitted,
+                "class {}: {} admitted after later submission {}",
+                a.priority,
+                a.id.as_u64(),
+                b.id.as_u64()
+            );
+            // Equal-shape sequences of one class also *complete* FIFO
+            // (both phases advance one unit per tick, so order is kept).
+            let (ra, rb) = (
+                &trace[a.id.as_u64() as usize].request,
+                &trace[b.id.as_u64() as usize].request,
+            );
+            if ra.prompt == rb.prompt && ra.q.rows() == rb.q.rows() {
+                assert!(
+                    a.completed <= b.completed,
+                    "class {}: equal-shape completion order inverted ({} vs {})",
+                    a.priority,
+                    a.id.as_u64(),
+                    b.id.as_u64()
+                );
+            }
+        }
+    }
+}
+
+/// The headline: ≥ 50 randomized seeded traces, each with its own
+/// workload shape *and* scheduler policy, all four always-on invariants
+/// checked end to end.
+#[test]
+fn randomized_traces_match_the_sequential_reference_bitwise() {
+    for trace_seed in 0u64..52 {
+        let mut knobs = StdRng::seed_from_u64(0xC0FFEE ^ trace_seed);
+        let prompt_lo = 1 + knobs.gen_range(0..6);
+        let prompt_hi = prompt_lo + knobs.gen_range(0..12);
+        let decode_hi = knobs.gen_range(0..8);
+        let spec = TraceSpec {
+            sequences: 4 + knobs.gen_range(0..8),
+            prompt: (prompt_lo, prompt_hi),
+            decode: (0, decode_hi),
+            dk: 1 + knobs.gen_range(0..8),
+            arrival_gap: (0, knobs.gen_range(0..4) as u64),
+            priority_classes: 1 + knobs.gen_range(0..3) as u8,
+            seed: trace_seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED,
+        };
+        let max_total = prompt_hi + decode_hi;
+        // Sometimes a tight budget (serializes admissions), sometimes a
+        // loose one; always enough for the largest single sequence.
+        let budget = max_total * (1 + knobs.gen_range(0..spec.sequences));
+        let config = ServeConfig {
+            max_in_flight: 1 + knobs.gen_range(0..5),
+            kv_budget_tokens: budget,
+            arrival_window: knobs.gen_range(0..3) as u64,
+            prefill_chunk: 1 + knobs.gen_range(0..6),
+        };
+        let (mut scheduler, plans) = build_scheduler(2, config);
+        let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+        let bound = starvation_bound(&trace, &config);
+        let completions = drive(&mut scheduler, &trace, bound);
+        check_completions(&scheduler, &trace, &completions);
+        assert!(scheduler.is_idle());
+        assert_eq!(
+            scheduler.kv_reserved_tokens(),
+            0,
+            "trace {trace_seed}: all slots released"
+        );
+    }
+}
+
+/// Duplicate-shape burst: many equal-shape sequences in two classes,
+/// arriving together — the case where the FIFO-completion half of
+/// invariant 4 actually bites (and priority classes visibly reorder).
+#[test]
+fn equal_shape_bursts_complete_fifo_within_class_and_by_priority() {
+    let config = ServeConfig {
+        max_in_flight: 2,
+        kv_budget_tokens: 40,
+        arrival_window: 0,
+        prefill_chunk: 4,
+    };
+    let (mut scheduler, plans) = build_scheduler(2, config);
+    let spec = TraceSpec {
+        sequences: 10,
+        prompt: (6, 6),
+        decode: (3, 3),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 2,
+        seed: 0xBEEF,
+    };
+    let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+    assert!(
+        trace.iter().any(|e| e.request.priority == 0)
+            && trace.iter().any(|e| e.request.priority == 1),
+        "trace must exercise both classes"
+    );
+    let bound = starvation_bound(&trace, &config);
+    let completions = drive(&mut scheduler, &trace, bound);
+    check_completions(&scheduler, &trace, &completions);
+    // With simultaneous arrivals and strict priority, every class-0
+    // sequence is admitted no later than every class-1 sequence.
+    let last_high = completions
+        .iter()
+        .filter(|c| c.priority == 0)
+        .map(|c| c.admitted)
+        .max()
+        .unwrap();
+    let first_low = completions
+        .iter()
+        .filter(|c| c.priority == 1)
+        .map(|c| c.admitted)
+        .min()
+        .unwrap();
+    assert!(
+        last_high <= first_low,
+        "class 0 must be fully admitted before class 1 starts"
+    );
+}
+
+/// Invariant 5: a failed batched launch rolls every sequence's cache back
+/// and the scheduler keeps serving bitwise-correct outputs once the
+/// offending sequence is cancelled. Also: over-budget submissions are
+/// rejected without creating or mutating any cache.
+#[test]
+fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
+    let config = ServeConfig {
+        max_in_flight: 8,
+        kv_budget_tokens: 128,
+        arrival_window: 0,
+        prefill_chunk: 4,
+    };
+    let mut scheduler: Scheduler<'static, f64> =
+        Scheduler::new(AttentionEngine::with_threads(2), config).unwrap();
+    let healthy = scheduler
+        .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+        .unwrap();
+    // A Global set pinned to a context length no sequence will ever have:
+    // compiles fine, passes submission checks, fails request validation
+    // inside the batched launch.
+    let globals: &'static GlobalSet = Box::leak(Box::new(GlobalSet::new(97, vec![0])));
+    let broken = scheduler
+        .register_plan(
+            AttentionPlan::single(AttentionKernel::Global { globals, n_sub: 0 }).unwrap(),
+        )
+        .unwrap();
+
+    // Over-budget submission: rejected before any cache exists.
+    let (q, k, v) = init::qkv::<f64>(129, 4, 1);
+    let err = scheduler
+        .submit(graph_attention::serve::ServeRequest {
+            plan: healthy,
+            priority: 0,
+            prompt: 8,
+            q,
+            k,
+            v,
+        })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::OverBudget {
+            need: 129,
+            budget: 128
+        }
+    ));
+    assert_eq!(scheduler.kv_used_tokens(), 0);
+    assert!(scheduler.is_idle());
+
+    // Two healthy sequences decode for a few ticks first.
+    let mut healthy_ids = Vec::new();
+    for seed in 0..2u64 {
+        let (q, k, v) = init::qkv::<f64>(12, 4, 10 + seed);
+        healthy_ids.push(
+            scheduler
+                .submit(graph_attention::serve::ServeRequest {
+                    plan: healthy,
+                    priority: 0,
+                    prompt: 6,
+                    q,
+                    k,
+                    v,
+                })
+                .unwrap(),
+        );
+    }
+    for _ in 0..4 {
+        scheduler.tick().unwrap();
+        scheduler.assert_kv_invariants();
+    }
+    assert_eq!(scheduler.in_flight_len(), 2, "both mid-flight");
+
+    // Now a sequence on the broken plan joins the batch.
+    let (q, k, v) = init::qkv::<f64>(5, 4, 99);
+    let broken_id = scheduler
+        .submit(graph_attention::serve::ServeRequest {
+            plan: broken,
+            priority: 0,
+            prompt: 3,
+            q: q.clone(),
+            k,
+            v,
+        })
+        .unwrap();
+    let used_before = scheduler.kv_used_tokens();
+    let now_before = scheduler.now();
+    // The failing tick is fully transactional: the broken sequence's
+    // admission is undone (back to its queue, slot released), every decode
+    // append is rolled back, and the error NAMES the offender.
+    let err = scheduler.tick().unwrap_err();
+    let ServeError::Launch { request, source: _ } = err else {
+        panic!("expected a launch failure, got {err:?}");
+    };
+    assert_eq!(request, Some(broken_id), "the error must name the offender");
+    assert_eq!(
+        scheduler.kv_used_tokens(),
+        used_before,
+        "a failed tick leaves no cache trace, admissions included"
+    );
+    assert_eq!(
+        scheduler.now(),
+        now_before,
+        "a failed tick does not advance time"
+    );
+    assert_eq!(scheduler.in_flight_len(), 2, "the offender was un-admitted");
+    assert_eq!(scheduler.pending_len(), 1, "…and returned to its queue");
+    scheduler.assert_kv_invariants();
+    // Failure is stable: retrying re-admits, fails identically, and
+    // un-admits again without growing state.
+    assert!(scheduler.tick().is_err());
+    assert_eq!(scheduler.kv_used_tokens(), used_before);
+
+    // Cancel the offender the error named; the survivors drain to
+    // bitwise-correct outputs — possible only if every rollback was clean.
+    assert!(scheduler.cancel(request.unwrap()));
+    let mut completions = Vec::new();
+    for _ in 0..64 {
+        completions.extend(scheduler.tick().unwrap().completed);
+        if scheduler.is_idle() {
+            break;
+        }
+    }
+    assert_eq!(completions.len(), 2);
+    for c in &completions {
+        assert!(healthy_ids.contains(&c.id));
+        let seed = 10 + c.id.as_u64() - healthy_ids[0].as_u64();
+        let (q, k, v) = init::qkv::<f64>(12, 4, seed);
+        let request = graph_attention::serve::ServeRequest {
+            plan: healthy,
+            priority: 0,
+            prompt: 6,
+            q,
+            k,
+            v,
+        };
+        let expect = sequential_reference(
+            scheduler.engine(),
+            scheduler.plan(healthy),
+            &request,
+            config.prefill_chunk,
+        )
+        .unwrap();
+        assert_eq!(
+            c.output,
+            expect,
+            "survivor {} bitwise intact",
+            c.id.as_u64()
+        );
+    }
+    assert_eq!(scheduler.kv_reserved_tokens(), 0);
+}
