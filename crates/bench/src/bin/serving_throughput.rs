@@ -1,5 +1,7 @@
 //! Serving throughput — continuous batching vs one-sequence-at-a-time:
-//! tokens/sec and tick-latency percentiles (p50/p99) vs offered load.
+//! tokens/sec and tick-latency percentiles (p50/p99) vs offered load,
+//! plus a page-pressure sweep (offered load × page budget) reporting
+//! admitted-vs-rejected counts and preemption totals.
 //!
 //! ```text
 //! cargo run -p gpa-bench --release --bin serving_throughput [--quick|--paper]
@@ -19,7 +21,8 @@ fn main() {
     );
     println!(
         "{} sequences per point, prompts {:?}, decode {:?}, dk = {}, window = {}, \
-         chunk = {}, ≤{} in flight, {}-token KV budget\n",
+         chunk = {}, ≤{} in flight, {} pages × {} tokens KV pool \
+         (pressure budgets {:?})\n",
         cfg.sequences,
         cfg.prompt,
         cfg.decode,
@@ -27,7 +30,9 @@ fn main() {
         cfg.window,
         cfg.prefill_chunk,
         cfg.max_in_flight,
-        cfg.kv_budget_tokens
+        cfg.kv_pages,
+        cfg.page_size,
+        cfg.page_budgets
     );
 
     let records = run_serving(args.threads, &cfg, |r| {
@@ -45,17 +50,25 @@ fn main() {
         );
     });
 
+    let field = |note: &str, tag: &str| {
+        note.split("; ")
+            .find_map(|kv| kv.strip_prefix(tag).map(str::to_owned))
+            .unwrap_or_else(|| "—".into())
+    };
+
     // Offered load × algo → mean launch-unit time and latency percentiles.
     let headers = ["arrival gap", "algo", "mean", "p50 latency", "p99 latency"];
     let rows: Vec<Vec<String>> = records
         .iter()
+        .filter(|r| r.algo != "PagePressure")
         .map(|r| {
             let pct = |tag: &str| {
-                r.note
-                    .split("; ")
-                    .find_map(|kv| kv.strip_prefix(tag))
-                    .map(|v| format!("{v} ticks"))
-                    .unwrap_or_else(|| "—".into())
+                let v = field(&r.note, tag);
+                if v == "—" {
+                    v
+                } else {
+                    format!("{v} ticks")
+                }
             };
             vec![
                 format!("{:.0}", r.sf_target),
@@ -63,6 +76,31 @@ fn main() {
                 fmt_seconds(r.mean_s),
                 pct("p50t="),
                 pct("p99t="),
+            ]
+        })
+        .collect();
+    println!("\n{}", ascii_table(&headers, &rows));
+
+    // Offered load × page budget → admission and preemption outcomes.
+    let headers = [
+        "arrival gap",
+        "page budget",
+        "admitted",
+        "rejected",
+        "preemptions",
+        "mean tick",
+    ];
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .filter(|r| r.algo == "PagePressure")
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.sf_target),
+                field(&r.note, "pages="),
+                field(&r.note, "adm="),
+                field(&r.note, "rej="),
+                field(&r.note, "pre="),
+                fmt_seconds(r.mean_s),
             ]
         })
         .collect();

@@ -1,32 +1,38 @@
 //! Serving throughput — continuous batching vs one-sequence-at-a-time as
-//! offered load grows.
+//! offered load grows, plus a page-pressure sweep over shrinking KV pools.
 //!
 //! One seeded workload per offered-load point (mixed prompt/decode
-//! lengths, priorities, and arrival gaps) is served two ways:
+//! lengths, priorities, and arrival gaps) is served three ways:
 //!
-//! - **Continuous** — through `gpa-serve`'s [`Scheduler`]: every tick one
-//!   batched launch carries all runnable prefill chunks and decode rows,
-//!   so per-token launch overhead is paid once per tick. Wall-time samples
-//!   are per-tick durations; the *tick-latency* percentiles (p50/p99 of
-//!   submission→completion in virtual ticks) are simulation-deterministic
-//!   per seed, so they live in the record's note and survive the
-//!   regression join.
+//! - **Continuous** — through `gpa-serve`'s [`Scheduler`] with the full
+//!   page budget: every tick one batched launch carries all runnable
+//!   prefill chunks and decode rows, so per-token launch overhead is paid
+//!   once per tick. Wall-time samples are per-tick durations; the
+//!   *tick-latency* percentiles (p50/p99 of submission→completion in
+//!   virtual ticks) are simulation-deterministic per seed, so they live in
+//!   the record's note and survive the regression join.
 //! - **Sequential** — the naive baseline: each sequence served alone via
 //!   chunked prefill plus per-token [`gpa_core::AttentionEngine`] decode
 //!   steps, one launch per chunk/token. Wall-time samples are
 //!   per-sequence durations.
+//! - **PagePressure** — the same trace replayed against each reduced page
+//!   budget in the sweep: requests whose full length exceeds the whole
+//!   pool are rejected at submission, tight-but-feasible budgets force
+//!   preempt-and-resume, and the note records the deterministic
+//!   admitted/rejected counts and preemption-event total per point.
 //!
 //! Offered load is the mean arrival gap in ticks: `gap = 0` is a
 //! saturating burst, large gaps approach the idle regime where batching
 //! cannot help. The correctness claim (continuous outputs bitwise equal
-//! the sequential serve) is enforced by `tests/serving_sim.rs`; a
-//! spot-check also runs here under `cfg(test)`.
+//! the sequential serve, preempted or not) is enforced by
+//! `tests/serving_sim.rs`; a spot-check also runs here under `cfg(test)`.
 
 use crate::args::Scale;
 use crate::report::Record;
 use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_serve::{
-    generate_trace, sequential_reference, Completion, Scheduler, ServeConfig, TraceEvent, TraceSpec,
+    generate_trace, sequential_reference, AdmissionMode, Completion, Scheduler, ServeConfig,
+    ServeError, TraceEvent, TraceSpec,
 };
 use std::time::Instant;
 
@@ -36,6 +42,10 @@ pub struct ServingConfig {
     /// Mean inter-arrival gaps (ticks) to sweep — the offered-load axis,
     /// smaller is heavier.
     pub arrival_gaps: Vec<u64>,
+    /// Reduced page budgets for the pressure sweep — each is replayed at
+    /// every arrival gap. Budgets below the longest sequence's page need
+    /// reject at submission; tight-but-feasible budgets preempt.
+    pub page_budgets: Vec<usize>,
     /// Sequences per workload point.
     pub sequences: usize,
     /// Inclusive prompt-length range.
@@ -48,8 +58,10 @@ pub struct ServingConfig {
     pub window: usize,
     /// Scheduler admission policy.
     pub max_in_flight: usize,
-    /// KV token budget.
-    pub kv_budget_tokens: usize,
+    /// Full KV page budget for the throughput A/B.
+    pub kv_pages: usize,
+    /// Tokens per KV page.
+    pub page_size: usize,
     /// Prefill chunk rows.
     pub prefill_chunk: usize,
     /// Workload seed.
@@ -62,49 +74,57 @@ impl ServingConfig {
         match scale {
             Scale::Quick => ServingConfig {
                 arrival_gaps: vec![0, 2, 8],
+                page_budgets: vec![2, 4, 8],
                 sequences: 12,
                 prompt: (8, 24),
                 decode: (4, 8),
                 dk: 16,
                 window: 4,
                 max_in_flight: 4,
-                kv_budget_tokens: 256,
+                kv_pages: 32,
+                page_size: 8,
                 prefill_chunk: 8,
                 seed: 0x5EED,
             },
             Scale::Default => ServingConfig {
                 arrival_gaps: vec![0, 4, 16],
+                page_budgets: vec![4, 8, 32],
                 sequences: 64,
                 prompt: (64, 256),
                 decode: (32, 64),
                 dk: 64,
                 window: 32,
                 max_in_flight: 16,
-                kv_budget_tokens: 1 << 14,
+                kv_pages: 256,
+                page_size: 64,
                 prefill_chunk: 64,
                 seed: 0x5EED,
             },
             Scale::Paper => ServingConfig {
                 arrival_gaps: vec![0, 8, 32],
+                page_budgets: vec![8, 16, 64],
                 sequences: 256,
                 prompt: (256, 2048),
                 decode: (64, 128),
                 dk: 64,
                 window: 64,
                 max_in_flight: 32,
-                kv_budget_tokens: 1 << 18,
+                kv_pages: 1024,
+                page_size: 256,
                 prefill_chunk: 256,
                 seed: 0x5EED,
             },
         }
     }
 
-    fn scheduler_config(&self) -> ServeConfig {
+    fn scheduler_config(&self, kv_pages: usize) -> ServeConfig {
         ServeConfig {
             max_in_flight: self.max_in_flight,
-            kv_budget_tokens: self.kv_budget_tokens,
+            kv_pages,
+            page_size: self.page_size,
             arrival_window: 0,
             prefill_chunk: self.prefill_chunk,
+            admission: AdmissionMode::PagedUsage,
         }
     }
 
@@ -128,19 +148,37 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
-/// Serve one workload through the scheduler; returns per-tick wall-time
-/// samples, the completions, and total tokens computed.
+/// One continuous-serving replay: wall-time samples plus the deterministic
+/// virtual-clock outcome counters.
+struct ContinuousRun {
+    /// Per-tick wall-time samples.
+    samples: Vec<f64>,
+    /// Every completion, in completion order.
+    completions: Vec<Completion<f32>>,
+    /// Total tokens computed across completions.
+    tokens: usize,
+    /// Submissions rejected as [`ServeError::OverCapacity`] — sequences
+    /// whose full length cannot fit the whole pool.
+    rejected: usize,
+    /// Preemption events over the replay (evict-and-resume cycles).
+    preemptions: u64,
+}
+
+/// Serve one workload through the scheduler under the given page budget.
+/// Over-capacity submissions are counted, not fatal — that is the
+/// "rejected" side of the pressure sweep.
 fn run_continuous(
     engine_threads: Option<usize>,
     cfg: &ServingConfig,
+    kv_pages: usize,
     trace: &[TraceEvent<f32>],
-) -> (Vec<f64>, Vec<Completion<f32>>, usize) {
+) -> ContinuousRun {
     let engine = match engine_threads {
         Some(t) => AttentionEngine::with_threads(t),
         None => AttentionEngine::new(),
     };
     let mut scheduler: Scheduler<'static, f32> =
-        Scheduler::new(engine, cfg.scheduler_config()).expect("valid scheduler config");
+        Scheduler::new(engine, cfg.scheduler_config(kv_pages)).expect("valid scheduler config");
     let plan = scheduler
         .register_plan(
             AttentionPlan::single(AttentionKernel::Local { n: cfg.window })
@@ -150,12 +188,17 @@ fn run_continuous(
     // Retarget the trace's plan ids at this scheduler's plan.
     let mut completions = Vec::new();
     let mut samples = Vec::new();
+    let mut rejected = 0usize;
     let mut next = 0usize;
     while next < trace.len() || !scheduler.is_idle() {
         while next < trace.len() && trace[next].at <= scheduler.now() {
             let mut request = trace[next].request.clone();
             request.plan = plan;
-            scheduler.submit(request).expect("trace requests are valid");
+            match scheduler.submit(request) {
+                Ok(_) => {}
+                Err(ServeError::OverCapacity { .. }) => rejected += 1,
+                Err(e) => panic!("trace requests are valid: {e}"),
+            }
             next += 1;
         }
         let started = Instant::now();
@@ -164,7 +207,13 @@ fn run_continuous(
         completions.extend(report.completed);
     }
     let tokens = completions.iter().map(|c| c.output.rows()).sum();
-    (samples, completions, tokens)
+    ContinuousRun {
+        samples,
+        completions,
+        tokens,
+        rejected,
+        preemptions: scheduler.preemption_events(),
+    }
 }
 
 /// Serve the same workload one sequence at a time (the pre-scheduler
@@ -205,11 +254,16 @@ pub fn run_serving(
         let trace: Vec<TraceEvent<f32>> =
             generate_trace(&cfg.trace_spec(gap), &[gpa_serve::PlanId::default()]);
 
-        let (tick_samples, completions, tokens) = run_continuous(threads, cfg, &trace);
-        let mut latencies: Vec<u64> = completions.iter().map(Completion::latency_ticks).collect();
+        let run = run_continuous(threads, cfg, cfg.kv_pages, &trace);
+        assert_eq!(run.rejected, 0, "full budget admits every trace sequence");
+        let mut latencies: Vec<u64> = run
+            .completions
+            .iter()
+            .map(Completion::latency_ticks)
+            .collect();
         latencies.sort_unstable();
-        let stat = crate::protocol::BenchStat::from_samples(&tick_samples);
-        let total_s: f64 = tick_samples.iter().sum();
+        let stat = crate::protocol::BenchStat::from_samples(&run.samples);
+        let total_s: f64 = run.samples.iter().sum();
         let rec = Record {
             experiment: "serving".into(),
             algo: "Continuous".into(),
@@ -234,10 +288,10 @@ pub fn run_serving(
         };
         on_record(&rec);
         records.push(rec);
-        let continuous_tps = tokens as f64 / total_s;
+        let continuous_tps = run.tokens as f64 / total_s;
 
         let (seq_samples, seq_tokens) = run_sequential(threads, cfg, &trace);
-        assert_eq!(seq_tokens, tokens, "same workload, same token count");
+        assert_eq!(seq_tokens, run.tokens, "same workload, same token count");
         let stat = crate::protocol::BenchStat::from_samples(&seq_samples);
         let rec = Record {
             experiment: "serving".into(),
@@ -255,11 +309,47 @@ pub fn run_serving(
         };
         on_record(&rec);
         records.push(rec);
-        let sequential_tps = tokens as f64 / seq_samples.iter().sum::<f64>();
+        let sequential_tps = run.tokens as f64 / seq_samples.iter().sum::<f64>();
         eprintln!(
             "  gap={gap}: continuous {continuous_tps:.0} tok/s vs sequential {sequential_tps:.0} tok/s ({:.2}x)",
             continuous_tps / sequential_tps
         );
+
+        // Page-pressure sweep: the same offered load against each reduced
+        // page budget. Admitted/rejected counts and the preemption-event
+        // total are virtual-clock deterministic per seed, so they live in
+        // the note and survive the regression join.
+        for &pages in &cfg.page_budgets {
+            let run = run_continuous(threads, cfg, pages, &trace);
+            let stat = crate::protocol::BenchStat::from_samples(&run.samples);
+            let admitted = trace.len() - run.rejected;
+            let rec = Record {
+                experiment: "serving".into(),
+                algo: "PagePressure".into(),
+                l: mean_prompt,
+                dk: cfg.dk,
+                sf_target: gap as f64,
+                sf_achieved: f64::NAN,
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                note: format!(
+                    "gap={gap}; pages={pages}; adm={admitted}; rej={}; pre={}",
+                    run.rejected, run.preemptions,
+                ),
+            };
+            eprintln!(
+                "  gap={gap} pages={pages}: {admitted} admitted / {} rejected, {} preemptions \
+                 over {} ticks",
+                run.rejected,
+                run.preemptions,
+                run.samples.len(),
+            );
+            on_record(&rec);
+            records.push(rec);
+        }
     }
     records
 }
@@ -271,25 +361,30 @@ mod tests {
     fn tiny() -> ServingConfig {
         ServingConfig {
             arrival_gaps: vec![0, 3],
+            page_budgets: vec![2, 4],
             sequences: 5,
             prompt: (2, 6),
             decode: (1, 3),
             dk: 4,
             window: 2,
             max_in_flight: 3,
-            kv_budget_tokens: 64,
+            kv_pages: 16,
+            page_size: 4,
             prefill_chunk: 2,
             seed: 11,
         }
     }
 
     #[test]
-    fn sweep_covers_both_algos_at_every_load() {
+    fn sweep_covers_every_algo_and_budget_at_every_load() {
         let cfg = tiny();
         let mut streamed = 0usize;
         let records = run_serving(Some(2), &cfg, |_| streamed += 1);
         assert_eq!(records.len(), streamed);
-        assert_eq!(records.len(), 2 * cfg.arrival_gaps.len());
+        assert_eq!(
+            records.len(),
+            (2 + cfg.page_budgets.len()) * cfg.arrival_gaps.len()
+        );
         for gap in &cfg.arrival_gaps {
             for algo in ["Continuous", "Sequential"] {
                 assert!(
@@ -299,6 +394,14 @@ mod tests {
                     "missing {algo} at gap {gap}"
                 );
             }
+            for pages in &cfg.page_budgets {
+                assert!(
+                    records.iter().any(|r| r.algo == "PagePressure"
+                        && r.sf_target == *gap as f64
+                        && r.note.contains(&format!("pages={pages};"))),
+                    "missing PagePressure at gap {gap}, {pages} pages"
+                );
+            }
         }
         assert!(records.iter().all(|r| r.mean_s > 0.0 && r.iters > 0));
         // Latency percentiles only on the scheduler rows.
@@ -306,6 +409,59 @@ mod tests {
             .iter()
             .filter(|r| r.algo == "Continuous")
             .all(|r| r.note.contains("p50t=") && r.note.contains("p99t=")));
+        // Pressure rows carry admitted/rejected and preemption counters.
+        assert!(records
+            .iter()
+            .filter(|r| r.algo == "PagePressure")
+            .all(|r| r.note.contains("adm=")
+                && r.note.contains("rej=")
+                && r.note.contains("pre=")));
+    }
+
+    #[test]
+    fn tight_budgets_preempt_and_complete_bitwise() {
+        // At a saturating burst with a tight-but-feasible budget the
+        // scheduler must preempt — and every completion, preempted or not,
+        // must still be bitwise the sequential serve.
+        let cfg = tiny();
+        let trace: Vec<TraceEvent<f32>> =
+            generate_trace(&cfg.trace_spec(0), &[gpa_serve::PlanId::default()]);
+        let max_pages = trace
+            .iter()
+            .map(|e| e.request.q.rows().div_ceil(cfg.page_size))
+            .max()
+            .unwrap();
+        let run = run_continuous(Some(2), &cfg, max_pages + 1, &trace);
+        assert_eq!(run.rejected, 0, "feasible budget admits everything");
+        assert_eq!(run.completions.len(), trace.len());
+        assert!(run.preemptions > 0, "tight budget must preempt");
+        let engine = AttentionEngine::with_threads(2);
+        let plan = AttentionPlan::single(AttentionKernel::Local { n: cfg.window }).unwrap();
+        for c in &run.completions {
+            let expect = sequential_reference(
+                &engine,
+                &plan,
+                &trace[c.id.as_u64() as usize].request,
+                cfg.prefill_chunk,
+            )
+            .unwrap();
+            assert_eq!(c.output, expect);
+        }
+    }
+
+    #[test]
+    fn infeasible_budgets_reject_at_submission() {
+        let cfg = tiny();
+        let trace: Vec<TraceEvent<f32>> =
+            generate_trace(&cfg.trace_spec(0), &[gpa_serve::PlanId::default()]);
+        // A one-page pool rejects every sequence longer than one page.
+        let run = run_continuous(Some(2), &cfg, 1, &trace);
+        let too_long = trace
+            .iter()
+            .filter(|e| e.request.q.rows() > cfg.page_size)
+            .count();
+        assert_eq!(run.rejected, too_long);
+        assert_eq!(run.completions.len(), trace.len() - too_long);
     }
 
     #[test]
@@ -316,11 +472,11 @@ mod tests {
         let cfg = tiny();
         let trace: Vec<TraceEvent<f32>> =
             generate_trace(&cfg.trace_spec(1), &[gpa_serve::PlanId::default()]);
-        let (_, completions, _) = run_continuous(Some(2), &cfg, &trace);
-        assert_eq!(completions.len(), trace.len());
+        let run = run_continuous(Some(2), &cfg, cfg.kv_pages, &trace);
+        assert_eq!(run.completions.len(), trace.len());
         let engine = AttentionEngine::with_threads(2);
         let plan = AttentionPlan::single(AttentionKernel::Local { n: cfg.window }).unwrap();
-        for c in &completions {
+        for c in &run.completions {
             let expect = sequential_reference(
                 &engine,
                 &plan,

@@ -59,8 +59,8 @@ pub mod geometry;
 pub mod kernels;
 pub mod multihead;
 pub mod options;
+pub mod pages;
 pub mod plan;
-pub mod slots;
 pub mod state;
 pub mod verify;
 
@@ -84,8 +84,8 @@ pub use multihead::{
     concat_heads, multi_head_attention, split_heads, LayerDecodeStep, MultiHeadAttention,
 };
 pub use options::KernelOptions;
+pub use pages::{PagePool, SeqId};
 pub use plan::AttentionPlan;
-pub use slots::{SlotId, SlotPool};
 pub use state::AttentionState;
 pub use verify::{run_paper_verification, run_verification_at, VerificationRecord};
 

@@ -1,0 +1,489 @@
+//! Paged KV allocation — fixed-size pages, a free list, per-sequence page
+//! tables.
+//!
+//! A serving scheduler keeps one [`KvCache`] per in-flight sequence, and
+//! the resource that limits how many sequences can be in flight is total
+//! KV memory. The predecessor of this module (`SlotPool`) accounted for
+//! that memory by **worst-case reservation**: a sequence reserved its full
+//! prompt-plus-generated length at admission, so a 16-token prompt under a
+//! 4096-token cap held 4096 tokens of budget from its first tick. That
+//! makes budgets trivially safe — and leaves almost all of the memory
+//! idle, which is exactly the failure mode PagedAttention removes.
+//!
+//! [`PagePool`] is the paged replacement. Capacity is a fixed set of
+//! pages of [`PagePool::page_size`] tokens each; every live sequence owns
+//! a **page table** (a list of physical page ids) that grows only when an
+//! append crosses a page boundary, and a free-page list hands ids out and
+//! takes them back. A sequence therefore costs what it *currently* caches,
+//! rounded up to whole pages — admission can pack the pool by usage, and a
+//! scheduler that oversubscribes recovers by releasing a victim's pages
+//! (evict-and-recompute; see `gpa-serve`).
+//!
+//! Physically, each sequence's K/V rows stay in one contiguous
+//! [`KvCache`] — the page table governs *capacity*, not data layout, so
+//! kernels keep borrowing whole `K`/`V` matrices with zero copies and the
+//! library's bitwise guarantees are untouched. Page ids are still real:
+//! finite, conserved (`free + mapped == total`, asserted by
+//! [`PagePool::assert_page_invariants`]), and never double-mapped. A
+//! physically scattered layout (and with it evict-and-swap instead of
+//! evict-and-recompute) would slot in behind the same table without
+//! changing this API.
+//!
+//! Handles are generation-checked exactly as before: using a released or
+//! stale [`SeqId`] panics, because sequence indices are recycled and a
+//! stale handle is a logic error, not a recoverable condition.
+
+use crate::cache::KvCache;
+use gpa_tensor::{Matrix, Real};
+
+/// Opaque handle to one live sequence in a [`PagePool`].
+///
+/// Handles are invalidated by [`PagePool::release`]; using a released
+/// handle panics (sequence indices are recycled, so a stale handle is a
+/// logic error, not a recoverable condition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SeqId {
+    index: usize,
+    generation: u64,
+}
+
+struct PagedSeq<T> {
+    cache: KvCache<T>,
+    /// Physical page ids backing this sequence, in logical order; always
+    /// exactly `ceil(cache.len() / page_size)` entries between calls.
+    pages: Vec<usize>,
+    generation: u64,
+}
+
+/// A pool of per-sequence [`KvCache`]s under block-paged allocation.
+///
+/// Sequences are single-head (the engine's serving decode surface);
+/// a multi-head model maps each head to its own sequence.
+///
+/// ```
+/// use gpa_core::PagePool;
+///
+/// // 4 pages of 4 tokens each: room for 16 cached tokens in total.
+/// let mut pool: PagePool<f32> = PagePool::new(4, 4);
+/// let a = pool.allocate(8, 8);
+/// assert_eq!(pool.pages_held(a), 0, "pages allocate on append, not up front");
+/// assert!(pool.try_append(a, &[0.0; 8], &[0.0; 8]));
+/// assert_eq!((pool.pages_held(a), pool.free_pages()), (1, 3));
+/// let cache = pool.release(a);
+/// assert_eq!(cache.len(), 1, "the cache keeps its tokens");
+/// assert_eq!(pool.free_pages(), 4, "the pages come back");
+/// ```
+pub struct PagePool<T> {
+    page_size: usize,
+    total_pages: usize,
+    /// Free physical page ids, popped from the back (LIFO reuse).
+    free: Vec<usize>,
+    seqs: Vec<Option<PagedSeq<T>>>,
+    free_seqs: Vec<usize>,
+    next_generation: u64,
+}
+
+impl<T: Real> PagePool<T> {
+    /// Empty pool of `total_pages` pages, each holding `page_size` cached
+    /// tokens.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn new(total_pages: usize, page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PagePool {
+            page_size,
+            total_pages,
+            // Reversed so pop() hands out ids 0, 1, 2, … in order.
+            free: (0..total_pages).rev().collect(),
+            seqs: Vec::new(),
+            free_seqs: Vec::new(),
+            next_generation: 0,
+        }
+    }
+
+    /// Tokens per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages in the pool, free or mapped.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Pages on the free list.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages mapped into live page tables.
+    pub fn used_pages(&self) -> usize {
+        self.total_pages - self.free.len()
+    }
+
+    /// Pages needed to cache `tokens` tokens: `ceil(tokens / page_size)`.
+    pub fn pages_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_size)
+    }
+
+    /// Tokens actually cached right now, summed across live sequences.
+    pub fn used_tokens(&self) -> usize {
+        self.seqs.iter().flatten().map(|s| s.cache.len()).sum()
+    }
+
+    /// Number of live sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.iter().flatten().count()
+    }
+
+    /// True when no sequences are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a sequence: an empty single-head cache (`dk`/`dv` key and
+    /// value dimensions) with an empty page table. Allocation itself
+    /// costs nothing — pages are taken only when appends need them — so
+    /// this cannot fail.
+    pub fn allocate(&mut self, dk: usize, dv: usize) -> SeqId {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let seq = PagedSeq {
+            cache: KvCache::single(dk, dv),
+            pages: Vec::new(),
+            generation,
+        };
+        let index = match self.free_seqs.pop() {
+            Some(index) => {
+                self.seqs[index] = Some(seq);
+                index
+            }
+            None => {
+                self.seqs.push(Some(seq));
+                self.seqs.len() - 1
+            }
+        };
+        SeqId { index, generation }
+    }
+
+    fn seq(&self, id: SeqId) -> &PagedSeq<T> {
+        let seq = self.seqs[id.index].as_ref().expect("released sequence");
+        assert_eq!(seq.generation, id.generation, "stale sequence handle");
+        seq
+    }
+
+    fn seq_mut(&mut self, id: SeqId) -> &mut PagedSeq<T> {
+        let seq = self.seqs[id.index].as_mut().expect("released sequence");
+        assert_eq!(seq.generation, id.generation, "stale sequence handle");
+        seq
+    }
+
+    /// The sequence's cache.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn cache(&self, id: SeqId) -> &KvCache<T> {
+        &self.seq(id).cache
+    }
+
+    /// Pages currently mapped by the sequence's page table.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn pages_held(&self, id: SeqId) -> usize {
+        self.seq(id).pages.len()
+    }
+
+    /// The sequence's page table — physical page ids in logical order.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn page_table(&self, id: SeqId) -> &[usize] {
+        &self.seq(id).pages
+    }
+
+    /// Grow the page table at `index` to cover `tokens` tokens. Returns
+    /// false — without mutating anything — when the free list cannot
+    /// supply the missing pages.
+    fn grow_to(&mut self, index: usize, tokens: usize) -> bool {
+        let needed = tokens.div_ceil(self.page_size);
+        let held = self.seqs[index]
+            .as_ref()
+            .expect("live sequence")
+            .pages
+            .len();
+        let missing = needed.saturating_sub(held);
+        if missing > self.free.len() {
+            return false;
+        }
+        let seq = self.seqs[index].as_mut().expect("live sequence");
+        for _ in 0..missing {
+            seq.pages.push(self.free.pop().expect("counted above"));
+        }
+        true
+    }
+
+    /// Append a prompt's worth of K/V rows, allocating whatever pages the
+    /// new length needs. Atomic: returns false — no pages taken, no rows
+    /// appended — when the pages do not fit.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle, or on `k`/`v` shape
+    /// mismatches (as [`KvCache::extend`]).
+    pub fn try_extend(&mut self, id: SeqId, k: &Matrix<T>, v: &Matrix<T>) -> bool {
+        let tokens = self.seq(id).cache.len() + k.rows();
+        if !self.grow_to(id.index, tokens) {
+            return false;
+        }
+        self.seq_mut(id).cache.extend(0, k, v);
+        true
+    }
+
+    /// Append one decode token's K/V rows, allocating a fresh page when
+    /// the append crosses a page boundary. Atomic: returns false — no
+    /// page taken, no row appended — when a needed page is not free.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle, or on row-width mismatches
+    /// (as [`KvCache::append`]).
+    pub fn try_append(&mut self, id: SeqId, k_row: &[T], v_row: &[T]) -> bool {
+        let tokens = self.seq(id).cache.len() + 1;
+        if !self.grow_to(id.index, tokens) {
+            return false;
+        }
+        self.seq_mut(id).cache.append(0, k_row, v_row);
+        true
+    }
+
+    /// Drop every cached token past the first `tokens`, returning the
+    /// pages the shorter length no longer needs to the free list — the
+    /// rollback path when a launch fails after its appends landed.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn truncate(&mut self, id: SeqId, tokens: usize) {
+        // Validate the handle, then split the borrow: the sequence entry
+        // and the free list are disjoint fields.
+        let _ = self.seq(id);
+        let seq = self.seqs[id.index].as_mut().expect("live sequence");
+        if tokens >= seq.cache.len() {
+            return;
+        }
+        seq.cache.truncate(tokens);
+        let keep = tokens.div_ceil(self.page_size);
+        while seq.pages.len() > keep {
+            let page = seq.pages.pop().expect("longer than keep");
+            self.free.push(page);
+        }
+    }
+
+    /// Release a sequence, returning every mapped page to the free list
+    /// and the cache (with whatever tokens it still holds) to the caller.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn release(&mut self, id: SeqId) -> KvCache<T> {
+        let seq = self.seqs[id.index].take().expect("released sequence");
+        assert_eq!(seq.generation, id.generation, "stale sequence handle");
+        // Pop from the back: pages return in reverse allocation order,
+        // keeping reuse LIFO and fully deterministic.
+        let mut pages = seq.pages;
+        while let Some(page) = pages.pop() {
+            self.free.push(page);
+        }
+        self.free_seqs.push(id.index);
+        seq.cache
+    }
+
+    /// Assert the pool's paging invariants: page conservation
+    /// (`free + mapped == total`), no page mapped twice (across page
+    /// tables or the free list), and every page table exactly covering its
+    /// cache (`ceil(len / page_size)` entries). The serving simulation
+    /// calls this after every scheduler tick.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn assert_page_invariants(&self) {
+        let mapped: usize = self.seqs.iter().flatten().map(|s| s.pages.len()).sum();
+        assert_eq!(
+            self.free.len() + mapped,
+            self.total_pages,
+            "pages leaked: {} free + {mapped} mapped != {} total",
+            self.free.len(),
+            self.total_pages
+        );
+        let mut seen = vec![false; self.total_pages];
+        let mut claim = |page: usize, owner: &str| {
+            assert!(page < self.total_pages, "{owner} maps unknown page {page}");
+            assert!(
+                !seen[page],
+                "page {page} double-mapped (second owner: {owner})"
+            );
+            seen[page] = true;
+        };
+        for &page in &self.free {
+            claim(page, "free list");
+        }
+        for seq in self.seqs.iter().flatten() {
+            for &page in &seq.pages {
+                claim(page, "a page table");
+            }
+            assert_eq!(
+                seq.pages.len(),
+                seq.cache.len().div_ceil(self.page_size),
+                "page table does not exactly cover {} cached tokens",
+                seq.cache.len()
+            );
+        }
+    }
+}
+
+impl<T: Real> std::fmt::Debug for PagePool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagePool")
+            .field("sequences", &self.len())
+            .field("page_size", &self.page_size)
+            .field("total_pages", &self.total_pages)
+            .field("free_pages", &self.free.len())
+            .field("used_tokens", &self.used_tokens())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_tensor::init::qkv;
+
+    #[test]
+    fn pages_allocate_on_append_and_round_up() {
+        let mut pool: PagePool<f64> = PagePool::new(3, 4);
+        assert_eq!((pool.total_pages(), pool.page_size()), (3, 4));
+        assert_eq!(pool.pages_for(0), 0);
+        assert_eq!(pool.pages_for(4), 1);
+        assert_eq!(pool.pages_for(5), 2);
+        let a = pool.allocate(2, 2);
+        assert_eq!(pool.pages_held(a), 0);
+        for t in 0..5 {
+            assert!(pool.try_append(a, &[t as f64; 2], &[0.0; 2]));
+        }
+        // 5 tokens over 4-token pages: two pages, partially filled second.
+        assert_eq!(pool.pages_held(a), 2);
+        assert_eq!(pool.page_table(a), &[0, 1]);
+        assert_eq!(pool.free_pages(), 1);
+        assert_eq!(pool.used_tokens(), 5);
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn failed_append_takes_nothing() {
+        let mut pool: PagePool<f64> = PagePool::new(1, 2);
+        let a = pool.allocate(2, 2);
+        assert!(pool.try_append(a, &[0.0; 2], &[0.0; 2]));
+        assert!(pool.try_append(a, &[1.0; 2], &[1.0; 2]), "same page");
+        // Third token needs a second page; none is free.
+        assert!(!pool.try_append(a, &[2.0; 2], &[2.0; 2]));
+        assert_eq!(pool.cache(a).len(), 2, "failed append left no row");
+        assert_eq!(pool.pages_held(a), 1);
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn failed_extend_is_atomic() {
+        let mut pool: PagePool<f64> = PagePool::new(2, 4);
+        let a = pool.allocate(3, 3);
+        let (_, k, v) = qkv::<f64>(9, 3, 1);
+        // 9 tokens need 3 pages; only 2 exist. Nothing moves.
+        assert!(!pool.try_extend(a, &k, &v));
+        assert_eq!(pool.cache(a).len(), 0);
+        assert_eq!(pool.free_pages(), 2);
+        let (_, k, v) = qkv::<f64>(8, 3, 2);
+        assert!(pool.try_extend(a, &k, &v));
+        assert_eq!(pool.cache(a).len(), 8);
+        assert_eq!(pool.pages_held(a), 2);
+        assert_eq!(pool.cache(a).k(0).row(3), k.row(3), "rows land in order");
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn truncate_returns_excess_pages() {
+        let mut pool: PagePool<f32> = PagePool::new(4, 2);
+        let a = pool.allocate(2, 2);
+        let (_, k, v) = qkv::<f32>(7, 2, 3);
+        assert!(pool.try_extend(a, &k, &v));
+        assert_eq!((pool.pages_held(a), pool.free_pages()), (4, 0));
+        pool.truncate(a, 3);
+        assert_eq!(pool.cache(a).len(), 3);
+        assert_eq!((pool.pages_held(a), pool.free_pages()), (2, 2));
+        pool.truncate(a, 9); // longer than the cache: no-op
+        assert_eq!(pool.cache(a).len(), 3);
+        pool.truncate(a, 0);
+        assert_eq!((pool.pages_held(a), pool.free_pages()), (0, 4));
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn release_returns_pages_and_cache() {
+        let mut pool: PagePool<f64> = PagePool::new(2, 2);
+        let a = pool.allocate(2, 2);
+        assert!(pool.try_append(a, &[1.0, 2.0], &[3.0, 4.0]));
+        let cache = pool.release(a);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.k(0).row(0), &[1.0, 2.0]);
+        assert_eq!(pool.free_pages(), 2);
+        assert!(pool.is_empty());
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut pool: PagePool<f64> = PagePool::new(2, 1);
+        let a = pool.allocate(2, 2);
+        let b = pool.allocate(2, 2);
+        assert!(pool.try_append(a, &[0.0; 2], &[0.0; 2]));
+        assert!(pool.try_append(b, &[0.0; 2], &[0.0; 2]));
+        assert!(!pool.try_append(a, &[0.0; 2], &[0.0; 2]), "pool exhausted");
+        pool.release(b);
+        assert!(pool.try_append(a, &[0.0; 2], &[0.0; 2]), "b's page freed");
+        assert_eq!(pool.pages_held(a), 2);
+        assert_eq!(pool.len(), 1);
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn sequence_indices_are_recycled_but_handles_are_not() {
+        let mut pool: PagePool<f64> = PagePool::new(4, 2);
+        let a = pool.allocate(2, 2);
+        pool.release(a);
+        let b = pool.allocate(2, 2);
+        // Recycled index, fresh generation: `a` must no longer resolve.
+        assert_ne!(a, b);
+        assert_eq!(pool.cache(b).len(), 0);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.cache(a);
+        }));
+        assert!(stale.is_err(), "stale handle must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "released sequence")]
+    fn released_handle_panics() {
+        let mut pool: PagePool<f64> = PagePool::new(2, 2);
+        let a = pool.allocate(2, 2);
+        pool.release(a);
+        let _ = pool.cache(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_rejected() {
+        let _ = PagePool::<f32>::new(4, 0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let pool: PagePool<f32> = PagePool::new(3, 2);
+        assert!(format!("{pool:?}").contains("PagePool"));
+    }
+}

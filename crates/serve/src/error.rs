@@ -20,14 +20,14 @@ pub enum ServeError {
         /// Human-readable description.
         what: &'static str,
     },
-    /// A submitted request can never be admitted: its total KV need
-    /// exceeds the scheduler's whole budget. Rejected at submission,
-    /// before any cache exists for it.
-    OverBudget {
-        /// Tokens the request would need resident at completion.
-        need: usize,
-        /// The scheduler's total KV token budget.
-        budget: usize,
+    /// A submitted request can never be admitted: the pages its full
+    /// prompt + decode length needs exceed the scheduler's whole pool.
+    /// Rejected at submission, before any cache exists for it.
+    OverCapacity {
+        /// Pages the request would need resident at completion.
+        need_pages: usize,
+        /// Total pages in the scheduler's KV pool.
+        total_pages: usize,
     },
     /// A batched launch failed. The tick was rolled back atomically (see
     /// `Scheduler::tick`); when the failure is attributable to one
@@ -56,9 +56,12 @@ impl fmt::Display for ServeError {
             ServeError::BadConfig { what } => write!(f, "bad scheduler config: {what}"),
             ServeError::UnknownPlan => write!(f, "request references an unregistered plan"),
             ServeError::BadRequest { what } => write!(f, "bad request: {what}"),
-            ServeError::OverBudget { need, budget } => write!(
+            ServeError::OverCapacity {
+                need_pages,
+                total_pages,
+            } => write!(
                 f,
-                "request needs {need} KV tokens but the whole budget is {budget}"
+                "request needs {need_pages} KV pages but the whole pool is {total_pages}"
             ),
             ServeError::Launch { request, source } => match request {
                 Some(id) => write!(
@@ -104,9 +107,12 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(ServeError::UnknownPlan.to_string().contains("unregistered"));
-        assert!(ServeError::OverBudget { need: 9, budget: 4 }
-            .to_string()
-            .contains("9"));
+        assert!(ServeError::OverCapacity {
+            need_pages: 9,
+            total_pages: 4
+        }
+        .to_string()
+        .contains("9"));
         let launch = ServeError::Launch {
             request: Some(RequestId(7)),
             source: AttnError::BadParameter { what: "w" },

@@ -7,7 +7,7 @@
 //! a **continuous-batching scheduler** ([`Scheduler`]) that owns an
 //! [`gpa_core::AttentionEngine`], queues requests per priority class,
 //! admits them under an explicit policy (arrival-batching window, max
-//! in-flight sequences, KV token budget over a [`gpa_core::SlotPool`]),
+//! in-flight sequences, block-paged KV over a [`gpa_core::PagePool`]),
 //! and on every virtual-clock tick flattens *all* runnable work — each
 //! prefilling sequence's next chunk plus each decoding sequence's next
 //! token — into one batched launch per plan. That is the regime where
@@ -15,33 +15,58 @@
 //! not once per sequence, and block-sparse patterns keep the pool
 //! saturated with mixed prefill/decode work.
 //!
+//! ## Paged KV: admission on usage, not worst case
+//!
+//! KV memory is a pool of fixed-size pages; a sequence holds exactly the
+//! pages its cached tokens occupy, growing one page at a time as decode
+//! appends cross page boundaries. Admission charges a sequence its
+//! *current* page need ([`AdmissionMode::PagedUsage`]), not its
+//! worst-case length — the difference is stark. Take 16-token prompts
+//! with a 4096-token generation cap on a 4096-token pool (256 pages of
+//! 16): worst-case reservation ([`AdmissionMode::WorstCaseReserve`])
+//! charges each sequence all 256 pages at admission, so exactly **one**
+//! runs while 255 pages sit idle; paged admission charges the one page
+//! the prompt occupies, packing dozens of sequences into the same pool.
+//! The price is oversubscription: when decode growth outruns the free
+//! list, the scheduler **preempts** the lowest-priority, most-recently
+//! admitted sequence — its pages are released and it parks on a resume
+//! queue with its prompt + generated K/V rows, resuming (re-extending
+//! those rows into a fresh cache, bit-identically) when pages free up.
+//! Preempted-and-resumed sequences therefore complete **bitwise equal**
+//! to their uninterrupted runs, and the most urgent sequence is never
+//! evicted, so the pool cannot livelock.
+//!
 //! Everything is deterministic: time is a tick counter, admission order is
 //! a pure function of (priority, submission order, fit), and batched
 //! per-row work is identical to sequential per-sequence work — so every
 //! completed sequence's output is **bitwise equal** to the naive
 //! one-sequence-at-a-time serve ([`sequential_reference`]), a property
 //! `tests/serving_sim.rs` checks across dozens of randomized seeded
-//! traces along with the scheduler invariants (KV budget never exceeded,
-//! no starvation, FIFO within a priority class, atomic rollback on
-//! launch failure).
+//! traces along with the scheduler invariants (page conservation, no
+//! page double-mapped, no starvation, FIFO within a priority class,
+//! atomic rollback on launch failure).
 //!
 //! ## Example
 //!
 //! ```
 //! use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 //! use gpa_serve::{
-//!     generate_trace, replay, sequential_reference, ServeConfig, Scheduler, TraceSpec,
+//!     generate_trace, replay, sequential_reference, AdmissionMode, ServeConfig, Scheduler,
+//!     TraceSpec,
 //! };
 //!
 //! // A scheduler owning its engine: admit at most 4 sequences into a
-//! // 256-token KV budget, prefill in chunks of 8 query rows.
+//! // paged KV pool of 32 pages × 8 tokens, prefill in chunks of 8
+//! // query rows, admission charged on current page usage.
 //! let mut scheduler: Scheduler<'static, f32> = Scheduler::new(
 //!     AttentionEngine::with_threads(2),
 //!     ServeConfig {
 //!         max_in_flight: 4,
-//!         kv_budget_tokens: 256,
+//!         kv_pages: 32,
+//!         page_size: 8,
 //!         arrival_window: 1,
 //!         prefill_chunk: 8,
+//!         admission: AdmissionMode::PagedUsage,
 //!     },
 //! )
 //! .unwrap();
@@ -94,5 +119,5 @@ pub mod trace;
 
 pub use error::ServeError;
 pub use request::{Completion, PlanId, RequestId, ServeRequest, TickReport};
-pub use scheduler::{Scheduler, ServeConfig};
+pub use scheduler::{AdmissionMode, Scheduler, ServeConfig};
 pub use trace::{generate_trace, replay, sequential_reference, TraceEvent, TraceSpec};

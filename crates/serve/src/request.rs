@@ -81,6 +81,9 @@ pub struct Completion<T> {
     pub admitted: u64,
     /// Tick at which its last row was computed.
     pub completed: u64,
+    /// Times the sequence was preempted (evicted and later resumed)
+    /// between admission and completion; 0 for an uninterrupted run.
+    pub preemptions: u32,
 }
 
 impl<T> Completion<T> {
@@ -105,6 +108,7 @@ impl<T> std::fmt::Debug for Completion<T> {
             .field("submitted", &self.submitted)
             .field("admitted", &self.admitted)
             .field("completed", &self.completed)
+            .field("preemptions", &self.preemptions)
             .finish_non_exhaustive()
     }
 }
@@ -113,8 +117,14 @@ impl<T> std::fmt::Debug for Completion<T> {
 pub struct TickReport<T> {
     /// The virtual time this tick executed at.
     pub tick: u64,
-    /// Requests admitted into KV slots this tick, in admission order.
+    /// Requests admitted into the KV pool for the first time this tick,
+    /// in admission order.
     pub admitted: Vec<RequestId>,
+    /// Preempted sequences re-admitted from their resume queues this
+    /// tick, in resume order.
+    pub resumed: Vec<RequestId>,
+    /// Sequences evicted to resume queues this tick, in admission order.
+    pub preempted: Vec<RequestId>,
     /// Batched launches issued (one per distinct plan with runnable work).
     pub launches: usize,
     /// Total attention rows computed across those launches (prefill-chunk
@@ -129,6 +139,8 @@ impl<T> std::fmt::Debug for TickReport<T> {
         f.debug_struct("TickReport")
             .field("tick", &self.tick)
             .field("admitted", &self.admitted)
+            .field("resumed", &self.resumed)
+            .field("preempted", &self.preempted)
             .field("launches", &self.launches)
             .field("rows_computed", &self.rows_computed)
             .field("completed", &self.completed)

@@ -1,8 +1,8 @@
 //! The continuous-batching scheduler.
 //!
 //! One [`Scheduler`] owns an [`AttentionEngine`], a set of registered
-//! [`AttentionPlan`]s, per-priority pending queues, and a budgeted
-//! [`SlotPool`] of per-sequence KV caches. Time is a **virtual clock** of
+//! [`AttentionPlan`]s, per-priority pending queues, and a block-paged
+//! [`PagePool`] of per-sequence KV caches. Time is a **virtual clock** of
 //! ticks: every [`Scheduler::tick`] admits what fits, then flattens *all*
 //! runnable work — each prefilling sequence's next chunk of query rows
 //! plus each decoding sequence's next token row — into **one**
@@ -16,22 +16,51 @@
 //!   ticks in its queue before becoming eligible, so bursts admit (and
 //!   prefill) together;
 //! - **Strict priority, FIFO within a class**: classes admit in ascending
-//!   priority value; within a class the queue is FIFO, and an eligible
-//!   head that does not fit blocks *all* lower-priority admission (no
-//!   overtaking), which is what makes admission starvation-free for any
-//!   request that can ever fit;
-//! - **KV budget**: admission reserves the sequence's *worst-case* token
-//!   count (prompt + every token it may generate) in the [`SlotPool`], so
-//!   an admitted sequence can always run to completion without eviction
-//!   and the budget can never be exceeded mid-flight. A request whose
-//!   total exceeds the whole budget is rejected at submission, before any
-//!   cache exists for it.
+//!   priority value; within a class, preempted sequences resume before
+//!   anything still pending (they are strictly older), the queue is FIFO,
+//!   and an eligible head that does not fit blocks *all* lower-priority
+//!   admission (no overtaking), which is what makes admission
+//!   starvation-free for any request that can ever fit;
+//! - **Paged KV** ([`AdmissionMode::PagedUsage`], the default): a
+//!   sequence is admitted on its *current* page need — the pages its
+//!   prompt occupies right now — not its worst case, so short prompts
+//!   with long decode budgets pack the pool instead of reserving it. The
+//!   pages this tick's decode appends are about to consume are held back
+//!   from admission, so newcomers can never take a page out from under a
+//!   running sequence within the tick. A request whose *total* page need
+//!   exceeds the whole pool is rejected at submission, before any cache
+//!   exists for it.
+//! - **Worst-case reservation** ([`AdmissionMode::WorstCaseReserve`]):
+//!   the legacy policy, kept for A/B comparison — admission reserves
+//!   `pages_for(prompt + decode)` up front in a ledger, so an admitted
+//!   sequence can always grow to completion and preemption never fires.
+//!
+//! ## Preemption (evict-and-recompute)
+//!
+//! Paged admission oversubscribes by design, so a tick can find that its
+//! decode appends need more pages than are free. The scheduler then
+//! **preempts**: walking sequences from most urgent (lowest priority
+//! class, earliest admission) to least, it grants each append by evicting
+//! victims from the opposite end — the lowest-priority, most-recently
+//! admitted sequence first. A victim's pages are released, its cache is
+//! dropped (evict-and-recompute; a scattered page layout would enable
+//! evict-and-swap behind the same API), and it parks on its class's
+//! resume queue holding its prompt, generated K/V rows, computed output
+//! rows, and phase cursor. When pages free up it is re-admitted —
+//! resume re-extends the retained `prompt + generated` K/V rows into a
+//! fresh cache (bit-identical rows, since K/V rows are deterministic
+//! inputs) and the sequence continues exactly where it stopped, so every
+//! completed output is still **bitwise** the sequential reference. The
+//! most urgent in-flight sequence is never evicted and always advances,
+//! so preemption cannot livelock.
 //!
 //! ## Failure atomicity
 //!
 //! A tick either applies completely or not at all: if any launch fails,
-//! every decode-token append is rolled back, this tick's admissions are
-//! **un-admitted** (slots released, requests returned to their queue
+//! every decode-token append is rolled back (pages returned), this tick's
+//! preemptions are **un-preempted** (victims rebuilt in place, page
+//! tables and queue positions restored), this tick's admissions are
+//! **un-admitted** (pages released, requests returned to their queue
 //! fronts in order), cursors do not advance, and the virtual clock does
 //! not move — a failed tick leaves no trace. The returned
 //! [`crate::ServeError::Launch`] names the offending request when its
@@ -41,18 +70,36 @@
 
 use crate::error::ServeError;
 use crate::request::{Completion, PlanId, RequestId, ServeRequest, TickReport};
-use gpa_core::{AttentionEngine, AttentionPlan, AttentionRequest, AttnError, SlotId, SlotPool};
+use gpa_core::{AttentionEngine, AttentionPlan, AttentionRequest, AttnError, PagePool, SeqId};
 use gpa_tensor::{Matrix, Real};
 use std::collections::{BTreeMap, VecDeque};
+
+/// How admission charges a sequence against the KV page pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Admit on *current* page usage: a sequence costs the pages its
+    /// cached tokens occupy right now, decode growth allocates pages on
+    /// append, and page exhaustion is resolved by preemption. The
+    /// PagedAttention policy, and the default.
+    #[default]
+    PagedUsage,
+    /// Admit on *worst-case* reservation: a sequence reserves pages for
+    /// its full prompt + decode length up front, so it can always run to
+    /// completion and preemption never fires. The legacy policy, kept as
+    /// the A/B baseline — it strands the difference between reserved and
+    /// used pages.
+    WorstCaseReserve,
+}
 
 /// Admission-policy knobs for a [`Scheduler`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Maximum sequences holding KV slots at once.
+    /// Maximum sequences holding KV pages at once.
     pub max_in_flight: usize,
-    /// Total KV token budget across all in-flight sequences (reserved at
-    /// admission for each sequence's full length).
-    pub kv_budget_tokens: usize,
+    /// Total pages in the KV pool.
+    pub kv_pages: usize,
+    /// Cached tokens per page.
+    pub page_size: usize,
     /// Ticks a request waits in its queue before it is eligible for
     /// admission — lets bursts of arrivals batch their prefills together.
     pub arrival_window: u64,
@@ -60,15 +107,21 @@ pub struct ServeConfig {
     /// at most this many rows per tick, bounding per-tick prefill work so
     /// decode rows never wait behind a whole long prompt.
     pub prefill_chunk: usize,
+    /// How admission charges sequences against the pool.
+    pub admission: AdmissionMode,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            // 4096 × 16 = the same 65536-token capacity the old
+            // token-budget default provided.
             max_in_flight: 32,
-            kv_budget_tokens: 1 << 16,
+            kv_pages: 4096,
+            page_size: 16,
             arrival_window: 0,
             prefill_chunk: 128,
+            admission: AdmissionMode::PagedUsage,
         }
     }
 }
@@ -79,6 +132,7 @@ struct Pending<T> {
     request: ServeRequest<T>,
 }
 
+#[derive(Clone, Copy)]
 enum Phase {
     /// `done` prompt rows computed so far.
     Prefill { done: usize },
@@ -86,11 +140,21 @@ enum Phase {
     Decode { done: usize },
 }
 
+/// Tokens the sequence's cache holds at this phase cursor: the whole
+/// prompt (extended at admission) plus every decoded token — what a
+/// preempted sequence must re-extend to resume.
+fn cursor_tokens(phase: Phase, prompt: usize) -> usize {
+    match phase {
+        Phase::Prefill { .. } => prompt,
+        Phase::Decode { done } => prompt + done,
+    }
+}
+
 struct InFlight<T> {
     id: RequestId,
     priority: u8,
     plan: usize,
-    slot: SlotId,
+    seq: SeqId,
     prompt: usize,
     phase: Phase,
     q: Matrix<T>,
@@ -98,7 +162,13 @@ struct InFlight<T> {
     v: Matrix<T>,
     out: Matrix<T>,
     submitted: u64,
+    /// First admission tick — preemption does not reset it.
     admitted: u64,
+    /// Times this sequence has been preempted so far.
+    preemptions: u32,
+    /// Pages reserved in the ledger ([`AdmissionMode::WorstCaseReserve`]
+    /// only; 0 under paged admission).
+    reserved_pages: usize,
 }
 
 impl<T: Real> InFlight<T> {
@@ -110,6 +180,63 @@ impl<T: Real> InFlight<T> {
         match self.phase {
             Phase::Prefill { .. } => false,
             Phase::Decode { done } => self.prompt + done == self.total(),
+        }
+    }
+
+    fn park(self) -> Parked<T> {
+        Parked {
+            id: self.id,
+            priority: self.priority,
+            plan: self.plan,
+            prompt: self.prompt,
+            phase: self.phase,
+            q: self.q,
+            k: self.k,
+            v: self.v,
+            out: self.out,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            preemptions: self.preemptions,
+        }
+    }
+}
+
+/// A preempted sequence waiting on a resume queue: everything needed to
+/// rebuild its cache (the retained prompt + generated K/V rows up to the
+/// phase cursor) and continue — computed output rows included, so no row
+/// is ever computed twice.
+struct Parked<T> {
+    id: RequestId,
+    priority: u8,
+    plan: usize,
+    prompt: usize,
+    phase: Phase,
+    q: Matrix<T>,
+    k: Matrix<T>,
+    v: Matrix<T>,
+    out: Matrix<T>,
+    submitted: u64,
+    admitted: u64,
+    preemptions: u32,
+}
+
+impl<T: Real> Parked<T> {
+    fn unpark(self, seq: SeqId) -> InFlight<T> {
+        InFlight {
+            id: self.id,
+            priority: self.priority,
+            plan: self.plan,
+            seq,
+            prompt: self.prompt,
+            phase: self.phase,
+            q: self.q,
+            k: self.k,
+            v: self.v,
+            out: self.out,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            preemptions: self.preemptions,
+            reserved_pages: 0,
         }
     }
 }
@@ -133,8 +260,16 @@ pub struct Scheduler<'p, T> {
     plans: Vec<AttentionPlan<'p>>,
     pending: BTreeMap<u8, VecDeque<Pending<T>>>,
     pending_len: usize,
+    /// Resume queues: preempted sequences per priority class, kept in
+    /// request-id order (= original admission order within the class).
+    parked: BTreeMap<u8, VecDeque<Parked<T>>>,
+    parked_len: usize,
     in_flight: Vec<InFlight<T>>,
-    slots: SlotPool<T>,
+    pool: PagePool<T>,
+    /// Reservation ledger, in pages ([`AdmissionMode::WorstCaseReserve`]
+    /// only; stays 0 under paged admission).
+    reserved_pages: usize,
+    preemption_events: u64,
     now: u64,
     next_id: u64,
 }
@@ -152,9 +287,14 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 what: "prefill_chunk must be positive",
             });
         }
-        if config.kv_budget_tokens == 0 {
+        if config.kv_pages == 0 {
             return Err(ServeError::BadConfig {
-                what: "kv_budget_tokens must be positive",
+                what: "kv_pages must be positive",
+            });
+        }
+        if config.page_size == 0 {
+            return Err(ServeError::BadConfig {
+                what: "page_size must be positive",
             });
         }
         Ok(Scheduler {
@@ -163,8 +303,12 @@ impl<'p, T: Real> Scheduler<'p, T> {
             plans: Vec::new(),
             pending: BTreeMap::new(),
             pending_len: 0,
+            parked: BTreeMap::new(),
+            parked_len: 0,
             in_flight: Vec::new(),
-            slots: SlotPool::new(config.kv_budget_tokens),
+            pool: PagePool::new(config.kv_pages, config.page_size),
+            reserved_pages: 0,
+            preemption_events: 0,
             now: 0,
             next_id: 0,
         })
@@ -212,49 +356,98 @@ impl<'p, T: Real> Scheduler<'p, T> {
         self.pending_len
     }
 
-    /// Sequences currently holding KV slots.
+    /// Preempted sequences waiting on resume queues.
+    pub fn parked_len(&self) -> usize {
+        self.parked_len
+    }
+
+    /// Sequences currently holding KV pages.
     pub fn in_flight_len(&self) -> usize {
         self.in_flight.len()
     }
 
-    /// Pending + in-flight sequences.
+    /// Pending + parked + in-flight sequences.
     pub fn outstanding(&self) -> usize {
-        self.pending_len + self.in_flight.len()
+        self.pending_len + self.parked_len + self.in_flight.len()
     }
 
-    /// True when nothing is pending or in flight.
+    /// True when nothing is pending, parked, or in flight.
     pub fn is_idle(&self) -> bool {
         self.outstanding() == 0
     }
 
-    /// The KV token budget.
-    pub fn kv_budget_tokens(&self) -> usize {
-        self.slots.budget_tokens()
+    /// Total pages in the KV pool.
+    pub fn kv_total_pages(&self) -> usize {
+        self.pool.total_pages()
     }
 
-    /// KV tokens reserved by in-flight sequences.
-    pub fn kv_reserved_tokens(&self) -> usize {
-        self.slots.reserved_tokens()
+    /// Pages on the free list right now.
+    pub fn kv_free_pages(&self) -> usize {
+        self.pool.free_pages()
+    }
+
+    /// Pages mapped into live page tables right now.
+    pub fn kv_used_pages(&self) -> usize {
+        self.pool.used_pages()
+    }
+
+    /// Cached tokens per page.
+    pub fn kv_page_size(&self) -> usize {
+        self.pool.page_size()
     }
 
     /// KV tokens actually cached right now.
     pub fn kv_used_tokens(&self) -> usize {
-        self.slots.used_tokens()
+        self.pool.used_tokens()
     }
 
-    /// Assert the KV budget invariants (reservations within the budget,
-    /// every cache within its reservation) — the serving simulation calls
-    /// this after every tick.
+    /// Pages held in the worst-case reservation ledger
+    /// ([`AdmissionMode::WorstCaseReserve`]; always 0 under paged
+    /// admission).
+    pub fn kv_reserved_pages(&self) -> usize {
+        self.reserved_pages
+    }
+
+    /// Total sequence preemptions so far (each park of each sequence
+    /// counts once).
+    pub fn preemption_events(&self) -> u64 {
+        self.preemption_events
+    }
+
+    /// Assert the paged-KV invariants: page conservation
+    /// (`free + mapped == total`), no page double-mapped, every page
+    /// table exactly covering its cache, and — under worst-case
+    /// reservation — the ledger in sync and every sequence within its
+    /// reservation. The serving simulation calls this after every tick.
     ///
     /// # Panics
     /// Panics when an invariant is violated.
     pub fn assert_kv_invariants(&self) {
-        self.slots.assert_within_budget();
+        self.pool.assert_page_invariants();
+        let ledger: usize = self.in_flight.iter().map(|s| s.reserved_pages).sum();
+        assert_eq!(
+            ledger, self.reserved_pages,
+            "reservation ledger out of sync"
+        );
+        assert!(
+            self.reserved_pages <= self.pool.total_pages(),
+            "reserved {} pages exceed the pool's {}",
+            self.reserved_pages,
+            self.pool.total_pages()
+        );
+        for s in &self.in_flight {
+            if s.reserved_pages > 0 {
+                assert!(
+                    self.pool.pages_held(s.seq) <= s.reserved_pages,
+                    "sequence holds more pages than it reserved"
+                );
+            }
+        }
     }
 
     /// Queue a request. Validation is immediate (shape checks, plan
-    /// lookup, and the can-it-ever-fit budget check); admission happens on
-    /// a later [`Self::tick`]. No KV cache exists — and nothing is
+    /// lookup, and the can-it-ever-fit capacity check); admission happens
+    /// on a later [`Self::tick`]. No KV cache exists — and nothing is
     /// mutated — for a rejected request.
     pub fn submit(&mut self, request: ServeRequest<T>) -> Result<RequestId, ServeError> {
         if self.plans.get(request.plan.0).is_none() {
@@ -286,10 +479,11 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 what: "prompt must cover between 1 and all of the rows",
             });
         }
-        if total > self.slots.budget_tokens() {
-            return Err(ServeError::OverBudget {
-                need: total,
-                budget: self.slots.budget_tokens(),
+        let need_pages = self.pool.pages_for(total);
+        if need_pages > self.pool.total_pages() {
+            return Err(ServeError::OverCapacity {
+                need_pages,
+                total_pages: self.pool.total_pages(),
             });
         }
         let id = RequestId(self.next_id);
@@ -306,8 +500,8 @@ impl<'p, T: Real> Scheduler<'p, T> {
         Ok(id)
     }
 
-    /// Drop a request, pending or in flight (releasing its KV slot).
-    /// Returns false when the id is unknown or already completed.
+    /// Drop a request — pending, parked, or in flight (releasing its KV
+    /// pages). Returns false when the id is unknown or already completed.
     pub fn cancel(&mut self, id: RequestId) -> bool {
         for queue in self.pending.values_mut() {
             if let Some(pos) = queue.iter().position(|p| p.id == id) {
@@ -316,20 +510,109 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 return true;
             }
         }
+        for queue in self.parked.values_mut() {
+            if let Some(pos) = queue.iter().position(|p| p.id == id) {
+                queue.remove(pos);
+                self.parked_len -= 1;
+                return true;
+            }
+        }
         if let Some(pos) = self.in_flight.iter().position(|s| s.id == id) {
             let seq = self.in_flight.remove(pos);
-            self.slots.release(seq.slot);
+            self.pool.release(seq.seq);
+            self.reserved_pages -= seq.reserved_pages;
             return true;
         }
         false
     }
 
-    /// Admit eligible pending requests in (priority class, FIFO) order
-    /// until one does not fit; admission appends the prompt's K/V rows to
-    /// the sequence's fresh cache.
-    fn admit(&mut self, now: u64) -> Vec<RequestId> {
-        let mut admitted = Vec::new();
-        'classes: for queue in self.pending.values_mut() {
+    /// Pages this sequence's decode append will take this tick: one when
+    /// the append crosses a page boundary, zero otherwise (and zero for
+    /// prefilling sequences — their prompt pages were taken at admission).
+    fn append_need(&self, s: &InFlight<T>) -> usize {
+        match s.phase {
+            Phase::Prefill { .. } => 0,
+            Phase::Decode { done } => usize::from((s.prompt + done) % self.config.page_size == 0),
+        }
+    }
+
+    /// Pages a parked sequence needs to resume *and run this very tick*:
+    /// the pages of its retained `prompt + generated` tokens, plus one
+    /// when it resumes into decode with its cursor on a page boundary
+    /// (its first append lands in the same tick).
+    fn resume_need(&self, p: &Parked<T>) -> usize {
+        let tokens = cursor_tokens(p.phase, p.prompt);
+        let append = match p.phase {
+            Phase::Decode { .. } if tokens % self.config.page_size == 0 => 1,
+            _ => 0,
+        };
+        self.pool.pages_for(tokens) + append
+    }
+
+    /// Admit eligible sequences in (priority class, resumed-then-pending,
+    /// FIFO) order until one does not fit. Fresh admission appends the
+    /// prompt's K/V rows to the sequence's cache; resume re-extends the
+    /// retained `prompt + generated` rows — bit-identical to what was
+    /// evicted, because K/V rows are deterministic inputs.
+    ///
+    /// `append_needs` is the page count this tick's already-running
+    /// decode appends will consume; paged admission keeps that many pages
+    /// off the table so admission can never force a preemption in the
+    /// same tick.
+    fn admit(&mut self, now: u64, append_needs: usize) -> (Vec<RequestId>, Vec<RequestId>) {
+        let mut fresh = Vec::new();
+        let mut resumed = Vec::new();
+        let mut headroom = match self.config.admission {
+            AdmissionMode::PagedUsage => self.pool.free_pages().saturating_sub(append_needs),
+            AdmissionMode::WorstCaseReserve => self.pool.total_pages() - self.reserved_pages,
+        };
+        let classes: Vec<u8> = {
+            let mut c: Vec<u8> = self
+                .parked
+                .keys()
+                .chain(self.pending.keys())
+                .copied()
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        'classes: for class in classes {
+            // Resume queue first: parked sequences were admitted from the
+            // head of this class's queue once, so their ids precede every
+            // id still pending — resumed-first IS global FIFO order.
+            while let Some(front) = self.parked.get(&class).and_then(|q| q.front()) {
+                if self.in_flight.len() >= self.config.max_in_flight {
+                    break 'classes;
+                }
+                let need = self.resume_need(front);
+                if need > headroom {
+                    // A parked head that cannot resume blocks all lower
+                    // admission: no overtaking a preempted sequence.
+                    break 'classes;
+                }
+                headroom -= need;
+                let p = self
+                    .parked
+                    .get_mut(&class)
+                    .expect("front exists")
+                    .pop_front()
+                    .expect("front exists");
+                self.parked_len -= 1;
+                let seq = self.pool.allocate(p.q.cols(), p.v.cols());
+                let tokens = cursor_tokens(p.phase, p.prompt);
+                let ok = self.pool.try_extend(
+                    seq,
+                    &p.k.rows_slice(0, tokens),
+                    &p.v.rows_slice(0, tokens),
+                );
+                assert!(ok, "resume admission was granted its pages");
+                resumed.push(p.id);
+                self.in_flight.push(p.unpark(seq));
+            }
+            let Some(queue) = self.pending.get_mut(&class) else {
+                continue;
+            };
             while let Some(front) = queue.front() {
                 if now < front.submitted + self.config.arrival_window {
                     // Class head still batching arrivals; it does not
@@ -337,33 +620,42 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     // later same-class requests are younger still).
                     break;
                 }
+                if self.in_flight.len() >= self.config.max_in_flight {
+                    break 'classes;
+                }
                 let total = front.request.q.rows();
-                if self.in_flight.len() >= self.config.max_in_flight
-                    || !self.slots.can_reserve(total)
-                {
+                let need = match self.config.admission {
+                    AdmissionMode::PagedUsage => self.pool.pages_for(front.request.prompt),
+                    AdmissionMode::WorstCaseReserve => self.pool.pages_for(total),
+                };
+                if need > headroom {
                     // An eligible head that cannot be placed blocks all
                     // lower-priority admission: no overtaking, so every
                     // placeable request is eventually admitted.
                     break 'classes;
                 }
+                headroom -= need;
                 let p = queue.pop_front().expect("front exists");
                 self.pending_len -= 1;
                 let r = p.request;
-                let slot = self
-                    .slots
-                    .try_allocate(1, r.q.cols(), r.v.cols(), total)
-                    .expect("reservation checked above");
-                self.slots.cache_mut(slot).extend(
-                    0,
+                let reserved_pages = match self.config.admission {
+                    AdmissionMode::PagedUsage => 0,
+                    AdmissionMode::WorstCaseReserve => need,
+                };
+                self.reserved_pages += reserved_pages;
+                let seq = self.pool.allocate(r.q.cols(), r.v.cols());
+                let ok = self.pool.try_extend(
+                    seq,
                     &r.k.rows_slice(0, r.prompt),
                     &r.v.rows_slice(0, r.prompt),
                 );
+                assert!(ok, "admission was granted its prompt pages");
                 let out = Matrix::zeros(total, r.v.cols());
                 self.in_flight.push(InFlight {
                     id: p.id,
                     priority: r.priority,
                     plan: r.plan.0,
-                    slot,
+                    seq,
                     prompt: r.prompt,
                     phase: Phase::Prefill { done: 0 },
                     q: r.q,
@@ -372,36 +664,102 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     out,
                     submitted: p.submitted,
                     admitted: now,
+                    preemptions: 0,
+                    reserved_pages,
                 });
-                admitted.push(p.id);
+                fresh.push(p.id);
             }
         }
-        admitted
+        (fresh, resumed)
     }
 
-    /// Advance the virtual clock by one tick: admit, gather every
-    /// in-flight sequence's next unit of work, launch it all batched (one
-    /// `run_batch` per distinct plan), apply outputs, and retire finished
-    /// sequences.
+    /// Advance the virtual clock by one tick: admit (resuming preempted
+    /// sequences first), preempt if this tick's decode appends outstrip
+    /// the free pages, gather every in-flight sequence's next unit of
+    /// work, launch it all batched (one `run_batch` per distinct plan),
+    /// apply outputs, and retire finished sequences.
     ///
     /// On a launch failure the tick is rolled back atomically — appends
-    /// truncated, this tick's admissions un-admitted, no cursor or clock
-    /// movement — and the returned error names the offending request when
-    /// identifiable; see the [module docs](self).
+    /// truncated (pages returned), victims rebuilt in place, admissions
+    /// un-admitted, no cursor or clock movement — and the returned error
+    /// names the offending request when identifiable; see the [module
+    /// docs](self).
     pub fn tick(&mut self) -> Result<TickReport<T>, ServeError> {
         let now = self.now;
-        let admitted = self.admit(now);
 
-        // Pre-append cache lengths of every in-flight sequence — the
+        // Pages this tick's decode appends will consume, counted before
+        // admission so newcomers cannot take them. Because of this guard,
+        // a tick admits or preempts, never both — which is what lets the
+        // rollback below restore victims at their exact positions.
+        let pre_needs: usize = self.in_flight.iter().map(|s| self.append_need(s)).sum();
+        let (admitted, resumed) = self.admit(now, pre_needs);
+
+        // Preemption resolution: when the appends still outstrip the free
+        // pages (growth of previously admitted sequences, not admission),
+        // grant appends from most urgent to least, evicting from the
+        // opposite end.
+        let needs: Vec<usize> = self.in_flight.iter().map(|s| self.append_need(s)).collect();
+        let mut staged: Vec<(usize, Parked<T>)> = Vec::new();
+        let mut preempted: Vec<RequestId> = Vec::new();
+        if needs.iter().sum::<usize>() > self.pool.free_pages() {
+            debug_assert!(
+                admitted.is_empty() && resumed.is_empty(),
+                "the admission guard makes admit-and-preempt ticks impossible"
+            );
+            // Urgency = admission order under strict priority: class
+            // ascending, in-flight position (admission recency) ascending.
+            let mut urgency: Vec<usize> = (0..self.in_flight.len()).collect();
+            urgency.sort_by_key(|&i| (self.in_flight[i].priority, i));
+            let mut available = self.pool.free_pages();
+            let mut victim = vec![false; self.in_flight.len()];
+            let mut hi = urgency.len();
+            for p in 0..urgency.len() {
+                if p >= hi {
+                    break; // everyone from here on is already a victim
+                }
+                let i = urgency[p];
+                let need = needs[i];
+                while need > available && hi > p + 1 {
+                    hi -= 1;
+                    let v = urgency[hi];
+                    victim[v] = true;
+                    available += self.pool.pages_held(self.in_flight[v].seq);
+                }
+                if need <= available {
+                    available -= need;
+                } else {
+                    // Even with every less-urgent sequence evicted the
+                    // append does not fit: this sequence parks too. The
+                    // most urgent sequence can never land here — its
+                    // `pages_for(len + 1) ≤ pages_for(total)` fits the
+                    // pool by the submission check — so at least one
+                    // sequence always advances: no livelock.
+                    victim[i] = true;
+                    hi = p;
+                }
+            }
+            for i in (0..self.in_flight.len()).rev() {
+                if victim[i] {
+                    let s = self.in_flight.remove(i);
+                    self.pool.release(s.seq);
+                    staged.push((i, s.park()));
+                }
+            }
+            staged.reverse(); // ascending original index, for restore
+            preempted = staged.iter().map(|(_, p)| p.id).collect();
+        }
+
+        // Pre-append cache lengths of every surviving sequence — the
         // rollback point if any launch below fails.
         let priors: Vec<usize> = self
             .in_flight
             .iter()
-            .map(|s| self.slots.cache(s.slot).len())
+            .map(|s| self.pool.cache(s.seq).len())
             .collect();
 
         // One unit of work per in-flight sequence; decode work appends its
-        // token's K/V row now (rolled back on failure).
+        // token's K/V row now (rolled back on failure). Every append was
+        // granted its page above, so allocation cannot fail.
         let work: Vec<(usize, Work)> = self
             .in_flight
             .iter()
@@ -420,9 +778,8 @@ impl<'p, T: Real> Scheduler<'p, T> {
         for (i, w) in &work {
             if let Work::Decode { t } = w {
                 let s = &self.in_flight[*i];
-                self.slots
-                    .cache_mut(s.slot)
-                    .append(0, s.k.row(*t), s.v.row(*t));
+                let ok = self.pool.try_append(s.seq, s.k.row(*t), s.v.row(*t));
+                assert!(ok, "decode appends were granted pages at tick start");
             }
         }
 
@@ -450,7 +807,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 .iter()
                 .map(|&wi| {
                     let (i, w) = &work[wi];
-                    let cache = self.slots.cache(self.in_flight[*i].slot);
+                    let cache = self.pool.cache(self.in_flight[*i].seq);
                     match *w {
                         Work::Prefill { start, .. } => AttentionRequest::windowed(
                             &q_windows[wi],
@@ -494,34 +851,60 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 let out_of_bound = plan.q_bound().is_some_and(|bound| q_end > bound);
                 (pinned_wrong || out_of_bound).then_some(s.id)
             });
-            // Atomic rollback, part 1: every pre-existing sequence's cache
-            // back to its pre-append length, no cursor or clock movement.
+            // Atomic rollback, part 1: every surviving sequence's cache
+            // back to its pre-append length (returning this tick's
+            // granted pages), no cursor or clock movement.
             for (s, &prior) in self.in_flight.iter().zip(&priors) {
-                self.slots.cache_mut(s.slot).truncate(prior);
+                self.pool.truncate(s.seq, prior);
             }
-            // Part 2: un-admit this tick's admissions — release their
-            // slots and push them back to their queue fronts (popping from
-            // the in-flight tail and pushing front restores FIFO order),
-            // so a failed tick leaves NO trace, admissions included.
-            for _ in 0..admitted.len() {
+            // Part 2a: un-preempt this tick's victims — rebuild each one
+            // at its exact former position. Page conservation covers the
+            // re-extends: the survivors' truncation returned every page
+            // the grants took, and those grants were funded by the
+            // victims' own releases.
+            for (index, p) in staged {
+                let seq = self.pool.allocate(p.q.cols(), p.v.cols());
+                let tokens = cursor_tokens(p.phase, p.prompt);
+                let ok = self.pool.try_extend(
+                    seq,
+                    &p.k.rows_slice(0, tokens),
+                    &p.v.rows_slice(0, tokens),
+                );
+                assert!(ok, "victim restore is covered by page conservation");
+                self.in_flight.insert(index, p.unpark(seq));
+            }
+            // Part 2b: un-admit this tick's admissions — release their
+            // pages and push them back to their queue fronts (popping
+            // from the in-flight tail and pushing front restores FIFO
+            // order; resumed sequences go back to their resume queue in
+            // id order), so a failed tick leaves NO trace.
+            for _ in 0..admitted.len() + resumed.len() {
                 let s = self.in_flight.pop().expect("admissions sit at the tail");
-                self.slots.release(s.slot);
-                self.pending
-                    .entry(s.priority)
-                    .or_default()
-                    .push_front(Pending {
-                        id: s.id,
-                        submitted: s.submitted,
-                        request: ServeRequest {
-                            plan: PlanId(s.plan),
-                            priority: s.priority,
-                            prompt: s.prompt,
-                            q: s.q,
-                            k: s.k,
-                            v: s.v,
-                        },
-                    });
-                self.pending_len += 1;
+                self.pool.release(s.seq);
+                self.reserved_pages -= s.reserved_pages;
+                if s.preemptions > 0 {
+                    let queue = self.parked.entry(s.priority).or_default();
+                    let at = queue.partition_point(|x| x.id < s.id);
+                    queue.insert(at, s.park());
+                    self.parked_len += 1;
+                } else {
+                    self.pending
+                        .entry(s.priority)
+                        .or_default()
+                        .push_front(Pending {
+                            id: s.id,
+                            submitted: s.submitted,
+                            request: ServeRequest {
+                                plan: PlanId(s.plan),
+                                priority: s.priority,
+                                prompt: s.prompt,
+                                q: s.q,
+                                k: s.k,
+                                v: s.v,
+                            },
+                        });
+                    self.pending_len += 1;
+                }
             }
             return Err(ServeError::Launch {
                 request: offender,
@@ -555,13 +938,14 @@ impl<'p, T: Real> Scheduler<'p, T> {
         }
 
         // Retire completed sequences (in in-flight — i.e. admission —
-        // order), releasing their KV reservations.
+        // order), releasing their KV pages.
         let mut completed = Vec::new();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].is_complete() {
                 let s = self.in_flight.remove(i);
-                self.slots.release(s.slot);
+                self.pool.release(s.seq);
+                self.reserved_pages -= s.reserved_pages;
                 completed.push(Completion {
                     id: s.id,
                     priority: s.priority,
@@ -570,16 +954,30 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     submitted: s.submitted,
                     admitted: s.admitted,
                     completed: now,
+                    preemptions: s.preemptions,
                 });
             } else {
                 i += 1;
             }
         }
 
+        // Commit this tick's preemptions: victims move to their resume
+        // queues (id order = original admission order within the class).
+        for (_, mut p) in staged {
+            p.preemptions += 1;
+            self.preemption_events += 1;
+            let queue = self.parked.entry(p.priority).or_default();
+            let at = queue.partition_point(|x| x.id < p.id);
+            queue.insert(at, p);
+            self.parked_len += 1;
+        }
+
         self.now += 1;
         Ok(TickReport {
             tick: now,
             admitted,
+            resumed,
+            preempted,
             launches,
             rows_computed,
             completed,
@@ -593,9 +991,11 @@ impl<T: Real> std::fmt::Debug for Scheduler<'_, T> {
             .field("now", &self.now)
             .field("plans", &self.plans.len())
             .field("pending", &self.pending_len)
+            .field("parked", &self.parked_len)
             .field("in_flight", &self.in_flight.len())
-            .field("kv_reserved", &self.slots.reserved_tokens())
-            .field("kv_budget", &self.slots.budget_tokens())
+            .field("free_pages", &self.pool.free_pages())
+            .field("total_pages", &self.pool.total_pages())
+            .field("preemptions", &self.preemption_events)
             .finish()
     }
 }
@@ -634,30 +1034,36 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let bad = ServeConfig {
-            max_in_flight: 0,
-            ..ServeConfig::default()
-        };
-        assert!(matches!(
-            Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad),
-            Err(ServeError::BadConfig { .. })
-        ));
-        let bad = ServeConfig {
-            prefill_chunk: 0,
-            ..ServeConfig::default()
-        };
-        assert!(Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad).is_err());
-        let bad = ServeConfig {
-            kv_budget_tokens: 0,
-            ..ServeConfig::default()
-        };
-        assert!(Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad).is_err());
+        for bad in [
+            ServeConfig {
+                max_in_flight: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                prefill_chunk: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                kv_pages: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                page_size: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Scheduler::<f64>::new(AttentionEngine::with_threads(1), bad),
+                Err(ServeError::BadConfig { .. })
+            ));
+        }
     }
 
     #[test]
     fn submit_validation_rejects_bad_requests() {
         let (mut s, plan) = scheduler(ServeConfig {
-            kv_budget_tokens: 16,
+            kv_pages: 4,
+            page_size: 4,
             ..ServeConfig::default()
         });
         // Unknown plan.
@@ -672,13 +1078,14 @@ mod tests {
         let mut r = request(plan, 0, 2, 4, 4);
         r.k = Matrix::zeros(3, 4);
         assert!(matches!(s.submit(r), Err(ServeError::BadRequest { .. })));
-        // Over the whole budget: rejected at submission.
+        // Over the whole pool (17 tokens = 5 pages of 4): rejected at
+        // submission.
         let r = request(plan, 0, 2, 17, 5);
         assert_eq!(
             s.submit(r),
-            Err(ServeError::OverBudget {
-                need: 17,
-                budget: 16
+            Err(ServeError::OverCapacity {
+                need_pages: 5,
+                total_pages: 4
             })
         );
         assert!(s.is_idle(), "rejected requests leave no state behind");
@@ -699,9 +1106,11 @@ mod tests {
     fn single_sequence_runs_to_completion() {
         let (mut s, plan) = scheduler(ServeConfig {
             max_in_flight: 4,
-            kv_budget_tokens: 64,
+            kv_pages: 16,
+            page_size: 4,
             arrival_window: 0,
             prefill_chunk: 3,
+            admission: AdmissionMode::PagedUsage,
         });
         let id = s.submit(request(plan, 0, 7, 10, 11)).unwrap();
         let mut completions = Vec::new();
@@ -716,21 +1125,24 @@ mod tests {
         let c = &completions[0];
         assert_eq!(c.id, id);
         assert_eq!(c.output.shape(), (10, 4));
+        assert_eq!(c.preemptions, 0);
         // ceil(7/3) = 3 prefill ticks + 3 decode ticks, admitted at tick 0.
         assert_eq!(c.admitted, 0);
         assert_eq!(c.completed, 5);
-        assert_eq!(s.kv_reserved_tokens(), 0, "slot released on completion");
+        assert_eq!(s.kv_used_pages(), 0, "pages released on completion");
     }
 
     #[test]
-    fn admission_respects_budget_and_in_flight_caps() {
+    fn admission_respects_pages_and_in_flight_caps() {
         let (mut s, plan) = scheduler(ServeConfig {
             max_in_flight: 1,
-            kv_budget_tokens: 8,
+            kv_pages: 2,
+            page_size: 4,
             arrival_window: 0,
             prefill_chunk: 8,
+            admission: AdmissionMode::PagedUsage,
         });
-        // Both fit the budget alone; the cap admits them one at a time.
+        // Both fit the pool alone; the cap admits them one at a time.
         s.submit(request(plan, 0, 2, 3, 21)).unwrap();
         s.submit(request(plan, 0, 2, 3, 22)).unwrap();
         let r = s.tick().unwrap();
@@ -746,6 +1158,82 @@ mod tests {
             s.assert_kv_invariants();
         }
         assert!(s.is_idle());
+    }
+
+    #[test]
+    fn paged_admission_packs_by_usage_not_worst_case() {
+        // 8 pages × 4 tokens. Each request: 4-token prompt (1 page) but a
+        // 24-token total (6 pages). Worst-case reservation admits one at
+        // a time (6 of 8 pages reserved); paged admission packs all four
+        // prompts into half the pool.
+        let config = ServeConfig {
+            max_in_flight: 4,
+            kv_pages: 8,
+            page_size: 4,
+            arrival_window: 0,
+            prefill_chunk: 8,
+            admission: AdmissionMode::PagedUsage,
+        };
+        let (mut paged, plan) = scheduler(config);
+        for seed in 0..4 {
+            paged.submit(request(plan, 0, 4, 24, 31 + seed)).unwrap();
+        }
+        let r = paged.tick().unwrap();
+        assert_eq!(r.admitted.len(), 4, "paged admission packs by usage");
+        assert_eq!(paged.kv_used_pages(), 4);
+
+        let (mut reserve, plan) = scheduler(ServeConfig {
+            admission: AdmissionMode::WorstCaseReserve,
+            ..config
+        });
+        for seed in 0..4 {
+            reserve.submit(request(plan, 0, 4, 24, 31 + seed)).unwrap();
+        }
+        let r = reserve.tick().unwrap();
+        assert_eq!(r.admitted.len(), 1, "reservation strands the pool");
+        assert_eq!(reserve.kv_reserved_pages(), 6);
+        reserve.assert_kv_invariants();
+    }
+
+    #[test]
+    fn preemption_parks_the_youngest_and_resumes_it_to_completion() {
+        // 3 pages × 2 tokens. Two sequences of 2-prompt/4-decode: each
+        // needs 3 pages at completion, both admit on 1 page each. When
+        // their decode appends collide on the last free page, the
+        // more-recently-admitted sequence must park and later resume.
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 3,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
+        });
+        let a = s.submit(request(plan, 0, 2, 6, 61)).unwrap();
+        let b = s.submit(request(plan, 0, 2, 6, 62)).unwrap();
+        let mut completions = Vec::new();
+        let mut preempted = Vec::new();
+        let mut resumed = Vec::new();
+        for _ in 0..64 {
+            let r = s.tick().unwrap();
+            s.assert_kv_invariants();
+            preempted.extend(r.preempted);
+            resumed.extend(r.resumed);
+            completions.extend(r.completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(preempted, vec![b], "the younger sequence is the victim");
+        assert_eq!(resumed, vec![b]);
+        assert!(s.preemption_events() >= 1);
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].id, a);
+        assert_eq!(completions[0].preemptions, 0);
+        assert_eq!(completions[1].id, b);
+        assert_eq!(completions[1].preemptions, 1);
+        assert_eq!(s.kv_used_pages(), 0);
     }
 
     #[test]
@@ -765,9 +1253,11 @@ mod tests {
     fn strict_priority_with_fifo_within_a_class() {
         let (mut s, plan) = scheduler(ServeConfig {
             max_in_flight: 1,
-            kv_budget_tokens: 64,
+            kv_pages: 8,
+            page_size: 8,
             arrival_window: 0,
             prefill_chunk: 8,
+            admission: AdmissionMode::PagedUsage,
         });
         let low_a = s.submit(request(plan, 3, 2, 2, 41)).unwrap();
         let low_b = s.submit(request(plan, 3, 2, 2, 42)).unwrap();
@@ -783,19 +1273,35 @@ mod tests {
     }
 
     #[test]
-    fn cancel_pending_and_in_flight() {
+    fn cancel_pending_parked_and_in_flight() {
+        // Same page-squeeze as the preemption test, plus a third pending
+        // request, so all three cancel paths are exercised.
         let (mut s, plan) = scheduler(ServeConfig {
-            max_in_flight: 1,
-            ..ServeConfig::default()
+            max_in_flight: 2,
+            kv_pages: 3,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
         });
-        let a = s.submit(request(plan, 0, 4, 8, 51)).unwrap();
-        let b = s.submit(request(plan, 0, 4, 8, 52)).unwrap();
-        s.tick().unwrap(); // admits a only (cap 1)
-        assert!(s.cancel(b), "pending cancel");
+        let a = s.submit(request(plan, 0, 2, 6, 51)).unwrap();
+        let b = s.submit(request(plan, 0, 2, 6, 52)).unwrap();
+        let c = s.submit(request(plan, 1, 2, 6, 53)).unwrap();
+        // Tick until b is parked by the page squeeze.
+        for _ in 0..16 {
+            if s.parked_len() > 0 {
+                break;
+            }
+            s.tick().unwrap();
+        }
+        assert_eq!(s.parked_len(), 1, "b parked under page pressure");
+        assert!(s.cancel(c), "pending cancel");
+        assert!(s.cancel(b), "parked cancel");
         assert!(s.cancel(a), "in-flight cancel");
         assert!(!s.cancel(a), "double cancel is a no-op");
-        assert_eq!(s.kv_reserved_tokens(), 0);
+        assert_eq!(s.kv_used_pages(), 0);
         assert!(s.is_idle());
+        s.assert_kv_invariants();
     }
 
     #[test]

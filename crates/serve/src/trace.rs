@@ -230,9 +230,11 @@ mod tests {
             AttentionEngine::with_threads(2),
             ServeConfig {
                 max_in_flight: 3,
-                kv_budget_tokens: 128,
+                kv_pages: 16,
+                page_size: 8,
                 arrival_window: 1,
                 prefill_chunk: 4,
+                admission: crate::scheduler::AdmissionMode::PagedUsage,
             },
         )
         .unwrap();

@@ -4,9 +4,9 @@
 //! The loop this example walks through:
 //!
 //! 1. **Build** a `Scheduler` owning an `AttentionEngine`, with an
-//!    explicit admission policy: max in-flight sequences, a KV token
-//!    budget (reserved worst-case at admission), an arrival-batching
-//!    window, and a prefill chunk size;
+//!    explicit admission policy: max in-flight sequences, a paged KV
+//!    pool (admission charged on current page usage, preemption under
+//!    pressure), an arrival-batching window, and a prefill chunk size;
 //! 2. **Replay** a seeded workload trace (mixed prompt lengths, decode
 //!    lengths, two priority classes, two kernels) on the virtual clock —
 //!    every tick flattens all runnable prefill chunks and decode rows
@@ -30,19 +30,25 @@ fn main() {
     let dk = if quick { 16 } else { 64 };
     let window = if quick { 8 } else { 32 };
 
+    let page_size = 16usize;
     let config = ServeConfig {
         max_in_flight: 8,
-        kv_budget_tokens: 8 * (prompt.1 + decode.1),
+        // A pool sized well below 8 × worst-case length: paged admission
+        // packs by current usage and preempts if decode growth outruns it.
+        kv_pages: (4usize * (prompt.1 + decode.1)).div_ceil(page_size),
+        page_size,
         arrival_window: 1,
         prefill_chunk: prompt.0 / 2,
+        admission: AdmissionMode::PagedUsage,
     };
     let mut scheduler: Scheduler<'static, f32> =
         Scheduler::new(AttentionEngine::new(), config).expect("valid config");
     println!(
-        "scheduler: {} worker threads · ≤{} in flight · {}-token KV budget · chunk {}",
+        "scheduler: {} worker threads · ≤{} in flight · {} pages × {} tokens KV pool · chunk {}",
         scheduler.engine().threads(),
         config.max_in_flight,
-        config.kv_budget_tokens,
+        config.kv_pages,
+        config.page_size,
         config.prefill_chunk
     );
 
@@ -81,6 +87,7 @@ fn main() {
     let mut completions = Vec::new();
     let mut next = 0usize;
     let mut peak_in_flight = 0usize;
+    let mut peak_pages = 0usize;
     let mut launches = 0usize;
     let mut rows = 0usize;
     while next < trace.len() || !scheduler.is_idle() {
@@ -92,6 +99,7 @@ fn main() {
         }
         let report = scheduler.tick().expect("healthy workload");
         peak_in_flight = peak_in_flight.max(scheduler.in_flight_len());
+        peak_pages = peak_pages.max(scheduler.kv_used_pages());
         launches += report.launches;
         rows += report.rows_computed;
         completions.extend(report.completed);
@@ -111,6 +119,12 @@ fn main() {
         peak_in_flight,
         latencies[latencies.len() / 2],
         latencies[(latencies.len() * 99).div_ceil(100) - 1]
+    );
+    println!(
+        "            page pool: peak {peak_pages}/{} pages mapped · {} preemption events · {} free at drain",
+        scheduler.kv_total_pages(),
+        scheduler.preemption_events(),
+        scheduler.kv_free_pages()
     );
 
     // --- 3. The naive baseline: one sequence at a time ------------------

@@ -115,7 +115,7 @@ pub mod prelude {
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
-    pub use gpa_serve::{Scheduler, ServeConfig, ServeRequest};
+    pub use gpa_serve::{AdmissionMode, Scheduler, ServeConfig, ServeRequest};
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};
 }

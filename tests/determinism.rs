@@ -8,7 +8,9 @@ use graph_attention::core::{
 };
 use graph_attention::masks::{MaskPattern, RandomUniform};
 use graph_attention::parallel::{Schedule, ThreadPool};
-use graph_attention::serve::{generate_trace, replay, Scheduler, ServeConfig, TraceSpec};
+use graph_attention::serve::{
+    generate_trace, replay, AdmissionMode, RequestId, Scheduler, ServeConfig, TraceSpec,
+};
 use graph_attention::tensor::init::qkv;
 
 #[test]
@@ -107,9 +109,11 @@ fn serving_trace_identical_across_pool_sizes() {
     };
     let config = ServeConfig {
         max_in_flight: 3,
-        kv_budget_tokens: 96,
+        kv_pages: 12,
+        page_size: 8,
         arrival_window: 1,
         prefill_chunk: 4,
+        admission: AdmissionMode::PagedUsage,
     };
     let run = |threads: usize| {
         let mut scheduler: Scheduler<'static, f32> =
@@ -137,6 +141,92 @@ fn serving_trace_identical_across_pool_sizes() {
             assert_eq!(
                 (a.admitted, a.completed),
                 (b.admitted, b.completed),
+                "{threads} threads changed the schedule of {:?}",
+                a.id
+            );
+            assert_eq!(
+                a.output.as_slice(),
+                b.output.as_slice(),
+                "{threads} threads changed bits of {:?}",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn preempting_trace_identical_across_pool_sizes() {
+    // Preemption is scheduler control flow, so it must be exactly as
+    // thread-count-independent as the kernels themselves: a trace tight
+    // enough to force evict-and-resume replays on pools of 1, 2, and 4
+    // workers with identical outputs, identical completion order, and
+    // identical per-tick preemption *events* (who was evicted and who
+    // resumed, at which tick).
+    let spec = TraceSpec {
+        sequences: 6,
+        prompt: (2, 4),
+        decode: (6, 10),
+        dk: 8,
+        arrival_gap: (0, 1),
+        priority_classes: 2,
+        seed: 0xE51C7,
+    };
+    let config = ServeConfig {
+        max_in_flight: 4,
+        kv_pages: 8,
+        page_size: 2,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+    };
+    type Event = (u64, Vec<RequestId>, Vec<RequestId>);
+    let run = |threads: usize| {
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+        let plans = vec![
+            scheduler
+                .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap())
+                .unwrap(),
+            scheduler
+                .register_plan(
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w: 4, r: 1 }).unwrap(),
+                )
+                .unwrap(),
+        ];
+        let trace = generate_trace::<f32>(&spec, &plans);
+        let mut completions = Vec::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut next = 0usize;
+        while next < trace.len() || !scheduler.is_idle() {
+            while next < trace.len() && trace[next].at <= scheduler.now() {
+                scheduler.submit(trace[next].request.clone()).unwrap();
+                next += 1;
+            }
+            let report = scheduler.tick().unwrap();
+            if !report.preempted.is_empty() || !report.resumed.is_empty() {
+                events.push((report.tick, report.preempted, report.resumed));
+            }
+            completions.extend(report.completed);
+            assert!(scheduler.now() < 100_000, "trace did not drain");
+        }
+        (completions, events, scheduler.preemption_events())
+    };
+    let (reference, ref_events, ref_count) = run(1);
+    assert_eq!(reference.len(), spec.sequences);
+    assert!(ref_count > 0, "this trace must force preemption");
+    for threads in [2usize, 4] {
+        let (completions, events, count) = run(threads);
+        assert_eq!(
+            events, ref_events,
+            "{threads} threads changed the preemption schedule"
+        );
+        assert_eq!(count, ref_count);
+        assert_eq!(completions.len(), reference.len());
+        for (a, b) in reference.iter().zip(&completions) {
+            assert_eq!(a.id, b.id, "{threads} threads changed completion order");
+            assert_eq!(
+                (a.admitted, a.completed, a.preemptions),
+                (b.admitted, b.completed, b.preemptions),
                 "{threads} threads changed the schedule of {:?}",
                 a.id
             );

@@ -258,6 +258,173 @@ proptest! {
         }
     }
 
+    /// Evict-and-recompute is invisible: serve a sequence, evict its cache
+    /// at a random decode step, resume by re-extending the retained K/V
+    /// rows into a fresh cache (exactly what `gpa-serve`'s preemption
+    /// does), and keep decoding — every output row and the final cache
+    /// must be bitwise the uninterrupted run's, for all seven composable
+    /// kernel families.
+    #[test]
+    fn evict_and_recompute_at_any_decode_step_is_bitwise_invisible(
+        l in 3usize..24,
+        dk in 1usize..6,
+        n in 0usize..4,
+        chunk in 1usize..8,
+        density in 0.1f64..0.9,
+        evict_frac in 0.0f64..1.0,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0xE71C);
+        // At least one decode token, and an eviction point somewhere in
+        // the decode phase: the cache holds `evict_at` tokens when the
+        // sequence is evicted, token `evict_at` is the first one decoded
+        // after resume.
+        let prompt = 1 + (seed as usize % (l - 1));
+        let evict_at = prompt + ((l - prompt - 1) as f64 * evict_frac) as usize;
+        let full_csr = graph_attention::masks::RandomUniform::new(l, density, seed).to_csr();
+
+        // Length-free plans: one compiled plan serves prefill and every
+        // decode step, before and after the eviction.
+        let implicit: Vec<AttentionKernel<'_>> = vec![
+            AttentionKernel::Local { n },
+            AttentionKernel::Dilated1d { w: n + 1, r: 1 },
+            AttentionKernel::Dilated2d { block_size: n + 2, r: 1 },
+        ];
+        for kernel in &implicit {
+            let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+            let serve = |cache: &mut KvCache<f64>, from: usize, to: usize| {
+                (from..to)
+                    .map(|t| {
+                        e.decode_step(
+                            &plan,
+                            &q.rows_slice(t, t + 1),
+                            &k.rows_slice(t, t + 1),
+                            &v.rows_slice(t, t + 1),
+                            cache,
+                        )
+                        .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            };
+            // The uninterrupted run.
+            let mut cache = KvCache::single(dk, dk);
+            let prefill = e
+                .prefill_chunked(
+                    &plan,
+                    &q.rows_slice(0, prompt),
+                    &k.rows_slice(0, prompt),
+                    &v.rows_slice(0, prompt),
+                    chunk,
+                    &mut cache,
+                )
+                .unwrap();
+            let uninterrupted = serve(&mut cache, prompt, l);
+            // The evicted run: identical until `evict_at`, then the cache
+            // is dropped and rebuilt from the retained K/V input rows.
+            let mut before = KvCache::single(dk, dk);
+            let prefill2 = e
+                .prefill_chunked(
+                    &plan,
+                    &q.rows_slice(0, prompt),
+                    &k.rows_slice(0, prompt),
+                    &v.rows_slice(0, prompt),
+                    chunk,
+                    &mut before,
+                )
+                .unwrap();
+            prop_assert!(prefill2 == prefill, "{} prefill", kernel.name());
+            let head = serve(&mut before, prompt, evict_at);
+            drop(before); // eviction: pages released, cache gone
+            let mut resumed = KvCache::single(dk, dk);
+            resumed.extend(0, &k.rows_slice(0, evict_at), &v.rows_slice(0, evict_at));
+            let tail = serve(&mut resumed, evict_at, l);
+            for (i, (a, b)) in head.iter().chain(&tail).zip(&uninterrupted).enumerate() {
+                prop_assert!(
+                    a == b,
+                    "{} decode row {} differs across eviction at {}",
+                    kernel.name(),
+                    prompt + i,
+                    evict_at
+                );
+            }
+            prop_assert!(
+                resumed.len() == cache.len()
+                    && resumed.k(0) == cache.k(0)
+                    && resumed.v(0) == cache.v(0),
+                "{} final cache differs across eviction",
+                kernel.name()
+            );
+        }
+
+        // Length-pinned families: per-prefix masks on both sides, exactly
+        // as the square reference demands — eviction rebuilds the cache
+        // the same way.
+        let global_indices: Vec<usize> = vec![0];
+        let step = |cache: &KvCache<f64>, t: usize| -> Vec<Matrix<f64>> {
+            let len = t + 1;
+            let globals = GlobalSet::new(len, global_indices.clone());
+            let dia = DiaMask::local(len, n);
+            let csr = restrict_square(&full_csr, len);
+            let coo = csr.to_coo();
+            let pinned: Vec<AttentionKernel<'_>> = vec![
+                AttentionKernel::Global { globals: &globals, n_sub: n },
+                AttentionKernel::Dia(&dia),
+                AttentionKernel::Csr(&csr),
+                AttentionKernel::Coo(&coo, CooSearch::Binary),
+            ];
+            pinned
+                .iter()
+                .map(|kernel| {
+                    let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+                    e.run_batch(
+                        &plan,
+                        &[AttentionRequest::decode(
+                            &q.rows_slice(t, t + 1),
+                            cache.k(0),
+                            cache.v(0),
+                        )],
+                    )
+                    .unwrap()
+                    .pop()
+                    .unwrap()
+                })
+                .collect()
+        };
+        let mut cache = KvCache::single(dk, dk);
+        cache.extend(0, &k.rows_slice(0, prompt), &v.rows_slice(0, prompt));
+        let mut evicted = KvCache::single(dk, dk);
+        evicted.extend(0, &k.rows_slice(0, prompt), &v.rows_slice(0, prompt));
+        for t in prompt..l {
+            cache.append(0, k.row(t), v.row(t));
+            if t == evict_at {
+                // Eviction: the old cache is dropped by the reassignment;
+                // resume rebuilds from the retained input rows.
+                let mut fresh = KvCache::single(dk, dk);
+                fresh.extend(0, &k.rows_slice(0, evict_at), &v.rows_slice(0, evict_at));
+                evicted = fresh;
+            }
+            evicted.append(0, k.row(t), v.row(t));
+            let a = step(&cache, t);
+            let b = step(&evicted, t);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert!(
+                    x == y,
+                    "pinned family {} decode row {} differs across eviction at {}",
+                    i,
+                    t,
+                    evict_at
+                );
+            }
+        }
+        prop_assert!(
+            evicted.len() == cache.len()
+                && evicted.k(0) == cache.k(0)
+                && evicted.v(0) == cache.v(0),
+            "pinned final cache differs across eviction"
+        );
+    }
+
     /// Batched decode is exact: advancing N sequences by one token through
     /// `decode_steps_batched` is bitwise identical to N independent
     /// `decode_step` calls — outputs *and* resulting caches — for every

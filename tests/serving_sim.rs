@@ -2,30 +2,45 @@
 //!
 //! A seeded virtual-clock workload generator replays randomized arrival
 //! traces (mixed prompt lengths, decode lengths, arrival gaps, priority
-//! classes, and kernels) through `gpa-serve`'s [`Scheduler`] and checks,
-//! for **every** trace:
+//! classes, kernels, page sizes, and admission modes) through
+//! `gpa-serve`'s [`Scheduler`] and checks, for **every** trace:
 //!
 //! 1. **Bitwise equivalence** — each completed sequence's full output
 //!    equals the naive one-sequence-at-a-time reference (chunked prefill +
-//!    per-token decode) bit for bit: continuous batching changes the
-//!    schedule, never the numbers;
-//! 2. **KV budget** — reservations never exceed the budget and no cache
-//!    outgrows its reservation, checked after every tick;
-//! 3. **No starvation** — every submitted sequence completes within a
-//!    bound computed from the trace itself (worst-case serial service);
+//!    per-token decode) bit for bit — *including* sequences that were
+//!    preempted and resumed: continuous batching and paged eviction change
+//!    the schedule, never the numbers;
+//! 2. **Page conservation** — after every tick, free pages plus every
+//!    live sequence's page-table length equals the pool size, no page is
+//!    mapped twice, and no cache outgrows its page table;
+//! 3. **No starvation / no livelock** — every submitted sequence
+//!    completes within a bound computed from the trace itself (worst-case
+//!    serial service), and preemption events per tick are bounded by the
+//!    in-flight cap;
 //! 4. **FIFO within a priority class** — admission preserves submission
 //!    order inside a class, and equal-shape same-class sequences complete
-//!    in submission order;
+//!    in submission order, preemption or not;
 //! 5. **Atomic rollback** — a failed batched launch rolls every
-//!    sequence's cache back and leaves the scheduler in a state that
-//!    still serves bitwise-correct outputs once the offender is cancelled
-//!    (separate test below).
+//!    sequence's cache and page table back and leaves the scheduler in a
+//!    state that still serves bitwise-correct outputs once the offender
+//!    is cancelled (separate test below).
+//!
+//! The trace count of the headline loop defaults to 52 and can be raised
+//! via `GPA_SIM_TRACES` (the nightly CI job runs 200).
 
 use graph_attention::prelude::*;
 use graph_attention::serve::{
     generate_trace, sequential_reference, Completion, Scheduler, ServeError, TraceEvent, TraceSpec,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Headline-loop trace count: `GPA_SIM_TRACES` or 52.
+fn trace_count() -> u64 {
+    std::env::var("GPA_SIM_TRACES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(52)
+}
 
 /// Scheduler + plans used by one simulated trace. Three length-free plans
 /// (two single-kernel, one composed) so traces mix kernels per sequence.
@@ -62,7 +77,10 @@ fn build_scheduler(
 /// Worst-case ticks to drain `trace` on a healthy scheduler: last arrival
 /// plus the arrival window plus fully *serial* service of every sequence
 /// (each needs `ceil(prompt/chunk)` prefill ticks and one tick per decode
-/// token), plus slack. Exceeding this bound means starvation.
+/// token), plus slack. Exceeding this bound means starvation — and since
+/// the most urgent in-flight sequence is never evicted, it doubles as the
+/// livelock bound under preemption: some sequence advances every tick, so
+/// serial service still drains the trace.
 fn starvation_bound(trace: &[TraceEvent<f64>], config: &ServeConfig) -> u64 {
     let service: u64 = trace
         .iter()
@@ -76,14 +94,16 @@ fn starvation_bound(trace: &[TraceEvent<f64>], config: &ServeConfig) -> u64 {
     last_arrival + config.arrival_window + service + 64
 }
 
-/// Drive one trace through the scheduler tick by tick, checking the KV
-/// invariants after every tick, and return the completions.
+/// Drive one trace through the scheduler tick by tick, checking the page
+/// and scheduling invariants after every tick; returns the completions
+/// and the peak number of sequences concurrently in flight during a tick.
 fn drive(
     scheduler: &mut Scheduler<'_, f64>,
     trace: &[TraceEvent<f64>],
     max_ticks: u64,
-) -> Vec<Completion<f64>> {
+) -> (Vec<Completion<f64>>, usize) {
     let mut completions = Vec::new();
+    let mut peak_in_flight = 0usize;
     let mut next = 0usize;
     let mut ticks = 0u64;
     while next < trace.len() || !scheduler.is_idle() {
@@ -92,20 +112,34 @@ fn drive(
             next += 1;
         }
         let report = scheduler.tick().unwrap();
-        // Invariant 2: the KV budget holds after every single tick.
+        // Invariant 2: page conservation, no double-mapping, caches within
+        // their page tables — after every single tick.
         scheduler.assert_kv_invariants();
-        assert!(
-            scheduler.kv_reserved_tokens() <= scheduler.kv_budget_tokens(),
-            "reservations exceed the budget"
-        );
-        assert!(
-            scheduler.kv_used_tokens() <= scheduler.kv_reserved_tokens(),
-            "cached tokens exceed reservations"
+        assert_eq!(
+            scheduler.kv_free_pages() + scheduler.kv_used_pages(),
+            scheduler.kv_total_pages(),
+            "page conservation"
         );
         assert!(
             scheduler.in_flight_len() <= scheduler.config().max_in_flight,
             "in-flight cap violated"
         );
+        // Admission and preemption are mutually exclusive per tick:
+        // admission holds back this tick's decode appends, so it can never
+        // force the eviction of a sequence it just admitted.
+        if !report.preempted.is_empty() {
+            assert!(
+                report.admitted.is_empty() && report.resumed.is_empty(),
+                "a tick may admit or preempt, never both"
+            );
+        }
+        // Invariant 3 (livelock half): one tick evicts at most the
+        // non-head in-flight sequences.
+        assert!(
+            report.preempted.len() < scheduler.config().max_in_flight.max(1) + 1,
+            "preempted more sequences than could be in flight"
+        );
+        peak_in_flight = peak_in_flight.max(scheduler.in_flight_len() + report.completed.len());
         completions.extend(report.completed);
         ticks += 1;
         // Invariant 3: no starvation — the trace drains within its bound.
@@ -113,8 +147,12 @@ fn drive(
             ticks <= max_ticks,
             "not drained after {ticks} ticks (bound {max_ticks}): starvation"
         );
+        assert!(
+            scheduler.preemption_events() <= ticks * scheduler.config().max_in_flight as u64,
+            "preemption-count bound exceeded: livelock"
+        );
     }
-    completions
+    (completions, peak_in_flight)
 }
 
 /// Check invariants 1 and 4 on a drained trace's completions.
@@ -125,7 +163,9 @@ fn check_completions(
 ) {
     assert_eq!(completions.len(), trace.len(), "every sequence completes");
 
-    // Invariant 1: bitwise equivalence with the sequential reference.
+    // Invariant 1: bitwise equivalence with the sequential reference —
+    // for preempted-and-resumed sequences exactly as for uninterrupted
+    // ones.
     for c in completions {
         let request = &trace[c.id.as_u64() as usize].request;
         let expect = sequential_reference(
@@ -138,10 +178,22 @@ fn check_completions(
         assert_eq!(
             c.output,
             expect,
-            "sequence {} must match the sequential serve bitwise",
-            c.id.as_u64()
+            "sequence {} ({} preemptions) must match the sequential serve bitwise",
+            c.id.as_u64(),
+            c.preemptions
         );
     }
+
+    // Preemption accounting: per-completion counters sum to the
+    // scheduler's event total (nothing was cancelled in these drives).
+    assert_eq!(
+        completions
+            .iter()
+            .map(|c| c.preemptions as u64)
+            .sum::<u64>(),
+        scheduler.preemption_events(),
+        "per-sequence preemption counters must sum to the event total"
+    );
 
     // Invariant 4: FIFO within a priority class. Ids are submission order.
     for a in completions {
@@ -157,7 +209,8 @@ fn check_completions(
                 b.id.as_u64()
             );
             // Equal-shape sequences of one class also *complete* FIFO
-            // (both phases advance one unit per tick, so order is kept).
+            // (both phases advance one unit per tick, and preemption
+            // evicts most-recently-admitted first, so order is kept).
             let (ra, rb) = (
                 &trace[a.id.as_u64() as usize].request,
                 &trace[b.id.as_u64() as usize].request,
@@ -175,12 +228,15 @@ fn check_completions(
     }
 }
 
-/// The headline: ≥ 50 randomized seeded traces, each with its own
-/// workload shape *and* scheduler policy, all four always-on invariants
-/// checked end to end.
+/// The headline: ≥ `GPA_SIM_TRACES` (default 52) randomized seeded
+/// traces, each with its own workload shape, page geometry, *and*
+/// scheduler policy — all always-on invariants checked end to end, with
+/// page budgets tight enough that a healthy share of traces preempt.
 #[test]
 fn randomized_traces_match_the_sequential_reference_bitwise() {
-    for trace_seed in 0u64..52 {
+    let mut preempted_completions = 0u64;
+    let traces = trace_count();
+    for trace_seed in 0u64..traces {
         let mut knobs = StdRng::seed_from_u64(0xC0FFEE ^ trace_seed);
         let prompt_lo = 1 + knobs.gen_range(0..6);
         let prompt_hi = prompt_lo + knobs.gen_range(0..12);
@@ -195,27 +251,134 @@ fn randomized_traces_match_the_sequential_reference_bitwise() {
             seed: trace_seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED,
         };
         let max_total = prompt_hi + decode_hi;
-        // Sometimes a tight budget (serializes admissions), sometimes a
-        // loose one; always enough for the largest single sequence.
-        let budget = max_total * (1 + knobs.gen_range(0..spec.sequences));
+        let page_size = 1 + knobs.gen_range(0..6);
+        // Sometimes a tight pool (forces preemption under decode growth),
+        // sometimes a loose one; always enough pages for the largest
+        // single sequence, so nothing is rejected at submission.
+        let kv_pages = max_total.div_ceil(page_size) + knobs.gen_range(0..2 * spec.sequences);
+        // Every fourth trace runs worst-case reservation — the mode that
+        // can never preempt — so both admission paths stay exercised.
+        let admission = if trace_seed % 4 == 3 {
+            AdmissionMode::WorstCaseReserve
+        } else {
+            AdmissionMode::PagedUsage
+        };
         let config = ServeConfig {
             max_in_flight: 1 + knobs.gen_range(0..5),
-            kv_budget_tokens: budget,
+            kv_pages,
+            page_size,
             arrival_window: knobs.gen_range(0..3) as u64,
             prefill_chunk: 1 + knobs.gen_range(0..6),
+            admission,
         };
         let (mut scheduler, plans) = build_scheduler(2, config);
         let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
         let bound = starvation_bound(&trace, &config);
-        let completions = drive(&mut scheduler, &trace, bound);
+        let (completions, _) = drive(&mut scheduler, &trace, bound);
         check_completions(&scheduler, &trace, &completions);
         assert!(scheduler.is_idle());
         assert_eq!(
-            scheduler.kv_reserved_tokens(),
+            scheduler.kv_used_pages(),
             0,
-            "trace {trace_seed}: all slots released"
+            "trace {trace_seed}: all pages released"
         );
+        assert_eq!(scheduler.kv_reserved_pages(), 0);
+        if admission == AdmissionMode::WorstCaseReserve {
+            assert_eq!(
+                scheduler.preemption_events(),
+                0,
+                "trace {trace_seed}: worst-case reservation never preempts"
+            );
+        }
+        preempted_completions += completions.iter().filter(|c| c.preemptions > 0).count() as u64;
     }
+    // The suite's claim is only meaningful if preemption actually fired:
+    // the bitwise check above must have covered preempted-and-resumed
+    // sequences, not just uninterrupted ones.
+    assert!(
+        preempted_completions > 0,
+        "no trace preempted — tighten the page budgets"
+    );
+}
+
+/// A deterministic preemption workload (independent of the randomized
+/// loop): a tight pool under a decode-heavy burst must preempt, resume,
+/// and still complete every sequence bitwise equal to the reference.
+#[test]
+fn preempted_and_resumed_sequences_complete_bitwise() {
+    let config = ServeConfig {
+        max_in_flight: 4,
+        kv_pages: 6,
+        page_size: 2,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+    };
+    let (mut scheduler, plans) = build_scheduler(2, config);
+    let spec = TraceSpec {
+        sequences: 4,
+        prompt: (2, 2),
+        decode: (8, 8),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xFACE,
+    };
+    let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+    let bound = starvation_bound(&trace, &config);
+    let (completions, _) = drive(&mut scheduler, &trace, bound);
+    check_completions(&scheduler, &trace, &completions);
+    assert!(
+        completions.iter().any(|c| c.preemptions > 0),
+        "this workload must preempt: 4 sequences grow to 5 pages each in a 6-page pool"
+    );
+}
+
+/// Acceptance A/B: on the same page budget at saturating load, paged
+/// admission sustains strictly more concurrent in-flight sequences than
+/// worst-case reservation — and both serve every sequence bitwise equal
+/// to the reference.
+#[test]
+fn paged_admission_sustains_more_concurrency_than_reservation() {
+    let spec = TraceSpec {
+        sequences: 8,
+        prompt: (4, 4),
+        decode: (12, 12),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xAB,
+    };
+    let mut peaks = Vec::new();
+    for admission in [AdmissionMode::PagedUsage, AdmissionMode::WorstCaseReserve] {
+        let config = ServeConfig {
+            max_in_flight: 6,
+            // 8 pages × 4 tokens: each 16-token sequence needs 4 pages at
+            // completion, so reservation fits two at a time while paged
+            // admission packs six one-page prompts.
+            kv_pages: 8,
+            page_size: 4,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission,
+        };
+        let (mut scheduler, plans) = build_scheduler(2, config);
+        let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+        let bound = starvation_bound(&trace, &config);
+        let (completions, peak) = drive(&mut scheduler, &trace, bound);
+        check_completions(&scheduler, &trace, &completions);
+        if admission == AdmissionMode::WorstCaseReserve {
+            assert_eq!(scheduler.preemption_events(), 0);
+        }
+        peaks.push(peak);
+    }
+    let (paged, reserved) = (peaks[0], peaks[1]);
+    assert_eq!(reserved, 2, "reservation caps concurrency at 8/4 pages");
+    assert!(
+        paged > reserved,
+        "paged admission must sustain strictly more concurrent sequences \
+         ({paged} vs {reserved})"
+    );
 }
 
 /// Duplicate-shape burst: many equal-shape sequences in two classes,
@@ -225,9 +388,11 @@ fn randomized_traces_match_the_sequential_reference_bitwise() {
 fn equal_shape_bursts_complete_fifo_within_class_and_by_priority() {
     let config = ServeConfig {
         max_in_flight: 2,
-        kv_budget_tokens: 40,
+        kv_pages: 10,
+        page_size: 4,
         arrival_window: 0,
         prefill_chunk: 4,
+        admission: AdmissionMode::PagedUsage,
     };
     let (mut scheduler, plans) = build_scheduler(2, config);
     let spec = TraceSpec {
@@ -246,7 +411,7 @@ fn equal_shape_bursts_complete_fifo_within_class_and_by_priority() {
         "trace must exercise both classes"
     );
     let bound = starvation_bound(&trace, &config);
-    let completions = drive(&mut scheduler, &trace, bound);
+    let (completions, _) = drive(&mut scheduler, &trace, bound);
     check_completions(&scheduler, &trace, &completions);
     // With simultaneous arrivals and strict priority, every class-0
     // sequence is admitted no later than every class-1 sequence.
@@ -268,17 +433,19 @@ fn equal_shape_bursts_complete_fifo_within_class_and_by_priority() {
     );
 }
 
-/// Invariant 5: a failed batched launch rolls every sequence's cache back
-/// and the scheduler keeps serving bitwise-correct outputs once the
-/// offending sequence is cancelled. Also: over-budget submissions are
-/// rejected without creating or mutating any cache.
+/// Invariant 5: a failed batched launch rolls every sequence's cache and
+/// page table back and the scheduler keeps serving bitwise-correct
+/// outputs once the offending sequence is cancelled. Also: over-capacity
+/// submissions are rejected without creating or mutating any cache.
 #[test]
-fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
+fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
     let config = ServeConfig {
         max_in_flight: 8,
-        kv_budget_tokens: 128,
+        kv_pages: 16,
+        page_size: 8,
         arrival_window: 0,
         prefill_chunk: 4,
+        admission: AdmissionMode::PagedUsage,
     };
     let mut scheduler: Scheduler<'static, f64> =
         Scheduler::new(AttentionEngine::with_threads(2), config).unwrap();
@@ -295,7 +462,8 @@ fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
         )
         .unwrap();
 
-    // Over-budget submission: rejected before any cache exists.
+    // Over-capacity submission: 129 tokens need 17 pages of 8; the whole
+    // pool is 16. Rejected before any cache exists.
     let (q, k, v) = init::qkv::<f64>(129, 4, 1);
     let err = scheduler
         .submit(graph_attention::serve::ServeRequest {
@@ -309,12 +477,12 @@ fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
         .unwrap_err();
     assert!(matches!(
         err,
-        ServeError::OverBudget {
-            need: 129,
-            budget: 128
+        ServeError::OverCapacity {
+            need_pages: 17,
+            total_pages: 16
         }
     ));
-    assert_eq!(scheduler.kv_used_tokens(), 0);
+    assert_eq!(scheduler.kv_used_pages(), 0);
     assert!(scheduler.is_idle());
 
     // Two healthy sequences decode for a few ticks first.
@@ -352,21 +520,23 @@ fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
             v,
         })
         .unwrap();
-    let used_before = scheduler.kv_used_tokens();
+    let used_before = scheduler.kv_used_pages();
+    let tokens_before = scheduler.kv_used_tokens();
     let now_before = scheduler.now();
     // The failing tick is fully transactional: the broken sequence's
-    // admission is undone (back to its queue, slot released), every decode
-    // append is rolled back, and the error NAMES the offender.
+    // admission is undone (back to its queue, pages released), every
+    // decode append is rolled back, and the error NAMES the offender.
     let err = scheduler.tick().unwrap_err();
     let ServeError::Launch { request, source: _ } = err else {
         panic!("expected a launch failure, got {err:?}");
     };
     assert_eq!(request, Some(broken_id), "the error must name the offender");
     assert_eq!(
-        scheduler.kv_used_tokens(),
+        scheduler.kv_used_pages(),
         used_before,
-        "a failed tick leaves no cache trace, admissions included"
+        "a failed tick leaves no page trace, admissions included"
     );
+    assert_eq!(scheduler.kv_used_tokens(), tokens_before);
     assert_eq!(
         scheduler.now(),
         now_before,
@@ -378,7 +548,7 @@ fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
     // Failure is stable: retrying re-admits, fails identically, and
     // un-admits again without growing state.
     assert!(scheduler.tick().is_err());
-    assert_eq!(scheduler.kv_used_tokens(), used_before);
+    assert_eq!(scheduler.kv_used_pages(), used_before);
 
     // Cancel the offender the error named; the survivors drain to
     // bitwise-correct outputs — possible only if every rollback was clean.
@@ -417,5 +587,5 @@ fn launch_failure_rolls_back_and_over_budget_is_rejected_cleanly() {
             c.id.as_u64()
         );
     }
-    assert_eq!(scheduler.kv_reserved_tokens(), 0);
+    assert_eq!(scheduler.kv_used_pages(), 0);
 }
