@@ -1,0 +1,84 @@
+//! Decoder-stack serving — layer count × layer pattern (all-full vs
+//! bookend vs interlaced): tokens/sec, tick-latency percentiles, and
+//! whole-stack preemption totals, continuous batching over full
+//! multi-layer models.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin model_serving [--quick|--paper]
+//! ```
+
+use gpa_bench::experiments::{run_model, ModelConfig};
+use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ModelConfig::for_scale(args.scale);
+    cfg.seed = args.seed;
+
+    println!(
+        "Decoder-stack serving — layer pattern sweep on {}",
+        HostInfo::detect().summary()
+    );
+    println!(
+        "{} sequences per point, prompts {:?}, decode {:?}, d_model = {} \
+         ({} heads × dk {}), window = {}, chunk = {}, ≤{} in flight, \
+         KV pool = {} worst-case stacks × {} tokens/page; depths {:?}\n",
+        cfg.sequences,
+        cfg.prompt,
+        cfg.decode,
+        cfg.d_model(),
+        cfg.heads,
+        cfg.dk,
+        cfg.window,
+        cfg.prefill_chunk,
+        cfg.max_in_flight,
+        cfg.pool_stacks,
+        cfg.page_size,
+        cfg.layer_counts,
+    );
+
+    let records = run_model(args.threads, &cfg, |r| {
+        eprintln!(
+            "  measured {:<10} L={:<3} -> {} per tick ({})",
+            r.algo,
+            r.sf_target,
+            fmt_seconds(r.mean_s),
+            r.note,
+        );
+    });
+
+    let field = |note: &str, tag: &str| {
+        note.split("; ")
+            .find_map(|kv| kv.strip_prefix(tag).map(str::to_owned))
+            .unwrap_or_else(|| "—".into())
+    };
+
+    // Depth × arrangement → mean tick, latency percentiles, preemptions.
+    let headers = [
+        "layers",
+        "pattern",
+        "mean tick",
+        "p50 latency",
+        "p99 latency",
+        "preemptions",
+    ];
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.sf_target),
+                format!("{} ({})", r.algo, field(&r.note, "pattern=")),
+                fmt_seconds(r.mean_s),
+                format!("{} ticks", field(&r.note, "p50t=")),
+                format!("{} ticks", field(&r.note, "p99t=")),
+                field(&r.note, "pre="),
+            ]
+        })
+        .collect();
+    println!("\n{}", ascii_table(&headers, &rows));
+
+    match write_csv(&args.out_dir, "model", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write CSV: {e}"),
+    }
+}

@@ -6,6 +6,7 @@ pub mod decode;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
+pub mod model;
 pub mod serving;
 pub mod table3;
 
@@ -14,5 +15,6 @@ pub use decode::{run_decode, DecodeConfig};
 pub use fig3::{run_fig3, Fig3Config};
 pub use fig5::{run_fig5, Fig5Config};
 pub use fig6::{run_fig6, Fig6Config};
+pub use model::{run_model, ModelConfig, PatternKind};
 pub use serving::{run_serving, ServingConfig};
 pub use table3::{run_table3, Table3Config};

@@ -1,0 +1,456 @@
+//! Decoder-stack serving — layer count × layer pattern, continuous
+//! batching over full multi-layer models.
+//!
+//! Each point compiles a [`DecoderModel`] from one of three layer
+//! arrangements at each swept depth and serves one seeded workload
+//! through `gpa-serve`'s [`Scheduler`], every tick advancing all
+//! runnable stacks through all layers (one batched launch per layer):
+//!
+//! - **AllFull** — `FFF…F`: full local attention at every layer, the
+//!   dense-pattern baseline.
+//! - **Bookend** — `FF…SS…FF`: full attention in the first and last
+//!   quarter of the stack, sparse dilated attention through the middle —
+//!   the paper's recommended arrangement for long contexts.
+//! - **Interlaced** — `FSFS…`: alternating full and sparse layers.
+//!
+//! The KV pool is sized at a fixed number of worst-case *stacks* (so the
+//! page budget scales with depth but stays below the workload's total),
+//! which keeps paged admission and whole-stack preemption in play at
+//! every depth. Wall-time samples are per-tick durations; tick-latency
+//! percentiles and the preemption-event total are virtual-clock
+//! quantities — deterministic per seed — so they ride in the record's
+//! note and survive the regression join. The correctness claim (every
+//! completion bitwise equal to the one-stack-at-a-time serve) is enforced
+//! by `tests/serving_sim.rs`; a spot-check also runs here under
+//! `cfg(test)`.
+
+use crate::args::Scale;
+use crate::report::Record;
+use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
+use gpa_model::{DecoderModel, LayerPattern};
+use gpa_serve::{
+    generate_model_trace, AdmissionMode, Completion, ModelTraceEvent, Scheduler, ServeConfig,
+    TraceSpec,
+};
+use std::time::Instant;
+
+/// One layer arrangement in the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Full local attention at every layer.
+    AllFull,
+    /// Full attention in the outer quarters, sparse through the middle.
+    Bookend,
+    /// Alternating full and sparse layers.
+    Interlaced,
+}
+
+impl PatternKind {
+    /// All swept arrangements, in report order.
+    pub const ALL: [PatternKind; 3] = [
+        PatternKind::AllFull,
+        PatternKind::Bookend,
+        PatternKind::Interlaced,
+    ];
+
+    /// The CSV `algo` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PatternKind::AllFull => "AllFull",
+            PatternKind::Bookend => "Bookend",
+            PatternKind::Interlaced => "Interlaced",
+        }
+    }
+
+    /// The `LayerPattern` string at the given depth.
+    pub fn pattern(self, layers: usize) -> String {
+        match self {
+            PatternKind::AllFull => "F".repeat(layers),
+            PatternKind::Bookend => {
+                let f = (layers / 4).max(1);
+                if 2 * f >= layers {
+                    "F".repeat(layers)
+                } else {
+                    format!(
+                        "{}{}{}",
+                        "F".repeat(f),
+                        "S".repeat(layers - 2 * f),
+                        "F".repeat(f)
+                    )
+                }
+            }
+            PatternKind::Interlaced => (0..layers)
+                .map(|s| if s % 2 == 0 { 'F' } else { 'S' })
+                .collect(),
+        }
+    }
+}
+
+/// Sweep configuration for the decoder-stack serving experiment.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Stack depths to sweep — the layer-count axis.
+    pub layer_counts: Vec<usize>,
+    /// Sequences per workload point.
+    pub sequences: usize,
+    /// Inclusive prompt-length range.
+    pub prompt: (usize, usize),
+    /// Inclusive generated-token range.
+    pub decode: (usize, usize),
+    /// Attention heads per layer (`d_model = heads × dk`).
+    pub heads: usize,
+    /// Per-head key dimension.
+    pub dk: usize,
+    /// Local/dilated window per direction.
+    pub window: usize,
+    /// Scheduler in-flight cap.
+    pub max_in_flight: usize,
+    /// Worst-case *stacks* the KV pool holds — the page budget is this
+    /// many × `layers × ceil(max_total / page_size)` pages, so pressure
+    /// is depth-invariant.
+    pub pool_stacks: usize,
+    /// Tokens per KV page.
+    pub page_size: usize,
+    /// Prefill chunk rows.
+    pub prefill_chunk: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// Configuration for a CLI scale.
+    pub fn for_scale(scale: Scale) -> ModelConfig {
+        match scale {
+            Scale::Quick => ModelConfig {
+                layer_counts: vec![2, 4],
+                sequences: 8,
+                prompt: (6, 16),
+                decode: (3, 6),
+                heads: 2,
+                dk: 8,
+                window: 4,
+                max_in_flight: 4,
+                pool_stacks: 3,
+                page_size: 8,
+                prefill_chunk: 4,
+                seed: 0x5EED,
+            },
+            Scale::Default => ModelConfig {
+                layer_counts: vec![4, 8, 12],
+                sequences: 24,
+                prompt: (32, 96),
+                decode: (8, 24),
+                heads: 4,
+                dk: 16,
+                window: 8,
+                max_in_flight: 6,
+                pool_stacks: 3,
+                page_size: 16,
+                prefill_chunk: 16,
+                seed: 0x5EED,
+            },
+            Scale::Paper => ModelConfig {
+                layer_counts: vec![8, 12, 24],
+                sequences: 48,
+                prompt: (64, 256),
+                decode: (16, 48),
+                heads: 4,
+                dk: 16,
+                window: 16,
+                max_in_flight: 8,
+                pool_stacks: 3,
+                page_size: 32,
+                prefill_chunk: 32,
+                seed: 0x5EED,
+            },
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.heads * self.dk
+    }
+
+    /// Page budget at the given depth: `pool_stacks` worst-case stacks.
+    fn kv_pages(&self, layers: usize) -> usize {
+        self.pool_stacks * layers * (self.prompt.1 + self.decode.1).div_ceil(self.page_size)
+    }
+
+    fn scheduler_config(&self, layers: usize) -> ServeConfig {
+        ServeConfig {
+            max_in_flight: self.max_in_flight,
+            kv_pages: self.kv_pages(layers),
+            page_size: self.page_size,
+            arrival_window: 0,
+            prefill_chunk: self.prefill_chunk,
+            admission: AdmissionMode::PagedUsage,
+        }
+    }
+
+    fn trace_spec(&self, layers: usize) -> TraceSpec {
+        TraceSpec {
+            sequences: self.sequences,
+            prompt: self.prompt,
+            decode: self.decode,
+            dk: self.dk,
+            arrival_gap: (0, 2),
+            priority_classes: 2,
+            seed: self.seed ^ (layers as u64).wrapping_mul(0x9E37_79B9),
+        }
+    }
+}
+
+/// Compile the swept model at one (depth, arrangement) point. The weight
+/// seed is a pure function of the point, so tests rebuild bit-identical
+/// models for reference serves.
+pub fn build_model(
+    cfg: &ModelConfig,
+    kind: PatternKind,
+    layers: usize,
+) -> DecoderModel<'static, f32> {
+    let pattern = kind.pattern(layers);
+    let full = AttentionPlan::single(AttentionKernel::Local { n: cfg.window })
+        .expect("local plan compiles");
+    let mut bindings = vec![('F', full)];
+    if pattern.contains('S') {
+        bindings.push((
+            'S',
+            AttentionPlan::single(AttentionKernel::Dilated1d {
+                w: cfg.window,
+                r: 2,
+            })
+            .expect("dilated plan compiles"),
+        ));
+    }
+    DecoderModel::new(
+        LayerPattern::parse(&pattern).expect("swept patterns are valid"),
+        bindings,
+        cfg.d_model(),
+        cfg.heads,
+        cfg.dk,
+        cfg.seed ^ (layers as u64) << 8 ^ kind.label().len() as u64,
+    )
+    .expect("swept models compose")
+}
+
+/// One continuous replay of a model workload.
+struct ModelRun {
+    /// Per-tick wall-time samples.
+    samples: Vec<f64>,
+    /// Every completion, in completion order.
+    completions: Vec<Completion<f32>>,
+    /// Total tokens computed across completions.
+    tokens: usize,
+    /// Preemption events over the replay.
+    preemptions: u64,
+}
+
+/// Serve one model workload through the scheduler.
+fn run_point(
+    engine_threads: Option<usize>,
+    cfg: &ModelConfig,
+    kind: PatternKind,
+    layers: usize,
+    trace: &[ModelTraceEvent<f32>],
+) -> ModelRun {
+    let engine = match engine_threads {
+        Some(t) => AttentionEngine::with_threads(t),
+        None => AttentionEngine::new(),
+    };
+    let mut scheduler: Scheduler<'static, f32> =
+        Scheduler::new(engine, cfg.scheduler_config(layers)).expect("valid scheduler config");
+    let model = scheduler.register_model(build_model(cfg, kind, layers));
+    let mut completions = Vec::new();
+    let mut samples = Vec::new();
+    let mut next = 0usize;
+    while next < trace.len() || !scheduler.is_idle() {
+        while next < trace.len() && trace[next].at <= scheduler.now() {
+            let mut request = trace[next].request.clone();
+            request.model = model;
+            scheduler
+                .submit_model(request)
+                .expect("the pool holds every swept sequence");
+            next += 1;
+        }
+        let started = Instant::now();
+        let report = scheduler.tick().expect("healthy workload ticks");
+        samples.push(started.elapsed().as_secs_f64());
+        completions.extend(report.completed);
+    }
+    let tokens = completions.iter().map(|c| c.output.rows()).sum();
+    ModelRun {
+        samples,
+        completions,
+        tokens,
+        preemptions: scheduler.preemption_events(),
+    }
+}
+
+/// Percentile of already-sorted data by nearest-rank.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Run the depth × arrangement sweep, streaming each record to
+/// `on_record`.
+pub fn run_model(
+    threads: Option<usize>,
+    cfg: &ModelConfig,
+    mut on_record: impl FnMut(&Record),
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    let mean_prompt = (cfg.prompt.0 + cfg.prompt.1) / 2;
+    for &layers in &cfg.layer_counts {
+        let trace: Vec<ModelTraceEvent<f32>> = generate_model_trace(
+            &cfg.trace_spec(layers),
+            &[(gpa_serve::ModelId::default(), cfg.d_model())],
+        );
+        for kind in PatternKind::ALL {
+            let run = run_point(threads, cfg, kind, layers, &trace);
+            assert_eq!(run.completions.len(), trace.len(), "every stack completes");
+            let mut latencies: Vec<u64> = run
+                .completions
+                .iter()
+                .map(Completion::latency_ticks)
+                .collect();
+            latencies.sort_unstable();
+            let stat = crate::protocol::BenchStat::from_samples(&run.samples);
+            let total_s: f64 = run.samples.iter().sum();
+            let rec = Record {
+                experiment: "model".into(),
+                algo: kind.label().into(),
+                l: mean_prompt,
+                dk: cfg.dk,
+                sf_target: layers as f64,
+                sf_achieved: f64::NAN,
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                // Pattern, tick-latency percentiles, and the preemption
+                // total are virtual-clock deterministic per seed — safe
+                // in the regression join. Tokens/sec goes to stdout.
+                note: format!(
+                    "pattern={}; window={}; p50t={}; p99t={}; pre={}",
+                    kind.pattern(layers),
+                    cfg.window,
+                    percentile(&latencies, 50.0),
+                    percentile(&latencies, 99.0),
+                    run.preemptions,
+                ),
+            };
+            eprintln!(
+                "  L{layers} {}: {:.0} tok/s over {} ticks, {} preemptions",
+                kind.label(),
+                run.tokens as f64 / total_s,
+                run.samples.len(),
+                run.preemptions,
+            );
+            on_record(&rec);
+            records.push(rec);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpa_serve::sequential_model_reference;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig {
+            layer_counts: vec![2, 3],
+            sequences: 4,
+            prompt: (2, 6),
+            decode: (1, 3),
+            heads: 2,
+            dk: 4,
+            window: 2,
+            max_in_flight: 3,
+            pool_stacks: 2,
+            page_size: 4,
+            prefill_chunk: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_pattern_at_every_depth() {
+        let cfg = tiny();
+        let mut streamed = 0usize;
+        let records = run_model(Some(2), &cfg, |_| streamed += 1);
+        assert_eq!(records.len(), streamed);
+        assert_eq!(
+            records.len(),
+            PatternKind::ALL.len() * cfg.layer_counts.len()
+        );
+        for &layers in &cfg.layer_counts {
+            for kind in PatternKind::ALL {
+                assert!(
+                    records
+                        .iter()
+                        .any(|r| r.algo == kind.label() && r.sf_target == layers as f64),
+                    "missing {} at {layers} layers",
+                    kind.label()
+                );
+            }
+        }
+        assert!(records.iter().all(|r| r.mean_s > 0.0 && r.iters > 0));
+        assert!(records.iter().all(|r| r.note.contains("pattern=")
+            && r.note.contains("p50t=")
+            && r.note.contains("p99t=")
+            && r.note.contains("pre=")));
+    }
+
+    #[test]
+    fn patterns_tile_every_depth() {
+        for layers in 1..=16 {
+            for kind in PatternKind::ALL {
+                let p = kind.pattern(layers);
+                assert_eq!(p.len(), layers);
+                assert!(p.chars().all(|c| c == 'F' || c == 'S'));
+                assert!(p.starts_with('F'), "{p} must open with full attention");
+            }
+        }
+        assert_eq!(PatternKind::Bookend.pattern(12), "FFFSSSSSSFFF");
+        assert_eq!(PatternKind::Interlaced.pattern(5), "FSFSF");
+    }
+
+    #[test]
+    fn measured_serving_is_bitwise_the_sequential_stack_serve() {
+        // The measured loop must serve real decoder stacks: rebuild the
+        // swept model (same point → same weight seed) and check every
+        // completion against the one-stack-at-a-time reference.
+        let cfg = tiny();
+        let layers = 3;
+        let trace: Vec<ModelTraceEvent<f32>> = generate_model_trace(
+            &cfg.trace_spec(layers),
+            &[(gpa_serve::ModelId::default(), cfg.d_model())],
+        );
+        let run = run_point(Some(2), &cfg, PatternKind::Interlaced, layers, &trace);
+        assert_eq!(run.completions.len(), trace.len());
+        let engine = AttentionEngine::with_threads(2);
+        let model = build_model(&cfg, PatternKind::Interlaced, layers);
+        for c in &run.completions {
+            let expect = sequential_model_reference(
+                &engine,
+                &model,
+                &trace[c.id.as_u64() as usize].request,
+                cfg.prefill_chunk,
+            )
+            .unwrap();
+            assert_eq!(c.output, expect);
+        }
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let sorted = [1u64, 2, 3, 4, 10];
+        assert_eq!(percentile(&sorted, 50.0), 3);
+        assert_eq!(percentile(&sorted, 99.0), 10);
+    }
+}

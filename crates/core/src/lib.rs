@@ -82,6 +82,7 @@ pub use kernels::{
 };
 pub use multihead::{
     concat_heads, multi_head_attention, split_heads, LayerDecodeStep, MultiHeadAttention,
+    ProjectedHeads,
 };
 pub use options::KernelOptions;
 pub use pages::{PagePool, SeqId};

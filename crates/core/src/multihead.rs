@@ -52,8 +52,9 @@ pub fn concat_heads<T: Real>(heads: &[Matrix<T>]) -> Matrix<T> {
     Matrix::from_fn(l, heads.len() * dk, |i, j| heads[j / dk].get(i, j % dk))
 }
 
-/// Per-head (Q, K, V) projections of one token's input row.
-type ProjectedHeads<T> = (Vec<Matrix<T>>, Vec<Matrix<T>>, Vec<Matrix<T>>);
+/// Per-head `(Q, K, V)` projections of an input window — what
+/// [`MultiHeadAttention::project_qkv`] returns (`heads` matrices each).
+pub type ProjectedHeads<T> = (Vec<Matrix<T>>, Vec<Matrix<T>>, Vec<Matrix<T>>);
 
 /// One sequence's pending decode token in a multi-sequence batched layer
 /// decode ([`MultiHeadAttention::forward_decode_batched`]): the new
@@ -142,6 +143,36 @@ impl<T: Real> MultiHeadAttention<T> {
     /// layer's `dk` as both key and value dimension).
     pub fn new_cache(&self) -> KvCache<T> {
         KvCache::new(self.heads, self.dk(), self.dk())
+    }
+
+    /// Project an input window (`R × d_model`) into per-head `(Q, K, V)`
+    /// triples — the building block callers batching *across* layers (a
+    /// decoder stack) use to assemble their own attention requests; the
+    /// `forward_*` methods on this type wrap the same projections.
+    ///
+    /// # Panics
+    /// Panics when `x` is not `d_model` wide.
+    pub fn project_qkv(&self, x: &Matrix<T>) -> ProjectedHeads<T> {
+        assert_eq!(x.cols(), self.d_model(), "input width must be d_model");
+        let q = matmul(x, &self.wq);
+        let k = matmul(x, &self.wk);
+        let v = matmul(x, &self.wv);
+        (
+            split_heads(&q, self.heads),
+            split_heads(&k, self.heads),
+            split_heads(&v, self.heads),
+        )
+    }
+
+    /// Concatenate per-head attention outputs (`R × dk` each, one per
+    /// head) and apply the output projection, yielding `R × d_model` —
+    /// the inverse bookend of [`Self::project_qkv`].
+    ///
+    /// # Panics
+    /// Panics when the slice length or shapes disagree with the layer.
+    pub fn combine_heads(&self, head_outs: &[Matrix<T>]) -> Matrix<T> {
+        assert_eq!(head_outs.len(), self.heads, "one output per head");
+        matmul(&concat_heads(head_outs), &self.wo)
     }
 
     /// Chunked prefill through the KV cache: project the prompt `x`
@@ -533,6 +564,25 @@ mod tests {
             )
             .unwrap();
         assert_eq!(via_engine, via_pool);
+    }
+
+    #[test]
+    fn project_and_combine_reassemble_the_forward_bitwise() {
+        let l = 10;
+        let layer: MultiHeadAttention<f64> = MultiHeadAttention::new_random(24, 3, 8, 17);
+        let x = gaussian_matrix(l, 24, 1.0, 55);
+        let engine = crate::AttentionEngine::with_threads(2);
+        let plan = engine.compile(&[AttentionKernel::Local { n: 2 }]).unwrap();
+        let (qh, kh, vh) = layer.project_qkv(&x);
+        assert_eq!((qh.len(), kh.len(), vh.len()), (3, 3, 3));
+        assert_eq!(qh[0].shape(), (l, 8));
+        let requests: Vec<AttentionRequest<'_, f64>> = (0..3)
+            .map(|h| AttentionRequest::new(&qh[h], &kh[h], &vh[h]))
+            .collect();
+        let outs = engine.run_batch(&plan, &requests).unwrap();
+        let combined = layer.combine_heads(&outs);
+        let forward = layer.forward_on(&engine, &plan, &x).unwrap();
+        assert_eq!(combined, forward, "hand-assembled pass must be bitwise");
     }
 
     #[test]

@@ -57,8 +57,11 @@ struct PagedSeq<T> {
 
 /// A pool of per-sequence [`KvCache`]s under block-paged allocation.
 ///
-/// Sequences are single-head (the engine's serving decode surface);
-/// a multi-head model maps each head to its own sequence.
+/// A pool entry is one growable cache: single-head for the engine's bare
+/// serving decode surface ([`Self::allocate`]), or multi-head for one
+/// decoder-stack *layer* ([`Self::allocate_heads`] — a model holds one
+/// entry per layer, so page budgets count every layer). Pages account
+/// cached **tokens**; head count, like `dk`, only widens the rows.
 ///
 /// ```
 /// use gpa_core::PagePool;
@@ -147,11 +150,40 @@ impl<T: Real> PagePool<T> {
     /// costs nothing — pages are taken only when appends need them — so
     /// this cannot fail.
     pub fn allocate(&mut self, dk: usize, dv: usize) -> SeqId {
+        self.install(KvCache::single(dk, dv), Vec::new())
+    }
+
+    /// Admit a multi-head sequence — one model *layer*'s cache in a
+    /// decoder stack, where every layer of every sequence is its own pool
+    /// entry so page budgets count all layers. Pages account **tokens**
+    /// (the cache length); the head count is a row-width multiplier, like
+    /// `dk`, and does not change the page arithmetic.
+    pub fn allocate_heads(&mut self, heads: usize, dk: usize, dv: usize) -> SeqId {
+        self.install(KvCache::new(heads, dk, dv), Vec::new())
+    }
+
+    /// Adopt an already-populated cache (e.g. one retained by a preempted
+    /// sequence), allocating the pages its tokens occupy. Returns the
+    /// cache untouched when the free list cannot cover it — the all-or-
+    /// nothing resume path.
+    pub fn try_adopt(&mut self, cache: KvCache<T>) -> Result<SeqId, KvCache<T>> {
+        let needed = cache.len().div_ceil(self.page_size);
+        if needed > self.free.len() {
+            return Err(cache);
+        }
+        let mut pages = Vec::with_capacity(needed);
+        for _ in 0..needed {
+            pages.push(self.free.pop().expect("counted above"));
+        }
+        Ok(self.install(cache, pages))
+    }
+
+    fn install(&mut self, cache: KvCache<T>, pages: Vec<usize>) -> SeqId {
         let generation = self.next_generation;
         self.next_generation += 1;
         let seq = PagedSeq {
-            cache: KvCache::single(dk, dv),
-            pages: Vec::new(),
+            cache,
+            pages,
             generation,
         };
         let index = match self.free_seqs.pop() {
@@ -253,6 +285,35 @@ impl<T: Real> PagePool<T> {
             return false;
         }
         self.seq_mut(id).cache.append(0, k_row, v_row);
+        true
+    }
+
+    /// Append per-head K/V rows — `ks[h]`/`vs[h]` go to head `h`, all
+    /// heads gaining the same number of tokens — allocating whatever
+    /// pages the new length needs. Atomic: returns false — no pages
+    /// taken, no rows appended — when the pages do not fit.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle, when the slice lengths do
+    /// not match the cache's head count, when the heads disagree on row
+    /// count, or on shape mismatches (as [`KvCache::extend`]).
+    pub fn try_extend_heads(&mut self, id: SeqId, ks: &[Matrix<T>], vs: &[Matrix<T>]) -> bool {
+        let heads = self.seq(id).cache.heads();
+        assert_eq!(ks.len(), heads, "one K matrix per head");
+        assert_eq!(vs.len(), heads, "one V matrix per head");
+        let rows = ks[0].rows();
+        assert!(
+            ks.iter().chain(vs.iter()).all(|m| m.rows() == rows),
+            "heads must gain the same number of tokens"
+        );
+        let tokens = self.seq(id).cache.len() + rows;
+        if !self.grow_to(id.index, tokens) {
+            return false;
+        }
+        let seq = self.seq_mut(id);
+        for (h, (k, v)) in ks.iter().zip(vs).enumerate() {
+            seq.cache.extend(h, k, v);
+        }
         true
     }
 
@@ -473,6 +534,55 @@ mod tests {
         let a = pool.allocate(2, 2);
         pool.release(a);
         let _ = pool.cache(a);
+    }
+
+    #[test]
+    fn multi_head_entries_charge_tokens_not_heads() {
+        let mut pool: PagePool<f64> = PagePool::new(4, 2);
+        let a = pool.allocate_heads(3, 2, 2);
+        assert_eq!(pool.cache(a).heads(), 3);
+        let ks: Vec<Matrix<f64>> = (0..3).map(|h| qkv::<f64>(3, 2, h as u64).1).collect();
+        let vs: Vec<Matrix<f64>> = (0..3).map(|h| qkv::<f64>(3, 2, 9 + h as u64).2).collect();
+        assert!(pool.try_extend_heads(a, &ks, &vs));
+        // 3 tokens over 2-token pages: 2 pages, regardless of 3 heads.
+        assert_eq!(pool.pages_held(a), 2);
+        assert_eq!(pool.cache(a).len(), 3);
+        assert_eq!(pool.cache(a).k(2).row(1), ks[2].row(1));
+        // A failing multi-head extend takes nothing from any head.
+        let ks: Vec<Matrix<f64>> = (0..3).map(|h| qkv::<f64>(6, 2, 20 + h as u64).1).collect();
+        let vs: Vec<Matrix<f64>> = (0..3).map(|h| qkv::<f64>(6, 2, 30 + h as u64).2).collect();
+        assert!(!pool.try_extend_heads(a, &ks, &vs), "9 tokens need 5 pages");
+        assert_eq!(pool.cache(a).len(), 3);
+        assert_eq!(pool.pages_held(a), 2);
+        pool.assert_page_invariants();
+    }
+
+    #[test]
+    fn adopt_takes_pages_for_retained_tokens_or_nothing() {
+        let mut pool: PagePool<f64> = PagePool::new(2, 2);
+        let a = pool.allocate_heads(2, 2, 2);
+        let ks: Vec<Matrix<f64>> = (0..2).map(|h| qkv::<f64>(3, 2, h as u64).1).collect();
+        let vs: Vec<Matrix<f64>> = (0..2).map(|h| qkv::<f64>(3, 2, 5 + h as u64).2).collect();
+        assert!(pool.try_extend_heads(a, &ks, &vs));
+        let retained = pool.release(a);
+        assert_eq!(pool.free_pages(), 2);
+        // Adoption under pressure: one page held elsewhere, 3 tokens need
+        // 2 pages — refused, cache handed back intact.
+        let b = pool.allocate(2, 2);
+        assert!(pool.try_append(b, &[0.0; 2], &[0.0; 2]));
+        let retained = match pool.try_adopt(retained) {
+            Err(cache) => cache,
+            Ok(_) => panic!("adoption must fail without pages"),
+        };
+        assert_eq!(retained.len(), 3, "refused adoption returns the cache");
+        pool.assert_page_invariants();
+        // With the squatter gone, adoption restores the exact bytes.
+        pool.release(b);
+        let c = pool.try_adopt(retained).expect("pages are free now");
+        assert_eq!(pool.cache(c).len(), 3);
+        assert_eq!(pool.pages_held(c), 2);
+        assert_eq!(pool.cache(c).k(1).row(2), ks[1].row(2));
+        pool.assert_page_invariants();
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub enum ServeError {
     /// A submitted request referenced a plan id this scheduler never
     /// registered.
     UnknownPlan,
+    /// A submitted request referenced a model id this scheduler never
+    /// registered.
+    UnknownModel,
     /// A submitted request is malformed (shape mismatch, empty prompt…).
     BadRequest {
         /// Human-readable description.
@@ -55,6 +58,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::BadConfig { what } => write!(f, "bad scheduler config: {what}"),
             ServeError::UnknownPlan => write!(f, "request references an unregistered plan"),
+            ServeError::UnknownModel => write!(f, "request references an unregistered model"),
             ServeError::BadRequest { what } => write!(f, "bad request: {what}"),
             ServeError::OverCapacity {
                 need_pages,
@@ -107,6 +111,7 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(ServeError::UnknownPlan.to_string().contains("unregistered"));
+        assert!(ServeError::UnknownModel.to_string().contains("model"));
         assert!(ServeError::OverCapacity {
             need_pages: 9,
             total_pages: 4

@@ -96,9 +96,10 @@
 //! // Continuous batching changes the schedule, never the numbers: each
 //! // output is bitwise the naive one-sequence-at-a-time serve.
 //! for c in &completions {
+//!     let plan = c.target.plan().expect("a plan-only workload");
 //!     let expect = sequential_reference(
 //!         scheduler.engine(),
-//!         scheduler.plan(c.plan),
+//!         scheduler.plan(plan),
 //!         &trace[c.id.as_u64() as usize].request,
 //!         scheduler.config().prefill_chunk,
 //!     )
@@ -107,10 +108,25 @@
 //! }
 //! ```
 //!
+//! ## Decoder-model sequences
+//!
+//! A request can target a registered [`gpa_model::DecoderModel`] instead
+//! of a bare plan ([`Scheduler::register_model`] +
+//! [`Scheduler::submit_model`]): the sequence's embedding rows run through
+//! the model's whole layer stack — heterogeneous Full/Sparse plans per
+//! layer — with one KV cache per layer, every page of which is counted by
+//! the same admission, preemption, and rollback arithmetic (an `L`-layer
+//! sequence bills `L ×` the pages of a plan sequence of the same length).
+//! Preempted model sequences keep their per-layer caches intact and
+//! re-adopt them on resume, so completions remain bitwise equal to
+//! [`sequential_model_reference`]. `examples/model_serving.rs` serves a
+//! 12-layer bookend stack under page pressure.
+//!
 //! `examples/continuous_serving.rs` walks the same loop tick by tick, and
 //! `cargo run -p gpa-bench --release --bin serving_throughput` measures
 //! tokens/sec and latency percentiles against the sequential baseline as
-//! offered load grows.
+//! offered load grows; `--bin model_serving` sweeps decoder-stack depth ×
+//! layer pattern.
 
 pub mod error;
 pub mod request;
@@ -118,6 +134,11 @@ pub mod scheduler;
 pub mod trace;
 
 pub use error::ServeError;
-pub use request::{Completion, PlanId, RequestId, ServeRequest, TickReport};
+pub use request::{
+    Completion, ModelId, ModelRequest, PlanId, RequestId, ServeRequest, ServeTarget, TickReport,
+};
 pub use scheduler::{AdmissionMode, Scheduler, ServeConfig};
-pub use trace::{generate_trace, replay, sequential_reference, TraceEvent, TraceSpec};
+pub use trace::{
+    generate_model_trace, generate_trace, replay, replay_mixed, sequential_model_reference,
+    sequential_reference, ModelTraceEvent, TraceEvent, TraceSpec,
+};

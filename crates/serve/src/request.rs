@@ -10,6 +10,42 @@ use gpa_tensor::Matrix;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PlanId(pub(crate) usize);
 
+/// Handle to a decoder model registered with a [`crate::Scheduler`] —
+/// model requests name the registered [`gpa_model::DecoderModel`] they run
+/// through by this id. The default id names the scheduler's **first**
+/// registered model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub(crate) usize);
+
+/// What a sequence runs on: a bare attention plan (one
+/// [`crate::Scheduler::submit`] request) or a full decoder stack (one
+/// [`crate::Scheduler::submit_model`] request).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeTarget {
+    /// A single compiled attention plan fed explicit q/k/v rows.
+    Plan(PlanId),
+    /// A registered decoder model fed embedding rows.
+    Model(ModelId),
+}
+
+impl ServeTarget {
+    /// The plan id, when the sequence ran on a bare plan.
+    pub fn plan(&self) -> Option<PlanId> {
+        match self {
+            ServeTarget::Plan(id) => Some(*id),
+            ServeTarget::Model(_) => None,
+        }
+    }
+
+    /// The model id, when the sequence ran through a decoder stack.
+    pub fn model(&self) -> Option<ModelId> {
+        match self {
+            ServeTarget::Plan(_) => None,
+            ServeTarget::Model(id) => Some(*id),
+        }
+    }
+}
+
 /// Handle to a submitted request, assigned by
 /// [`crate::Scheduler::submit`] in submission order (ids are strictly
 /// increasing, which is what the FIFO invariants are stated against).
@@ -62,6 +98,42 @@ impl<T> ServeRequest<T> {
     }
 }
 
+/// One decoder-stack sequence's worth of serving work: the embedding rows
+/// for the prompt and for every token it will generate, run through a
+/// registered [`gpa_model::DecoderModel`].
+///
+/// The request owns its input (`total × d_model`, where
+/// `total = x.rows()`): rows `0..prompt` are the prompt, consumed by
+/// chunked prefill; each row `t ≥ prompt` is one generated token's
+/// embedding, consumed by one decode step per scheduler tick. As with
+/// [`ServeRequest`], carrying the decode rows in the workload keeps traces
+/// replayable and the output checkable bitwise against a sequential
+/// reference.
+#[derive(Clone)]
+pub struct ModelRequest<T> {
+    /// The registered decoder model this sequence runs through.
+    pub model: ModelId,
+    /// Priority class — **lower is more urgent**; admission is strict
+    /// priority across classes and FIFO within one.
+    pub priority: u8,
+    /// Rows of `x` that form the prompt (`1..=x.rows()`).
+    pub prompt: usize,
+    /// Embedding rows for every token, `total × d_model`.
+    pub x: Matrix<T>,
+}
+
+impl<T> ModelRequest<T> {
+    /// Total tokens (prompt + generated). Each cached token occupies a KV
+    /// row in **every** layer, so the sequence's worst-case page bill is
+    /// `layers × ceil(total / page_size)`.
+    pub fn total_tokens(&self) -> usize
+    where
+        T: gpa_tensor::Real,
+    {
+        self.x.rows()
+    }
+}
+
 /// A finished sequence: its full `total × dv` attention output plus the
 /// virtual-clock timestamps of its lifecycle.
 #[derive(Clone)]
@@ -70,10 +142,11 @@ pub struct Completion<T> {
     pub id: RequestId,
     /// The request's priority class.
     pub priority: u8,
-    /// The plan the sequence ran under.
-    pub plan: PlanId,
-    /// Attention output for every token, `total × dv`; rows `0..prompt`
-    /// from prefill, the rest one decode row per tick.
+    /// What the sequence ran on: a bare plan or a decoder model.
+    pub target: ServeTarget,
+    /// Output for every token (`total × dv` for a plan sequence,
+    /// `total × d_model` for a model sequence); rows `0..prompt` from
+    /// prefill, the rest one decode row per tick.
     pub output: Matrix<T>,
     /// Tick at which the request was submitted.
     pub submitted: u64,
@@ -104,7 +177,7 @@ impl<T> std::fmt::Debug for Completion<T> {
         f.debug_struct("Completion")
             .field("id", &self.id)
             .field("priority", &self.priority)
-            .field("plan", &self.plan)
+            .field("target", &self.target)
             .field("submitted", &self.submitted)
             .field("admitted", &self.admitted)
             .field("completed", &self.completed)
@@ -125,10 +198,13 @@ pub struct TickReport<T> {
     pub resumed: Vec<RequestId>,
     /// Sequences evicted to resume queues this tick, in admission order.
     pub preempted: Vec<RequestId>,
-    /// Batched launches issued (one per distinct plan with runnable work).
+    /// Batched launches issued: one per distinct plan with runnable work,
+    /// plus — for each model with runnable work — one per distinct plan
+    /// per layer of that model's stack.
     pub launches: usize,
     /// Total attention rows computed across those launches (prefill-chunk
-    /// rows plus one row per decoding sequence).
+    /// rows plus one row per decoding sequence; model sequences count each
+    /// of their layers).
     pub rows_computed: usize,
     /// Sequences that finished this tick, in completion order.
     pub completed: Vec<Completion<T>>,

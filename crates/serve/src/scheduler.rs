@@ -1,14 +1,28 @@
 //! The continuous-batching scheduler.
 //!
 //! One [`Scheduler`] owns an [`AttentionEngine`], a set of registered
-//! [`AttentionPlan`]s, per-priority pending queues, and a block-paged
-//! [`PagePool`] of per-sequence KV caches. Time is a **virtual clock** of
-//! ticks: every [`Scheduler::tick`] admits what fits, then flattens *all*
-//! runnable work — each prefilling sequence's next chunk of query rows
-//! plus each decoding sequence's next token row — into **one**
-//! [`AttentionEngine::run_batch`] launch per distinct plan (a single
-//! launch when the workload shares a plan), exactly the mixed-geometry
-//! batch shape the engine's [`gpa_core::Geometry`] windows exist for.
+//! [`AttentionPlan`]s and [`DecoderModel`]s, per-priority pending queues,
+//! and a block-paged [`PagePool`] of per-sequence KV caches. Time is a
+//! **virtual clock** of ticks: every [`Scheduler::tick`] admits what fits,
+//! then flattens *all* runnable work — each prefilling sequence's next
+//! chunk of query rows plus each decoding sequence's next token row —
+//! into **one** [`AttentionEngine::run_batch`] launch per distinct plan (a
+//! single launch when the workload shares a plan), exactly the
+//! mixed-geometry batch shape the engine's [`gpa_core::Geometry`] windows
+//! exist for.
+//!
+//! ## Plan sequences and model sequences
+//!
+//! A request targets either a bare plan ([`Scheduler::submit`] — explicit
+//! q/k/v rows through one attention kernel) or a registered decoder model
+//! ([`Scheduler::submit_model`] — embedding rows through an N-layer stack
+//! of [`gpa_core::MultiHeadAttention`] layers with heterogeneous plans).
+//! Both flavors share the queues, the page pool, and the tick: model
+//! sequences group by model and advance through
+//! [`DecoderModel::advance_batched`] (one launch per layer, all sequences
+//! × heads flattened), and every page of every layer's cache is counted
+//! by the same admission and preemption arithmetic — an `L`-layer
+//! sequence bills `L ×` the pages of a plan sequence of the same length.
 //!
 //! ## Admission policy
 //!
@@ -25,52 +39,61 @@
 //!   sequence is admitted on its *current* page need — the pages its
 //!   prompt occupies right now — not its worst case, so short prompts
 //!   with long decode budgets pack the pool instead of reserving it. The
-//!   pages this tick's decode appends are about to consume are held back
-//!   from admission, so newcomers can never take a page out from under a
-//!   running sequence within the tick. A request whose *total* page need
-//!   exceeds the whole pool is rejected at submission, before any cache
-//!   exists for it.
+//!   pages this tick's appends are about to consume (decode K/V rows, and
+//!   every layer of each model sequence's next prefill chunk) are held
+//!   back from admission, so newcomers can never take a page out from
+//!   under a running sequence within the tick. A request whose *total*
+//!   page need exceeds the whole pool is rejected at submission, before
+//!   any cache exists for it.
 //! - **Worst-case reservation** ([`AdmissionMode::WorstCaseReserve`]):
 //!   the legacy policy, kept for A/B comparison — admission reserves
-//!   `pages_for(prompt + decode)` up front in a ledger, so an admitted
-//!   sequence can always grow to completion and preemption never fires.
+//!   `pages_for(prompt + decode)` (× layers for models) up front in a
+//!   ledger, so an admitted sequence can always grow to completion and
+//!   preemption never fires.
 //!
-//! ## Preemption (evict-and-recompute)
+//! ## Preemption
 //!
 //! Paged admission oversubscribes by design, so a tick can find that its
-//! decode appends need more pages than are free. The scheduler then
-//! **preempts**: walking sequences from most urgent (lowest priority
-//! class, earliest admission) to least, it grants each append by evicting
-//! victims from the opposite end — the lowest-priority, most-recently
-//! admitted sequence first. A victim's pages are released, its cache is
-//! dropped (evict-and-recompute; a scattered page layout would enable
-//! evict-and-swap behind the same API), and it parks on its class's
-//! resume queue holding its prompt, generated K/V rows, computed output
-//! rows, and phase cursor. When pages free up it is re-admitted —
-//! resume re-extends the retained `prompt + generated` K/V rows into a
-//! fresh cache (bit-identical rows, since K/V rows are deterministic
-//! inputs) and the sequence continues exactly where it stopped, so every
-//! completed output is still **bitwise** the sequential reference. The
-//! most urgent in-flight sequence is never evicted and always advances,
-//! so preemption cannot livelock.
+//! appends need more pages than are free. The scheduler then **preempts**:
+//! walking sequences from most urgent (lowest priority class, earliest
+//! admission) to least, it grants each append by evicting victims from
+//! the opposite end — the lowest-priority, most-recently admitted
+//! sequence first. A plan victim's pages are released and its cache
+//! dropped (evict-and-recompute: resume re-extends the retained
+//! `prompt + generated` K/V rows bit-identically, since they are
+//! deterministic inputs); a model victim's per-layer caches hold
+//! *computed* K/V the scheduler cannot cheaply rebuild, so they are taken
+//! out of the pool whole and re-adopted — all layers or none — on
+//! resume. Either way the victim parks on its class's resume queue with
+//! its computed output rows and phase cursor, and continues exactly where
+//! it stopped, so every completed output is still **bitwise** the
+//! sequential reference. The most urgent in-flight sequence is never
+//! evicted and always advances, so preemption cannot livelock.
 //!
 //! ## Failure atomicity
 //!
 //! A tick either applies completely or not at all: if any launch fails,
-//! every decode-token append is rolled back (pages returned), this tick's
-//! preemptions are **un-preempted** (victims rebuilt in place, page
-//! tables and queue positions restored), this tick's admissions are
-//! **un-admitted** (pages released, requests returned to their queue
-//! fronts in order), cursors do not advance, and the virtual clock does
-//! not move — a failed tick leaves no trace. The returned
-//! [`crate::ServeError::Launch`] names the offending request when its
-//! geometry provably cannot run under its plan, so the caller can
-//! [`Scheduler::cancel`] it and the rest of the workload drains untouched
-//! (exercised by `tests/serving_sim.rs`).
+//! every append is rolled back — each plan sequence's cache and every
+//! layer of each model sequence's state truncated to its pre-tick length
+//! (pages returned) — this tick's preemptions are **un-preempted**
+//! (victims rebuilt in place, page tables and queue positions restored),
+//! this tick's admissions are **un-admitted** (pages released, requests
+//! returned to their queue fronts in order), cursors do not advance, and
+//! the virtual clock does not move — a failed tick leaves no trace. The
+//! returned [`crate::ServeError::Launch`] names the offending request
+//! when its geometry provably cannot run under its plan (or under any
+//! layer of its model), so the caller can [`Scheduler::cancel`] it and
+//! the rest of the workload drains untouched (exercised by
+//! `tests/serving_sim.rs`).
 
 use crate::error::ServeError;
-use crate::request::{Completion, PlanId, RequestId, ServeRequest, TickReport};
-use gpa_core::{AttentionEngine, AttentionPlan, AttentionRequest, AttnError, PagePool, SeqId};
+use crate::request::{
+    Completion, ModelId, ModelRequest, PlanId, RequestId, ServeRequest, ServeTarget, TickReport,
+};
+use gpa_core::{
+    AttentionEngine, AttentionPlan, AttentionRequest, AttnError, KvCache, PagePool, SeqId,
+};
+use gpa_model::{DecoderModel, ModelError, ModelKvState, ModelWorkItem};
 use gpa_tensor::{Matrix, Real};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -126,10 +149,16 @@ impl Default for ServeConfig {
     }
 }
 
+/// A queued request of either flavor.
+enum AnyRequest<T> {
+    Attn(ServeRequest<T>),
+    Model(ModelRequest<T>),
+}
+
 struct Pending<T> {
     id: RequestId,
     submitted: u64,
-    request: ServeRequest<T>,
+    request: AnyRequest<T>,
 }
 
 #[derive(Clone, Copy)]
@@ -140,26 +169,47 @@ enum Phase {
     Decode { done: usize },
 }
 
-/// Tokens the sequence's cache holds at this phase cursor: the whole
-/// prompt (extended at admission) plus every decoded token — what a
-/// preempted sequence must re-extend to resume.
-fn cursor_tokens(phase: Phase, prompt: usize) -> usize {
+/// Tokens the sequence's cache holds at this phase cursor — what a
+/// preempted sequence must have resident again to resume. A plan
+/// sequence's whole prompt is cached at admission; a model sequence's
+/// per-layer caches grow chunk by chunk inside the layer advance, so
+/// mid-prefill they hold exactly `done` tokens.
+fn cursor_tokens(phase: Phase, prompt: usize, model: bool) -> usize {
     match phase {
-        Phase::Prefill { .. } => prompt,
+        Phase::Prefill { done } => {
+            if model {
+                done
+            } else {
+                prompt
+            }
+        }
         Phase::Decode { done } => prompt + done,
     }
+}
+
+/// Target-specific in-flight state: the request's owned inputs plus its
+/// live KV (one pooled cache for a plan sequence; one per layer for a
+/// model sequence).
+enum Payload<T> {
+    Attn {
+        plan: usize,
+        seq: SeqId,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    },
+    Model {
+        model: usize,
+        x: Matrix<T>,
+        state: ModelKvState,
+    },
 }
 
 struct InFlight<T> {
     id: RequestId,
     priority: u8,
-    plan: usize,
-    seq: SeqId,
     prompt: usize,
     phase: Phase,
-    q: Matrix<T>,
-    k: Matrix<T>,
-    v: Matrix<T>,
     out: Matrix<T>,
     submitted: u64,
     /// First admission tick — preemption does not reset it.
@@ -169,11 +219,22 @@ struct InFlight<T> {
     /// Pages reserved in the ledger ([`AdmissionMode::WorstCaseReserve`]
     /// only; 0 under paged admission).
     reserved_pages: usize,
+    payload: Payload<T>,
 }
 
 impl<T: Real> InFlight<T> {
     fn total(&self) -> usize {
-        self.q.rows()
+        match &self.payload {
+            Payload::Attn { q, .. } => q.rows(),
+            Payload::Model { x, .. } => x.rows(),
+        }
+    }
+
+    fn target(&self) -> ServeTarget {
+        match &self.payload {
+            Payload::Attn { plan, .. } => ServeTarget::Plan(PlanId(*plan)),
+            Payload::Model { model, .. } => ServeTarget::Model(ModelId(*model)),
+        }
     }
 
     fn is_complete(&self) -> bool {
@@ -183,60 +244,108 @@ impl<T: Real> InFlight<T> {
         }
     }
 
-    fn park(self) -> Parked<T> {
+    /// Evict this sequence's KV from the pool. A plan sequence's cache is
+    /// dropped (evict-and-recompute — its K/V rows are inputs the resume
+    /// path re-extends bit-identically); a model sequence's per-layer
+    /// caches hold computed K/V, so they are retained whole and
+    /// re-adopted on resume.
+    fn park(self, pool: &mut PagePool<T>) -> Parked<T> {
+        let payload = match self.payload {
+            Payload::Attn { plan, seq, q, k, v } => {
+                pool.release(seq);
+                ParkedPayload::Attn { plan, q, k, v }
+            }
+            Payload::Model { model, x, state } => ParkedPayload::Model {
+                model,
+                x,
+                retained: state.release(pool),
+            },
+        };
         Parked {
             id: self.id,
             priority: self.priority,
-            plan: self.plan,
             prompt: self.prompt,
             phase: self.phase,
-            q: self.q,
-            k: self.k,
-            v: self.v,
             out: self.out,
             submitted: self.submitted,
             admitted: self.admitted,
             preemptions: self.preemptions,
+            payload,
         }
     }
 }
 
+/// Target-specific parked state — see [`InFlight::park`] for why plan
+/// sequences retain inputs while model sequences retain their caches.
+enum ParkedPayload<T> {
+    Attn {
+        plan: usize,
+        q: Matrix<T>,
+        k: Matrix<T>,
+        v: Matrix<T>,
+    },
+    Model {
+        model: usize,
+        x: Matrix<T>,
+        retained: Vec<KvCache<T>>,
+    },
+}
+
 /// A preempted sequence waiting on a resume queue: everything needed to
-/// rebuild its cache (the retained prompt + generated K/V rows up to the
-/// phase cursor) and continue — computed output rows included, so no row
-/// is ever computed twice.
+/// repopulate the pool and continue — computed output rows included, so
+/// no row is ever computed twice.
 struct Parked<T> {
     id: RequestId,
     priority: u8,
-    plan: usize,
     prompt: usize,
     phase: Phase,
-    q: Matrix<T>,
-    k: Matrix<T>,
-    v: Matrix<T>,
     out: Matrix<T>,
     submitted: u64,
     admitted: u64,
     preemptions: u32,
+    payload: ParkedPayload<T>,
 }
 
 impl<T: Real> Parked<T> {
-    fn unpark(self, seq: SeqId) -> InFlight<T> {
+    /// Tokens that must be resident again for this sequence to continue.
+    fn retained_tokens(&self) -> usize {
+        cursor_tokens(
+            self.phase,
+            self.prompt,
+            matches!(self.payload, ParkedPayload::Model { .. }),
+        )
+    }
+
+    /// Re-admit: rebuild a plan sequence's cache from its retained input
+    /// rows, or re-adopt a model sequence's retained per-layer caches.
+    /// The caller granted the pages, so failure here is a scheduler bug.
+    fn resume(self, pool: &mut PagePool<T>) -> InFlight<T> {
+        let tokens = self.retained_tokens();
+        let payload = match self.payload {
+            ParkedPayload::Attn { plan, q, k, v } => {
+                let seq = pool.allocate(q.cols(), v.cols());
+                let ok = pool.try_extend(seq, &k.rows_slice(0, tokens), &v.rows_slice(0, tokens));
+                assert!(ok, "resume was granted its pages");
+                Payload::Attn { plan, seq, q, k, v }
+            }
+            ParkedPayload::Model { model, x, retained } => {
+                let Ok(state) = ModelKvState::adopt(retained, pool) else {
+                    panic!("resume was granted its pages");
+                };
+                Payload::Model { model, x, state }
+            }
+        };
         InFlight {
             id: self.id,
             priority: self.priority,
-            plan: self.plan,
-            seq,
             prompt: self.prompt,
             phase: self.phase,
-            q: self.q,
-            k: self.k,
-            v: self.v,
             out: self.out,
             submitted: self.submitted,
             admitted: self.admitted,
             preemptions: self.preemptions,
             reserved_pages: 0,
+            payload,
         }
     }
 }
@@ -252,12 +361,13 @@ enum Work {
 /// The continuous-batching serving scheduler — see the [module
 /// docs](self) for the policy and [`crate`] for an end-to-end example.
 ///
-/// `'p` is the lifetime of mask data borrowed by the registered plans
-/// (implicit-kernel plans borrow nothing and work with `'static`).
+/// `'p` is the lifetime of mask data borrowed by the registered plans and
+/// models (implicit-kernel plans borrow nothing and work with `'static`).
 pub struct Scheduler<'p, T> {
     engine: AttentionEngine,
     config: ServeConfig,
     plans: Vec<AttentionPlan<'p>>,
+    models: Vec<DecoderModel<'p, T>>,
     pending: BTreeMap<u8, VecDeque<Pending<T>>>,
     pending_len: usize,
     /// Resume queues: preempted sequences per priority class, kept in
@@ -301,6 +411,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
             engine,
             config,
             plans: Vec::new(),
+            models: Vec::new(),
             pending: BTreeMap::new(),
             pending_len: 0,
             parked: BTreeMap::new(),
@@ -327,6 +438,14 @@ impl<'p, T: Real> Scheduler<'p, T> {
         Ok(PlanId(self.plans.len() - 1))
     }
 
+    /// Register a compiled decoder model; model requests name it by the
+    /// returned id. [`DecoderModel::new`] already rejected dense-baseline
+    /// plans, so every registered model has a serving form.
+    pub fn register_model(&mut self, model: DecoderModel<'p, T>) -> ModelId {
+        self.models.push(model);
+        ModelId(self.models.len() - 1)
+    }
+
     /// A registered plan.
     ///
     /// # Panics
@@ -334,6 +453,15 @@ impl<'p, T: Real> Scheduler<'p, T> {
     /// [`Self::register_plan`].
     pub fn plan(&self, id: PlanId) -> &AttentionPlan<'p> {
         &self.plans[id.0]
+    }
+
+    /// A registered model.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this scheduler's
+    /// [`Self::register_model`].
+    pub fn model(&self, id: ModelId) -> &DecoderModel<'p, T> {
+        &self.models[id.0]
     }
 
     /// The engine this scheduler launches through.
@@ -417,8 +545,9 @@ impl<'p, T: Real> Scheduler<'p, T> {
     /// Assert the paged-KV invariants: page conservation
     /// (`free + mapped == total`), no page double-mapped, every page
     /// table exactly covering its cache, and — under worst-case
-    /// reservation — the ledger in sync and every sequence within its
-    /// reservation. The serving simulation calls this after every tick.
+    /// reservation — the ledger in sync and every sequence (all layers
+    /// counted) within its reservation. The serving simulation calls this
+    /// after every tick.
     ///
     /// # Panics
     /// Panics when an invariant is violated.
@@ -437,15 +566,19 @@ impl<'p, T: Real> Scheduler<'p, T> {
         );
         for s in &self.in_flight {
             if s.reserved_pages > 0 {
+                let held = match &s.payload {
+                    Payload::Attn { seq, .. } => self.pool.pages_held(*seq),
+                    Payload::Model { state, .. } => state.pages_held(&self.pool),
+                };
                 assert!(
-                    self.pool.pages_held(s.seq) <= s.reserved_pages,
+                    held <= s.reserved_pages,
                     "sequence holds more pages than it reserved"
                 );
             }
         }
     }
 
-    /// Queue a request. Validation is immediate (shape checks, plan
+    /// Queue a plan request. Validation is immediate (shape checks, plan
     /// lookup, and the can-it-ever-fit capacity check); admission happens
     /// on a later [`Self::tick`]. No KV cache exists — and nothing is
     /// mutated — for a rejected request.
@@ -486,22 +619,70 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 total_pages: self.pool.total_pages(),
             });
         }
+        let priority = request.priority;
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.pending
-            .entry(request.priority)
+            .entry(priority)
             .or_default()
             .push_back(Pending {
                 id,
                 submitted: self.now,
-                request,
+                request: AnyRequest::Attn(request),
+            });
+        self.pending_len += 1;
+        Ok(id)
+    }
+
+    /// Queue a decoder-model request. Validation is immediate; admission
+    /// happens on a later [`Self::tick`]. The capacity check counts every
+    /// layer: a sequence of `total` tokens through an `L`-layer model
+    /// needs `L × pages_for(total)` pages resident at completion.
+    pub fn submit_model(&mut self, request: ModelRequest<T>) -> Result<RequestId, ServeError> {
+        let Some(model) = self.models.get(request.model.0) else {
+            return Err(ServeError::UnknownModel);
+        };
+        let total = request.x.rows();
+        if total == 0 {
+            return Err(ServeError::BadRequest {
+                what: "a request needs at least one token",
+            });
+        }
+        if request.x.cols() != model.d_model() {
+            return Err(ServeError::BadRequest {
+                what: "input width must match the model's d_model",
+            });
+        }
+        if request.prompt == 0 || request.prompt > total {
+            return Err(ServeError::BadRequest {
+                what: "prompt must cover between 1 and all of the rows",
+            });
+        }
+        let need_pages = model.layers() * self.pool.pages_for(total);
+        if need_pages > self.pool.total_pages() {
+            return Err(ServeError::OverCapacity {
+                need_pages,
+                total_pages: self.pool.total_pages(),
+            });
+        }
+        let priority = request.priority;
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending
+            .entry(priority)
+            .or_default()
+            .push_back(Pending {
+                id,
+                submitted: self.now,
+                request: AnyRequest::Model(request),
             });
         self.pending_len += 1;
         Ok(id)
     }
 
     /// Drop a request — pending, parked, or in flight (releasing its KV
-    /// pages). Returns false when the id is unknown or already completed.
+    /// pages, every layer's for a model sequence). Returns false when the
+    /// id is unknown or already completed.
     pub fn cancel(&mut self, id: RequestId) -> bool {
         for queue in self.pending.values_mut() {
             if let Some(pos) = queue.iter().position(|p| p.id == id) {
@@ -518,47 +699,85 @@ impl<'p, T: Real> Scheduler<'p, T> {
             }
         }
         if let Some(pos) = self.in_flight.iter().position(|s| s.id == id) {
-            let seq = self.in_flight.remove(pos);
-            self.pool.release(seq.seq);
-            self.reserved_pages -= seq.reserved_pages;
+            let s = self.in_flight.remove(pos);
+            self.reserved_pages -= s.reserved_pages;
+            match s.payload {
+                Payload::Attn { seq, .. } => {
+                    self.pool.release(seq);
+                }
+                Payload::Model { state, .. } => {
+                    state.release(&mut self.pool);
+                }
+            }
             return true;
         }
         false
     }
 
-    /// Pages this sequence's decode append will take this tick: one when
-    /// the append crosses a page boundary, zero otherwise (and zero for
-    /// prefilling sequences — their prompt pages were taken at admission).
+    /// Pages this sequence's work will take from the pool this tick. A
+    /// plan sequence appends one K/V row per decode step — one page when
+    /// the append crosses a page boundary, zero mid-page, zero in prefill
+    /// (its prompt pages were taken at admission). A model sequence
+    /// appends its window's rows to **every** layer's cache, chunk by
+    /// chunk, so both phases can take pages and every count is × layers.
     fn append_need(&self, s: &InFlight<T>) -> usize {
-        match s.phase {
-            Phase::Prefill { .. } => 0,
-            Phase::Decode { done } => usize::from((s.prompt + done) % self.config.page_size == 0),
+        match (&s.payload, s.phase) {
+            (Payload::Attn { .. }, Phase::Prefill { .. }) => 0,
+            (Payload::Attn { .. }, Phase::Decode { done }) => {
+                usize::from((s.prompt + done) % self.config.page_size == 0)
+            }
+            (Payload::Model { model, .. }, Phase::Prefill { done }) => {
+                let rows = self.config.prefill_chunk.min(s.prompt - done);
+                self.models[*model].layers()
+                    * (self.pool.pages_for(done + rows) - self.pool.pages_for(done))
+            }
+            (Payload::Model { model, .. }, Phase::Decode { done }) => {
+                self.models[*model].layers()
+                    * usize::from((s.prompt + done) % self.config.page_size == 0)
+            }
         }
     }
 
     /// Pages a parked sequence needs to resume *and run this very tick*:
-    /// the pages of its retained `prompt + generated` tokens, plus one
-    /// when it resumes into decode with its cursor on a page boundary
-    /// (its first append lands in the same tick).
+    /// the pages of its retained tokens, plus what its first unit of work
+    /// appends in the same tick (a decode row landing on a page boundary;
+    /// a model sequence's next prefill chunk) — all × layers for models.
     fn resume_need(&self, p: &Parked<T>) -> usize {
-        let tokens = cursor_tokens(p.phase, p.prompt);
-        let append = match p.phase {
-            Phase::Decode { .. } if tokens % self.config.page_size == 0 => 1,
-            _ => 0,
+        let tokens = p.retained_tokens();
+        let layers = match &p.payload {
+            ParkedPayload::Attn { .. } => 1,
+            ParkedPayload::Model { model, .. } => self.models[*model].layers(),
         };
-        self.pool.pages_for(tokens) + append
+        let append = match p.phase {
+            Phase::Prefill { done } => match &p.payload {
+                // A plan sequence's prompt is fully cached mid-prefill;
+                // a model sequence resumes by appending its next chunk.
+                ParkedPayload::Attn { .. } => 0,
+                ParkedPayload::Model { .. } => {
+                    let rows = self.config.prefill_chunk.min(p.prompt - done);
+                    self.pool.pages_for(done + rows) - self.pool.pages_for(done)
+                }
+            },
+            Phase::Decode { .. } if tokens % self.config.page_size == 0 => 1,
+            Phase::Decode { .. } => 0,
+        };
+        layers * (self.pool.pages_for(tokens) + append)
     }
 
     /// Admit eligible sequences in (priority class, resumed-then-pending,
-    /// FIFO) order until one does not fit. Fresh admission appends the
-    /// prompt's K/V rows to the sequence's cache; resume re-extends the
-    /// retained `prompt + generated` rows — bit-identical to what was
-    /// evicted, because K/V rows are deterministic inputs.
+    /// FIFO) order until one does not fit. Fresh plan admission appends
+    /// the prompt's K/V rows to the sequence's cache; fresh model
+    /// admission allocates empty per-layer caches (the first prefill
+    /// chunk appends during this very tick's work, so its pages are
+    /// charged against headroom here). Resume re-extends a plan
+    /// sequence's retained rows — bit-identical, because K/V rows are
+    /// deterministic inputs — and re-adopts a model sequence's retained
+    /// caches whole.
     ///
     /// `append_needs` is the page count this tick's already-running
-    /// decode appends will consume; paged admission keeps that many pages
-    /// off the table so admission can never force a preemption in the
-    /// same tick.
+    /// appends will consume; paged admission keeps that many pages off
+    /// the table so admission can never force a preemption in the same
+    /// tick.
     fn admit(&mut self, now: u64, append_needs: usize) -> (Vec<RequestId>, Vec<RequestId>) {
         let mut fresh = Vec::new();
         let mut resumed = Vec::new();
@@ -599,16 +818,9 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     .pop_front()
                     .expect("front exists");
                 self.parked_len -= 1;
-                let seq = self.pool.allocate(p.q.cols(), p.v.cols());
-                let tokens = cursor_tokens(p.phase, p.prompt);
-                let ok = self.pool.try_extend(
-                    seq,
-                    &p.k.rows_slice(0, tokens),
-                    &p.v.rows_slice(0, tokens),
-                );
-                assert!(ok, "resume admission was granted its pages");
                 resumed.push(p.id);
-                self.in_flight.push(p.unpark(seq));
+                let s = p.resume(&mut self.pool);
+                self.in_flight.push(s);
             }
             let Some(queue) = self.pending.get_mut(&class) else {
                 continue;
@@ -623,10 +835,23 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 if self.in_flight.len() >= self.config.max_in_flight {
                     break 'classes;
                 }
-                let total = front.request.q.rows();
-                let need = match self.config.admission {
-                    AdmissionMode::PagedUsage => self.pool.pages_for(front.request.prompt),
-                    AdmissionMode::WorstCaseReserve => self.pool.pages_for(total),
+                let need = match (&front.request, self.config.admission) {
+                    (AnyRequest::Attn(r), AdmissionMode::PagedUsage) => {
+                        self.pool.pages_for(r.prompt)
+                    }
+                    (AnyRequest::Attn(r), AdmissionMode::WorstCaseReserve) => {
+                        self.pool.pages_for(r.q.rows())
+                    }
+                    (AnyRequest::Model(r), AdmissionMode::PagedUsage) => {
+                        // A fresh model sequence holds no pages yet; its
+                        // first prefill chunk appends this tick, so its
+                        // pages are charged (not taken) here.
+                        self.models[r.model.0].layers()
+                            * self.pool.pages_for(r.prompt.min(self.config.prefill_chunk))
+                    }
+                    (AnyRequest::Model(r), AdmissionMode::WorstCaseReserve) => {
+                        self.models[r.model.0].layers() * self.pool.pages_for(r.x.rows())
+                    }
                 };
                 if need > headroom {
                     // An eligible head that cannot be placed blocks all
@@ -637,35 +862,55 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 headroom -= need;
                 let p = queue.pop_front().expect("front exists");
                 self.pending_len -= 1;
-                let r = p.request;
                 let reserved_pages = match self.config.admission {
                     AdmissionMode::PagedUsage => 0,
                     AdmissionMode::WorstCaseReserve => need,
                 };
                 self.reserved_pages += reserved_pages;
-                let seq = self.pool.allocate(r.q.cols(), r.v.cols());
-                let ok = self.pool.try_extend(
-                    seq,
-                    &r.k.rows_slice(0, r.prompt),
-                    &r.v.rows_slice(0, r.prompt),
-                );
-                assert!(ok, "admission was granted its prompt pages");
-                let out = Matrix::zeros(total, r.v.cols());
+                let (priority, prompt, total, out_cols, payload) = match p.request {
+                    AnyRequest::Attn(r) => {
+                        let total = r.q.rows();
+                        let seq = self.pool.allocate(r.q.cols(), r.v.cols());
+                        let ok = self.pool.try_extend(
+                            seq,
+                            &r.k.rows_slice(0, r.prompt),
+                            &r.v.rows_slice(0, r.prompt),
+                        );
+                        assert!(ok, "admission was granted its prompt pages");
+                        let cols = r.v.cols();
+                        let payload = Payload::Attn {
+                            plan: r.plan.0,
+                            seq,
+                            q: r.q,
+                            k: r.k,
+                            v: r.v,
+                        };
+                        (r.priority, r.prompt, total, cols, payload)
+                    }
+                    AnyRequest::Model(r) => {
+                        let model = &self.models[r.model.0];
+                        let state = ModelKvState::allocate(model, &mut self.pool);
+                        let total = r.x.rows();
+                        let cols = model.d_model();
+                        let payload = Payload::Model {
+                            model: r.model.0,
+                            x: r.x,
+                            state,
+                        };
+                        (r.priority, r.prompt, total, cols, payload)
+                    }
+                };
                 self.in_flight.push(InFlight {
                     id: p.id,
-                    priority: r.priority,
-                    plan: r.plan.0,
-                    seq,
-                    prompt: r.prompt,
+                    priority,
+                    prompt,
                     phase: Phase::Prefill { done: 0 },
-                    q: r.q,
-                    k: r.k,
-                    v: r.v,
-                    out,
+                    out: Matrix::zeros(total, out_cols),
                     submitted: p.submitted,
                     admitted: now,
                     preemptions: 0,
                     reserved_pages,
+                    payload,
                 });
                 fresh.push(p.id);
             }
@@ -674,10 +919,11 @@ impl<'p, T: Real> Scheduler<'p, T> {
     }
 
     /// Advance the virtual clock by one tick: admit (resuming preempted
-    /// sequences first), preempt if this tick's decode appends outstrip
-    /// the free pages, gather every in-flight sequence's next unit of
-    /// work, launch it all batched (one `run_batch` per distinct plan),
-    /// apply outputs, and retire finished sequences.
+    /// sequences first), preempt if this tick's appends outstrip the free
+    /// pages, gather every in-flight sequence's next unit of work, launch
+    /// it all batched (one `run_batch` per distinct plan, plus one per
+    /// layer per distinct model), apply outputs, and retire finished
+    /// sequences.
     ///
     /// On a launch failure the tick is rolled back atomically — appends
     /// truncated (pages returned), victims rebuilt in place, admissions
@@ -687,7 +933,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
     pub fn tick(&mut self) -> Result<TickReport<T>, ServeError> {
         let now = self.now;
 
-        // Pages this tick's decode appends will consume, counted before
+        // Pages this tick's appends will consume, counted before
         // admission so newcomers cannot take them. Because of this guard,
         // a tick admits or preempts, never both — which is what lets the
         // rollback below restore victims at their exact positions.
@@ -723,7 +969,10 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     hi -= 1;
                     let v = urgency[hi];
                     victim[v] = true;
-                    available += self.pool.pages_held(self.in_flight[v].seq);
+                    available += match &self.in_flight[v].payload {
+                        Payload::Attn { seq, .. } => self.pool.pages_held(*seq),
+                        Payload::Model { state, .. } => state.pages_held(&self.pool),
+                    };
                 }
                 if need <= available {
                     available -= need;
@@ -731,9 +980,9 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     // Even with every less-urgent sequence evicted the
                     // append does not fit: this sequence parks too. The
                     // most urgent sequence can never land here — its
-                    // `pages_for(len + 1) ≤ pages_for(total)` fits the
-                    // pool by the submission check — so at least one
-                    // sequence always advances: no livelock.
+                    // held + need never exceeds `layers × pages_for(total)`,
+                    // which fits the pool by the submission check — so at
+                    // least one sequence always advances: no livelock.
                     victim[i] = true;
                     hi = p;
                 }
@@ -741,8 +990,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
             for i in (0..self.in_flight.len()).rev() {
                 if victim[i] {
                     let s = self.in_flight.remove(i);
-                    self.pool.release(s.seq);
-                    staged.push((i, s.park()));
+                    staged.push((i, s.park(&mut self.pool)));
                 }
             }
             staged.reverse(); // ascending original index, for restore
@@ -754,12 +1002,17 @@ impl<'p, T: Real> Scheduler<'p, T> {
         let priors: Vec<usize> = self
             .in_flight
             .iter()
-            .map(|s| self.pool.cache(s.seq).len())
+            .map(|s| match &s.payload {
+                Payload::Attn { seq, .. } => self.pool.cache(*seq).len(),
+                Payload::Model { state, .. } => state.tokens(&self.pool),
+            })
             .collect();
 
-        // One unit of work per in-flight sequence; decode work appends its
-        // token's K/V row now (rolled back on failure). Every append was
-        // granted its page above, so allocation cannot fail.
+        // One unit of work per in-flight sequence; plan-sequence decode
+        // work appends its token's K/V row now (rolled back on failure),
+        // while model sequences append inside the layer advance below.
+        // Every append was granted its page above, so allocation cannot
+        // fail.
         let work: Vec<(usize, Work)> = self
             .in_flight
             .iter()
@@ -777,46 +1030,55 @@ impl<'p, T: Real> Scheduler<'p, T> {
             .collect();
         for (i, w) in &work {
             if let Work::Decode { t } = w {
-                let s = &self.in_flight[*i];
-                let ok = self.pool.try_append(s.seq, s.k.row(*t), s.v.row(*t));
-                assert!(ok, "decode appends were granted pages at tick start");
+                if let Payload::Attn { seq, k, v, .. } = &self.in_flight[*i].payload {
+                    let ok = self.pool.try_append(*seq, k.row(*t), v.row(*t));
+                    assert!(ok, "decode appends were granted pages at tick start");
+                }
             }
         }
 
-        // Group by plan (BTreeMap: deterministic launch order) and launch.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        // Group plan sequences by plan and model sequences by model
+        // (BTreeMaps: deterministic launch order, plans before models).
+        let mut plan_groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut model_groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (wi, (i, _)) in work.iter().enumerate() {
-            groups.entry(self.in_flight[*i].plan).or_default().push(wi);
+            match &self.in_flight[*i].payload {
+                Payload::Attn { plan, .. } => plan_groups.entry(*plan).or_default().push(wi),
+                Payload::Model { model, .. } => model_groups.entry(*model).or_default().push(wi),
+            }
         }
-        let q_windows: Vec<Matrix<T>> = work
+        let windows: Vec<Matrix<T>> = work
             .iter()
             .map(|(i, w)| {
-                let s = &self.in_flight[*i];
+                let src = match &self.in_flight[*i].payload {
+                    Payload::Attn { q, .. } => q,
+                    Payload::Model { x, .. } => x,
+                };
                 match *w {
-                    Work::Prefill { start, rows } => s.q.rows_slice(start, start + rows),
-                    Work::Decode { t } => s.q.rows_slice(t, t + 1),
+                    Work::Prefill { start, rows } => src.rows_slice(start, start + rows),
+                    Work::Decode { t } => src.rows_slice(t, t + 1),
                 }
             })
             .collect();
         let mut outputs: Vec<Option<Matrix<T>>> = (0..work.len()).map(|_| None).collect();
         let mut rows_computed = 0usize;
         let mut launches = 0usize;
-        let mut failure: Option<(usize, AttnError)> = None;
-        for (plan_idx, items) in &groups {
+        let mut failure: Option<(Option<RequestId>, AttnError)> = None;
+        for (plan_idx, items) in &plan_groups {
             let requests: Vec<AttentionRequest<'_, T>> = items
                 .iter()
                 .map(|&wi| {
                     let (i, w) = &work[wi];
-                    let cache = self.pool.cache(self.in_flight[*i].seq);
+                    let Payload::Attn { seq, .. } = &self.in_flight[*i].payload else {
+                        unreachable!("plan groups hold plan sequences");
+                    };
+                    let cache = self.pool.cache(*seq);
                     match *w {
-                        Work::Prefill { start, .. } => AttentionRequest::windowed(
-                            &q_windows[wi],
-                            cache.k(0),
-                            cache.v(0),
-                            start,
-                        ),
+                        Work::Prefill { start, .. } => {
+                            AttentionRequest::windowed(&windows[wi], cache.k(0), cache.v(0), start)
+                        }
                         Work::Decode { .. } => {
-                            AttentionRequest::decode(&q_windows[wi], cache.k(0), cache.v(0))
+                            AttentionRequest::decode(&windows[wi], cache.k(0), cache.v(0))
                         }
                     }
                 })
@@ -830,48 +1092,104 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     }
                 }
                 Err(e) => {
-                    failure = Some((*plan_idx, e));
+                    // The engine reports one error per batch; re-check
+                    // the failed group's geometries against the plan's
+                    // compiled constraints to name the offender, so
+                    // callers can cancel it and recover.
+                    let offender = items.iter().find_map(|&wi| {
+                        let (i, w) = &work[wi];
+                        let s = &self.in_flight[*i];
+                        let plan = &self.plans[*plan_idx];
+                        let (kv_rows, q_end) = match *w {
+                            Work::Prefill { start, rows } => (s.prompt, start + rows),
+                            Work::Decode { t } => (t + 1, t + 1),
+                        };
+                        let pinned_wrong = plan.kv_pin().is_some_and(|pin| kv_rows != pin);
+                        let out_of_bound = plan.q_bound().is_some_and(|bound| q_end > bound);
+                        (pinned_wrong || out_of_bound).then_some(s.id)
+                    });
+                    failure = Some((offender, e));
                     break;
                 }
             }
         }
-        if let Some((failed_plan, e)) = failure {
-            // The engine reports one error per batch; re-check the failed
-            // group's geometries against the plan's compiled constraints
-            // to name the offender, so callers can cancel it and recover.
-            let offender = groups[&failed_plan].iter().find_map(|&wi| {
-                let (i, w) = &work[wi];
-                let s = &self.in_flight[*i];
-                let plan = &self.plans[failed_plan];
-                let (kv_rows, q_end) = match *w {
-                    Work::Prefill { start, rows } => (s.prompt, start + rows),
-                    Work::Decode { t } => (t + 1, t + 1),
-                };
-                let pinned_wrong = plan.kv_pin().is_some_and(|pin| kv_rows != pin);
-                let out_of_bound = plan.q_bound().is_some_and(|bound| q_end > bound);
-                (pinned_wrong || out_of_bound).then_some(s.id)
-            });
+        if failure.is_none() {
+            for (model_idx, wis) in &model_groups {
+                let items: Vec<ModelWorkItem<'_, T>> = wis
+                    .iter()
+                    .map(|&wi| {
+                        let (i, _) = &work[wi];
+                        let Payload::Model { state, .. } = &self.in_flight[*i].payload else {
+                            unreachable!("model groups hold model sequences");
+                        };
+                        ModelWorkItem {
+                            x: &windows[wi],
+                            state,
+                        }
+                    })
+                    .collect();
+                match self.models[*model_idx].advance_batched(&self.engine, &mut self.pool, &items)
+                {
+                    Ok(adv) => {
+                        launches += adv.launches;
+                        rows_computed += adv.rows;
+                        for (&wi, out) in wis.iter().zip(adv.outputs) {
+                            outputs[wi] = Some(out);
+                        }
+                    }
+                    Err(err) => {
+                        // The layer advance already rolled its own
+                        // appends back. Page grants and item validation
+                        // happened above, so only a kernel-geometry
+                        // failure can reach here.
+                        let e = match err {
+                            ModelError::Attn(e) => e,
+                            other => {
+                                panic!("model advance was granted pages and validated: {other}")
+                            }
+                        };
+                        let offender = wis.iter().find_map(|&wi| {
+                            let (i, w) = &work[wi];
+                            let s = &self.in_flight[*i];
+                            let m = &self.models[*model_idx];
+                            // A model's caches hold exactly the advanced
+                            // window's end, in every layer.
+                            let (kv_rows, q_end) = match *w {
+                                Work::Prefill { start, rows } => (start + rows, start + rows),
+                                Work::Decode { t } => (t + 1, t + 1),
+                            };
+                            let bad = (0..m.layers()).any(|l| {
+                                let plan = m.plan_of(l);
+                                plan.kv_pin().is_some_and(|pin| kv_rows != pin)
+                                    || plan.q_bound().is_some_and(|bound| q_end > bound)
+                            });
+                            bad.then_some(s.id)
+                        });
+                        failure = Some((offender, e));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((offender, e)) = failure {
             // Atomic rollback, part 1: every surviving sequence's cache
-            // back to its pre-append length (returning this tick's
-            // granted pages), no cursor or clock movement.
+            // (every layer's, for models) back to its pre-append length,
+            // returning this tick's granted pages; no cursor or clock
+            // movement.
             for (s, &prior) in self.in_flight.iter().zip(&priors) {
-                self.pool.truncate(s.seq, prior);
+                match &s.payload {
+                    Payload::Attn { seq, .. } => self.pool.truncate(*seq, prior),
+                    Payload::Model { state, .. } => state.truncate(&mut self.pool, prior),
+                }
             }
             // Part 2a: un-preempt this tick's victims — rebuild each one
             // at its exact former position. Page conservation covers the
-            // re-extends: the survivors' truncation returned every page
-            // the grants took, and those grants were funded by the
-            // victims' own releases.
+            // restores: the survivors' truncation returned every page the
+            // grants took, and those grants were funded by the victims'
+            // own releases.
             for (index, p) in staged {
-                let seq = self.pool.allocate(p.q.cols(), p.v.cols());
-                let tokens = cursor_tokens(p.phase, p.prompt);
-                let ok = self.pool.try_extend(
-                    seq,
-                    &p.k.rows_slice(0, tokens),
-                    &p.v.rows_slice(0, tokens),
-                );
-                assert!(ok, "victim restore is covered by page conservation");
-                self.in_flight.insert(index, p.unpark(seq));
+                let s = p.resume(&mut self.pool);
+                self.in_flight.insert(index, s);
             }
             // Part 2b: un-admit this tick's admissions — release their
             // pages and push them back to their queue fronts (popping
@@ -880,28 +1198,45 @@ impl<'p, T: Real> Scheduler<'p, T> {
             // id order), so a failed tick leaves NO trace.
             for _ in 0..admitted.len() + resumed.len() {
                 let s = self.in_flight.pop().expect("admissions sit at the tail");
-                self.pool.release(s.seq);
                 self.reserved_pages -= s.reserved_pages;
                 if s.preemptions > 0 {
-                    let queue = self.parked.entry(s.priority).or_default();
-                    let at = queue.partition_point(|x| x.id < s.id);
-                    queue.insert(at, s.park());
+                    let p = s.park(&mut self.pool);
+                    let queue = self.parked.entry(p.priority).or_default();
+                    let at = queue.partition_point(|x| x.id < p.id);
+                    queue.insert(at, p);
                     self.parked_len += 1;
                 } else {
+                    let (id, submitted, priority, prompt) =
+                        (s.id, s.submitted, s.priority, s.prompt);
+                    let request = match s.payload {
+                        Payload::Attn { plan, seq, q, k, v } => {
+                            self.pool.release(seq);
+                            AnyRequest::Attn(ServeRequest {
+                                plan: PlanId(plan),
+                                priority,
+                                prompt,
+                                q,
+                                k,
+                                v,
+                            })
+                        }
+                        Payload::Model { model, x, state } => {
+                            state.release(&mut self.pool);
+                            AnyRequest::Model(ModelRequest {
+                                model: ModelId(model),
+                                priority,
+                                prompt,
+                                x,
+                            })
+                        }
+                    };
                     self.pending
-                        .entry(s.priority)
+                        .entry(priority)
                         .or_default()
                         .push_front(Pending {
-                            id: s.id,
-                            submitted: s.submitted,
-                            request: ServeRequest {
-                                plan: PlanId(s.plan),
-                                priority: s.priority,
-                                prompt: s.prompt,
-                                q: s.q,
-                                k: s.k,
-                                v: s.v,
-                            },
+                            id,
+                            submitted,
+                            request,
                         });
                     self.pending_len += 1;
                 }
@@ -944,12 +1279,20 @@ impl<'p, T: Real> Scheduler<'p, T> {
         while i < self.in_flight.len() {
             if self.in_flight[i].is_complete() {
                 let s = self.in_flight.remove(i);
-                self.pool.release(s.seq);
                 self.reserved_pages -= s.reserved_pages;
+                let target = s.target();
+                match s.payload {
+                    Payload::Attn { seq, .. } => {
+                        self.pool.release(seq);
+                    }
+                    Payload::Model { state, .. } => {
+                        state.release(&mut self.pool);
+                    }
+                }
                 completed.push(Completion {
                     id: s.id,
                     priority: s.priority,
-                    plan: PlanId(s.plan),
+                    target,
                     output: s.out,
                     submitted: s.submitted,
                     admitted: s.admitted,
@@ -990,6 +1333,7 @@ impl<T: Real> std::fmt::Debug for Scheduler<'_, T> {
         f.debug_struct("Scheduler")
             .field("now", &self.now)
             .field("plans", &self.plans.len())
+            .field("models", &self.models.len())
             .field("pending", &self.pending_len)
             .field("parked", &self.parked_len)
             .field("in_flight", &self.in_flight.len())
@@ -1004,7 +1348,8 @@ impl<T: Real> std::fmt::Debug for Scheduler<'_, T> {
 mod tests {
     use super::*;
     use gpa_core::AttentionKernel;
-    use gpa_tensor::init::qkv;
+    use gpa_model::LayerPattern;
+    use gpa_tensor::init::{gaussian_matrix, qkv};
 
     fn request(
         plan: PlanId,
@@ -1030,6 +1375,50 @@ mod tests {
             .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
             .unwrap();
         (s, plan)
+    }
+
+    /// A 3-layer Full/Sparse/Full stack over implicit (length-free)
+    /// kernels, d_model 12, 3 heads of dk 4.
+    fn stack() -> DecoderModel<'static, f64> {
+        DecoderModel::new(
+            LayerPattern::parse("FSF").unwrap(),
+            vec![
+                (
+                    'F',
+                    AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap(),
+                ),
+                (
+                    'S',
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w: 2, r: 2 }).unwrap(),
+                ),
+            ],
+            12,
+            3,
+            4,
+            0xBEEF,
+        )
+        .unwrap()
+    }
+
+    fn model_scheduler(config: ServeConfig) -> (Scheduler<'static, f64>, ModelId) {
+        let mut s = Scheduler::new(AttentionEngine::with_threads(2), config).unwrap();
+        let model = s.register_model(stack());
+        (s, model)
+    }
+
+    fn model_request(
+        model: ModelId,
+        priority: u8,
+        prompt: usize,
+        total: usize,
+        seed: u64,
+    ) -> ModelRequest<f64> {
+        ModelRequest {
+            model,
+            priority,
+            prompt,
+            x: gaussian_matrix(total, 12, 1.0, seed),
+        }
     }
 
     #[test]
@@ -1093,6 +1482,43 @@ mod tests {
     }
 
     #[test]
+    fn submit_model_validation_counts_every_layer() {
+        let (mut s, model) = model_scheduler(ServeConfig {
+            kv_pages: 6,
+            page_size: 4,
+            ..ServeConfig::default()
+        });
+        // Unknown model.
+        let r = model_request(ModelId(9), 0, 2, 4, 1);
+        assert_eq!(s.submit_model(r), Err(ServeError::UnknownModel));
+        // Wrong input width.
+        let mut r = model_request(model, 0, 2, 4, 2);
+        r.x = Matrix::zeros(4, 5);
+        assert!(matches!(
+            s.submit_model(r),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // Prompt outside 1..=total.
+        let r = model_request(model, 0, 5, 4, 3);
+        assert!(matches!(
+            s.submit_model(r),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // 12 tokens = 3 pages of 4, × 3 layers = 9 > the pool's 6: the
+        // capacity check must count every layer.
+        let r = model_request(model, 0, 2, 12, 4);
+        assert_eq!(
+            s.submit_model(r),
+            Err(ServeError::OverCapacity {
+                need_pages: 9,
+                total_pages: 6
+            })
+        );
+        assert!(s.is_idle(), "rejected requests leave no state behind");
+        assert_eq!(s.kv_used_tokens(), 0);
+    }
+
+    #[test]
     fn dense_plans_cannot_register() {
         let mut s: Scheduler<'static, f64> =
             Scheduler::new(AttentionEngine::with_threads(1), ServeConfig::default()).unwrap();
@@ -1124,12 +1550,83 @@ mod tests {
         assert_eq!(completions.len(), 1);
         let c = &completions[0];
         assert_eq!(c.id, id);
+        assert_eq!(c.target, ServeTarget::Plan(plan));
         assert_eq!(c.output.shape(), (10, 4));
         assert_eq!(c.preemptions, 0);
         // ceil(7/3) = 3 prefill ticks + 3 decode ticks, admitted at tick 0.
         assert_eq!(c.admitted, 0);
         assert_eq!(c.completed, 5);
         assert_eq!(s.kv_used_pages(), 0, "pages released on completion");
+    }
+
+    #[test]
+    fn model_sequence_completes_bitwise_with_the_sequential_forward() {
+        let (mut s, model) = model_scheduler(ServeConfig {
+            max_in_flight: 4,
+            kv_pages: 64,
+            page_size: 4,
+            arrival_window: 0,
+            prefill_chunk: 3,
+            admission: AdmissionMode::PagedUsage,
+        });
+        let r = model_request(model, 0, 7, 10, 11);
+        let id = s.submit_model(r.clone()).unwrap();
+        let mut completions = Vec::new();
+        for _ in 0..32 {
+            completions.extend(s.tick().unwrap().completed);
+            s.assert_kv_invariants();
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(completions.len(), 1);
+        let c = &completions[0];
+        assert_eq!(c.id, id);
+        assert_eq!(c.target, ServeTarget::Model(model));
+        assert_eq!(c.output.shape(), (10, 12));
+        // Same chunk schedule as the scheduler (ceil(7/3) chunks + 3
+        // decode steps), so the serving path must reproduce the
+        // unscheduled forward bitwise.
+        let want =
+            crate::trace::sequential_model_reference(s.engine(), s.model(model), &r, 3).unwrap();
+        assert_eq!(c.output, want);
+        assert_eq!(s.kv_used_pages(), 0, "all layers released on completion");
+    }
+
+    #[test]
+    fn mixed_plan_and_model_work_share_one_tick() {
+        let (mut s, model) = model_scheduler(ServeConfig {
+            max_in_flight: 4,
+            kv_pages: 64,
+            page_size: 4,
+            arrival_window: 0,
+            prefill_chunk: 8,
+            admission: AdmissionMode::PagedUsage,
+        });
+        let plan = s
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+            .unwrap();
+        let a = s.submit(request(plan, 0, 4, 6, 21)).unwrap();
+        let b = s.submit_model(model_request(model, 0, 4, 6, 22)).unwrap();
+        let r = s.tick().unwrap();
+        assert_eq!(r.admitted, vec![a, b]);
+        // One plan launch + one launch per layer of the 3-layer stack.
+        assert_eq!(r.launches, 1 + 3);
+        // 4 prefill rows for the plan sequence; the model sequence's 4
+        // rows × 3 heads × 3 layers.
+        assert_eq!(r.rows_computed, 4 + 4 * 3 * 3);
+        let mut completions = Vec::new();
+        for _ in 0..16 {
+            completions.extend(s.tick().unwrap().completed);
+            s.assert_kv_invariants();
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].target, ServeTarget::Plan(plan));
+        assert_eq!(completions[1].target, ServeTarget::Model(model));
     }
 
     #[test]
@@ -1233,6 +1730,57 @@ mod tests {
         assert_eq!(completions[0].preemptions, 0);
         assert_eq!(completions[1].id, b);
         assert_eq!(completions[1].preemptions, 1);
+        assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
+    fn model_preemption_retains_every_layer_and_resumes_bitwise() {
+        // 9 pages × 2 tokens, 3-layer stack. Two sequences of 2-prompt/
+        // 4-decode: each holds 3 pages after prefill (1 page × 3 layers)
+        // and needs 9 at completion. Their first decode appends (3 pages
+        // each, page boundary at 2 tokens) collide: B parks — all three
+        // layers' caches retained — and resumes after A finishes.
+        let (mut s, model) = model_scheduler(ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 9,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
+        });
+        let ra = model_request(model, 0, 2, 6, 71);
+        let rb = model_request(model, 0, 2, 6, 72);
+        let a = s.submit_model(ra.clone()).unwrap();
+        let b = s.submit_model(rb.clone()).unwrap();
+        let mut completions = Vec::new();
+        let mut preempted = Vec::new();
+        let mut resumed = Vec::new();
+        for _ in 0..64 {
+            let r = s.tick().unwrap();
+            s.assert_kv_invariants();
+            preempted.extend(r.preempted);
+            resumed.extend(r.resumed);
+            completions.extend(r.completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(preempted, vec![b], "the younger sequence is the victim");
+        assert_eq!(resumed, vec![b]);
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].id, a);
+        assert_eq!(completions[1].id, b);
+        assert_eq!(completions[1].preemptions, 1);
+        // Preempt-and-resume must not perturb a single bit of either
+        // output.
+        let chunk = s.config().prefill_chunk;
+        for (c, r) in [(&completions[0], &ra), (&completions[1], &rb)] {
+            let want =
+                crate::trace::sequential_model_reference(s.engine(), s.model(model), r, chunk)
+                    .unwrap();
+            assert_eq!(c.output, want);
+        }
         assert_eq!(s.kv_used_pages(), 0);
     }
 

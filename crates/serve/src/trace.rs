@@ -9,12 +9,23 @@
 //! plus per-token decode). Because batched launches do identical per-row
 //! work, the scheduler's outputs are **bitwise equal** to the reference —
 //! the property `tests/serving_sim.rs` checks across randomized traces.
+//!
+//! Decoder-model workloads have the same trio: [`generate_model_trace`]
+//! draws (arrival tick, [`ModelRequest`]) events from the same spec shape,
+//! [`replay_mixed`] drives a scheduler through plan and model traces
+//! merged on one clock, and [`sequential_model_reference`] is the
+//! one-sequence-at-a-time decoder-stack serve the batched path must
+//! reproduce bitwise.
 
 use crate::error::ServeError;
-use crate::request::{Completion, PlanId, ServeRequest};
+use crate::request::{Completion, ModelId, ModelRequest, PlanId, ServeRequest};
 use crate::scheduler::Scheduler;
-use gpa_core::{AttentionEngine, AttentionPlan, AttnError, KvCache};
-use gpa_tensor::{init::qkv, Matrix, Real};
+use gpa_core::{AttentionEngine, AttentionPlan, AttnError, KvCache, PagePool};
+use gpa_model::{DecoderModel, ModelError, ModelKvState};
+use gpa_tensor::{
+    init::{gaussian_matrix, qkv},
+    Matrix, Real,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Shape of a randomized serving workload — every field inclusive-range or
@@ -108,6 +119,61 @@ pub fn generate_trace<T: Real>(spec: &TraceSpec, plans: &[PlanId]) -> Vec<TraceE
         .collect()
 }
 
+/// One decoder-model trace event: the request and the tick it arrives at.
+#[derive(Clone)]
+pub struct ModelTraceEvent<T> {
+    /// Arrival tick (nondecreasing across a generated trace).
+    pub at: u64,
+    /// The model request to submit at that tick.
+    pub request: ModelRequest<T>,
+}
+
+/// Generate a seeded decoder-model workload trace, drawing each sequence's
+/// model uniformly from `models` (pairs of registered id and that model's
+/// `d_model`, which sizes the embedding rows). The same [`TraceSpec`]
+/// fields govern prompt/decode lengths, priorities, and arrival gaps;
+/// `spec.dk` is unused (a model's widths are its own). Events come back
+/// sorted by arrival tick, ready for [`replay_mixed`].
+///
+/// # Panics
+/// Panics if `models` is empty or a spec range is empty/inverted.
+pub fn generate_model_trace<T: Real>(
+    spec: &TraceSpec,
+    models: &[(ModelId, usize)],
+) -> Vec<ModelTraceEvent<T>> {
+    assert!(!models.is_empty(), "a trace needs at least one model");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let classes = spec.priority_classes.max(1);
+    let mut at = 0u64;
+    (0..spec.sequences)
+        .map(|i| {
+            let prompt = draw_incl(&mut rng, spec.prompt).max(1);
+            let decode = draw_incl(&mut rng, spec.decode);
+            let total = prompt + decode;
+            let (model, d_model) = models[rng.gen_range(0..models.len())];
+            let x = gaussian_matrix(
+                total,
+                d_model,
+                1.0,
+                spec.seed ^ (0xD0DE_0000 + i as u64).wrapping_mul(0x9E37),
+            );
+            let priority = rng.gen_range(0..classes as usize) as u8;
+            let (glo, ghi) = spec.arrival_gap;
+            assert!(glo <= ghi, "empty arrival-gap range");
+            at += glo + rng.gen_range(0..(ghi - glo + 1) as usize) as u64;
+            ModelTraceEvent {
+                at,
+                request: ModelRequest {
+                    model,
+                    priority,
+                    prompt,
+                    x,
+                },
+            }
+        })
+        .collect()
+}
+
 /// Drive `scheduler` through a trace on its virtual clock: events are
 /// submitted when the clock reaches their arrival tick, the scheduler
 /// ticks until idle, and all completions come back in completion order.
@@ -148,6 +214,58 @@ pub fn replay<T: Real>(
     Ok(completions)
 }
 
+/// Drive `scheduler` through plan and decoder-model traces merged on one
+/// virtual clock: each trace's events are submitted when the clock reaches
+/// their arrival tick (every due plan event before every due model event
+/// within a tick), the scheduler ticks until idle, and all completions —
+/// both flavors — come back in completion order.
+///
+/// `max_ticks` bounds the drive exactly as in [`replay`]. Passing an empty
+/// `attn` slice makes this a pure model replay.
+///
+/// # Panics
+/// Panics if either trace is not sorted by arrival tick.
+pub fn replay_mixed<T: Real>(
+    scheduler: &mut Scheduler<'_, T>,
+    attn: &[TraceEvent<T>],
+    model: &[ModelTraceEvent<T>],
+    max_ticks: u64,
+) -> Result<Vec<Completion<T>>, ServeError> {
+    assert!(
+        attn.windows(2).all(|w| w[0].at <= w[1].at),
+        "trace events must be sorted by arrival tick"
+    );
+    assert!(
+        model.windows(2).all(|w| w[0].at <= w[1].at),
+        "trace events must be sorted by arrival tick"
+    );
+    let mut completions = Vec::new();
+    let mut next_a = 0usize;
+    let mut next_m = 0usize;
+    let mut ticks = 0u64;
+    while next_a < attn.len() || next_m < model.len() || !scheduler.is_idle() {
+        while next_a < attn.len() && attn[next_a].at <= scheduler.now() {
+            scheduler.submit(attn[next_a].request.clone())?;
+            next_a += 1;
+        }
+        while next_m < model.len() && model[next_m].at <= scheduler.now() {
+            scheduler.submit_model(model[next_m].request.clone())?;
+            next_m += 1;
+        }
+        completions.extend(scheduler.tick()?.completed);
+        ticks += 1;
+        if ticks > max_ticks {
+            return Err(ServeError::NotDrained {
+                ticks,
+                outstanding: (attn.len() - next_a)
+                    + (model.len() - next_m)
+                    + scheduler.outstanding(),
+            });
+        }
+    }
+    Ok(completions)
+}
+
 /// The naive one-sequence-at-a-time serving reference: chunked prefill of
 /// the prompt into a fresh cache, then one [`AttentionEngine::decode_step`]
 /// per generated token. Returns the sequence's full `total × dv` output —
@@ -181,6 +299,43 @@ pub fn sequential_reference<T: Real>(
             &request.v.rows_slice(t, t + 1),
             &mut cache,
         )?;
+        out.row_mut(t).copy_from_slice(row.row(0));
+    }
+    Ok(out)
+}
+
+/// The naive one-sequence-at-a-time decoder-stack serving reference:
+/// chunked prefill of the prompt through every layer into a fresh
+/// per-layer KV state, then one [`DecoderModel::forward_decode`] per
+/// generated token. Returns the sequence's full `total × d_model` output —
+/// what the continuous-batching scheduler must reproduce **bitwise** for a
+/// model sequence served with the same `prefill_chunk` (the pool's page
+/// size is pure accounting and never touches the numerics).
+pub fn sequential_model_reference<T: Real>(
+    engine: &AttentionEngine,
+    model: &DecoderModel<'_, T>,
+    request: &ModelRequest<T>,
+    prefill_chunk: usize,
+) -> Result<Matrix<T>, ModelError> {
+    let total = request.x.rows();
+    let prompt = request.prompt;
+    // A private single-sequence pool sized to hold the whole stack.
+    let mut pool = PagePool::new(model.layers() * total, 1);
+    let state = ModelKvState::allocate(model, &mut pool);
+    let mut out = Matrix::zeros(total, model.d_model());
+    let prefill = model.forward_prefill_chunked(
+        engine,
+        &mut pool,
+        &state,
+        &request.x.rows_slice(0, prompt),
+        prefill_chunk,
+    )?;
+    for i in 0..prompt {
+        out.row_mut(i).copy_from_slice(prefill.row(i));
+    }
+    for t in prompt..total {
+        let row =
+            model.forward_decode(engine, &mut pool, &state, &request.x.rows_slice(t, t + 1))?;
         out.row_mut(t).copy_from_slice(row.row(0));
     }
     Ok(out)
@@ -258,14 +413,128 @@ mod tests {
         for c in &completions {
             // Ids are assigned in submission (= trace) order.
             let event = &trace[c.id.as_u64() as usize];
+            let plan = c.target.plan().expect("a plan-only trace");
             let expect = sequential_reference(
                 scheduler.engine(),
-                scheduler.plan(c.plan),
+                scheduler.plan(plan),
                 &event.request,
                 scheduler.config().prefill_chunk,
             )
             .unwrap();
             assert_eq!(c.output, expect, "must be bitwise the sequential serve");
+        }
+    }
+
+    #[test]
+    fn model_traces_are_deterministic_and_mixed_replay_drains() {
+        use gpa_model::LayerPattern;
+
+        let spec = TraceSpec {
+            sequences: 4,
+            prompt: (2, 6),
+            decode: (0, 4),
+            dk: 4,
+            arrival_gap: (0, 2),
+            priority_classes: 2,
+            seed: 99,
+        };
+        let models = [(ModelId(0), 8usize)];
+        let a: Vec<ModelTraceEvent<f64>> = generate_model_trace(&spec, &models);
+        let b: Vec<ModelTraceEvent<f64>> = generate_model_trace(&spec, &models);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.request.x, y.request.x, "same seed, same data");
+        }
+
+        let mut scheduler: Scheduler<'static, f64> = Scheduler::new(
+            AttentionEngine::with_threads(2),
+            ServeConfig {
+                max_in_flight: 3,
+                kv_pages: 64,
+                page_size: 4,
+                arrival_window: 1,
+                prefill_chunk: 3,
+                admission: crate::scheduler::AdmissionMode::PagedUsage,
+            },
+        )
+        .unwrap();
+        let plan = scheduler
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+            .unwrap();
+        let model = scheduler.register_model(
+            DecoderModel::new(
+                LayerPattern::parse("FS").unwrap(),
+                vec![
+                    (
+                        'F',
+                        AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap(),
+                    ),
+                    (
+                        'S',
+                        AttentionPlan::single(AttentionKernel::Dilated1d { w: 2, r: 2 }).unwrap(),
+                    ),
+                ],
+                8,
+                2,
+                4,
+                0xFACE,
+            )
+            .unwrap(),
+        );
+        assert_eq!(model, ModelId(0));
+        let attn: Vec<TraceEvent<f64>> = generate_trace(
+            &TraceSpec {
+                sequences: 3,
+                seed: 98,
+                ..spec
+            },
+            &[plan],
+        );
+        let completions = replay_mixed(&mut scheduler, &attn, &a, 10_000).unwrap();
+        assert_eq!(completions.len(), attn.len() + a.len());
+        // Ids follow submission order: the two sorted traces merged by
+        // arrival tick, due plan events before due model events on ties
+        // (exactly `replay_mixed`'s per-tick submission order).
+        let mut order: Vec<(bool, usize)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < attn.len() || j < a.len() {
+            if j >= a.len() || (i < attn.len() && attn[i].at <= a[j].at) {
+                order.push((false, i));
+                i += 1;
+            } else {
+                order.push((true, j));
+                j += 1;
+            }
+        }
+        let chunk = scheduler.config().prefill_chunk;
+        for c in &completions {
+            let (is_model, idx) = order[c.id.as_u64() as usize];
+            match c.target {
+                crate::request::ServeTarget::Plan(p) => {
+                    assert!(!is_model, "submission order maps ids to flavors");
+                    let expect = sequential_reference(
+                        scheduler.engine(),
+                        scheduler.plan(p),
+                        &attn[idx].request,
+                        chunk,
+                    )
+                    .unwrap();
+                    assert_eq!(c.output, expect, "bitwise the sequential serve");
+                }
+                crate::request::ServeTarget::Model(m) => {
+                    assert!(is_model, "submission order maps ids to flavors");
+                    let expect = sequential_model_reference(
+                        scheduler.engine(),
+                        scheduler.model(m),
+                        &a[idx].request,
+                        chunk,
+                    )
+                    .unwrap();
+                    assert_eq!(c.output, expect, "bitwise the sequential model serve");
+                }
+            }
         }
     }
 

@@ -131,9 +131,10 @@ fn main() {
     let started = Instant::now();
     let mut checked = 0usize;
     for c in &completions {
+        let plan = c.target.plan().expect("a plan-only workload");
         let expect = sequential_reference(
             scheduler.engine(),
-            scheduler.plan(c.plan),
+            scheduler.plan(plan),
             &trace[c.id.as_u64() as usize].request,
             config.prefill_chunk,
         )

@@ -100,6 +100,7 @@ pub use gpa_core as core;
 pub use gpa_distributed as distributed;
 pub use gpa_masks as masks;
 pub use gpa_memmodel as memmodel;
+pub use gpa_model as model;
 pub use gpa_parallel as parallel;
 pub use gpa_serve as serve;
 pub use gpa_sparse as sparse;
@@ -114,8 +115,11 @@ pub mod prelude {
         MultiHeadAttention,
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
+    pub use gpa_model::{DecoderModel, LayerPattern, ModelKvState};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
-    pub use gpa_serve::{AdmissionMode, Scheduler, ServeConfig, ServeRequest};
+    pub use gpa_serve::{
+        AdmissionMode, ModelRequest, Scheduler, ServeConfig, ServeRequest, ServeTarget,
+    };
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};
 }

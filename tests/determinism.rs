@@ -7,9 +7,11 @@ use graph_attention::core::{
     csr_attention, local_attention, AttentionEngine, AttentionKernel, AttentionPlan, KernelOptions,
 };
 use graph_attention::masks::{MaskPattern, RandomUniform};
+use graph_attention::model::{DecoderModel, LayerPattern};
 use graph_attention::parallel::{Schedule, ThreadPool};
 use graph_attention::serve::{
-    generate_trace, replay, AdmissionMode, RequestId, Scheduler, ServeConfig, TraceSpec,
+    generate_model_trace, generate_trace, replay, replay_mixed, AdmissionMode, RequestId,
+    Scheduler, ServeConfig, TraceSpec,
 };
 use graph_attention::tensor::init::qkv;
 
@@ -221,6 +223,83 @@ fn preempting_trace_identical_across_pool_sizes() {
             "{threads} threads changed the preemption schedule"
         );
         assert_eq!(count, ref_count);
+        assert_eq!(completions.len(), reference.len());
+        for (a, b) in reference.iter().zip(&completions) {
+            assert_eq!(a.id, b.id, "{threads} threads changed completion order");
+            assert_eq!(
+                (a.admitted, a.completed, a.preemptions),
+                (b.admitted, b.completed, b.preemptions),
+                "{threads} threads changed the schedule of {:?}",
+                a.id
+            );
+            assert_eq!(
+                a.output.as_slice(),
+                b.output.as_slice(),
+                "{threads} threads changed bits of {:?}",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_layer_model_trace_identical_across_pool_sizes() {
+    // Decoder-stack serving adds per-layer projections, residuals, and
+    // one launch per layer per tick — all of which must stay exactly as
+    // thread-count-independent as the bare kernels: one seeded
+    // multi-layer trace (tight enough to preempt whole stacks) replayed
+    // on pools of 1, 2, and 4 workers produces identical outputs,
+    // completion order, ticks, and preemption counts.
+    let spec = TraceSpec {
+        sequences: 5,
+        prompt: (2, 5),
+        decode: (3, 7),
+        dk: 4,
+        arrival_gap: (0, 1),
+        priority_classes: 2,
+        seed: 0x11A7,
+    };
+    let config = ServeConfig {
+        max_in_flight: 3,
+        kv_pages: 40,
+        page_size: 1,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+    };
+    let run = |threads: usize| {
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+        let model = scheduler.register_model(
+            DecoderModel::new(
+                LayerPattern::parse("FSF").unwrap(),
+                vec![
+                    (
+                        'F',
+                        AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap(),
+                    ),
+                    (
+                        'S',
+                        AttentionPlan::single(AttentionKernel::Dilated1d { w: 2, r: 2 }).unwrap(),
+                    ),
+                ],
+                10,
+                2,
+                5,
+                0xF00D,
+            )
+            .unwrap(),
+        );
+        let trace = generate_model_trace::<f32>(&spec, &[(model, 10)]);
+        let completions = replay_mixed(&mut scheduler, &[], &trace, 100_000).unwrap();
+        (completions, scheduler.preemption_events())
+    };
+    let (reference, ref_events) = run(1);
+    assert_eq!(reference.len(), spec.sequences);
+    assert!(ref_events > 0, "this trace must preempt a stack");
+    for threads in [2usize, 4] {
+        let (completions, events) = run(threads);
+        assert_eq!(events, ref_events, "{threads} threads changed preemptions");
         assert_eq!(completions.len(), reference.len());
         for (a, b) in reference.iter().zip(&completions) {
             assert_eq!(a.id, b.id, "{threads} threads changed completion order");

@@ -76,3 +76,8 @@ fn incremental_decode_runs() {
 fn longformer_document_runs() {
     run_example("longformer_document", true);
 }
+
+#[test]
+fn model_serving_runs() {
+    run_example("model_serving", true);
+}

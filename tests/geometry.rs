@@ -12,7 +12,8 @@
 //!    rows never look forward) prefill + decode reassembles the full
 //!    square forward exactly.
 
-use graph_attention::core::{DecodeStep, KvCache};
+use graph_attention::core::{DecodeStep, KvCache, PagePool};
+use graph_attention::model::{DecoderModel, LayerPattern, ModelKvState, ModelWorkItem};
 use graph_attention::prelude::*;
 use graph_attention::sparse::{CooMask, CsrMask, DiaMask};
 use proptest::prelude::*;
@@ -586,5 +587,224 @@ proptest! {
             assembled.row_mut(t).copy_from_slice(out.row(0));
         }
         prop_assert_eq!(&assembled, &full);
+    }
+
+    /// The decoder-stack form of the headline invariant: a heterogeneous
+    /// *causal* Full/Sparse stack served incrementally — chunked prefill
+    /// plus per-token decode through per-layer paged KV caches — is
+    /// bitwise the model's full square forward. Causal DIA plans pin
+    /// their length, so the stack is rebuilt per prefix (same seed →
+    /// identical projection weights), exactly as the square reference
+    /// demands; causality makes every intermediate layer's rows
+    /// prefix-independent, which is what lets the assembly succeed.
+    #[test]
+    fn heterogeneous_causal_stacks_serve_bitwise_the_square_forward(
+        l in 2usize..12,
+        heads in 1usize..3,
+        dk in 1usize..4,
+        band_f in 1usize..5,
+        band_s in 1usize..3,
+        chunk in 1usize..6,
+        page in 1usize..5,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let d_model = heads * dk + 2;
+        let x = init::gaussian_matrix::<f64>(l, d_model, 1.0, seed ^ 0x57AC);
+
+        // Full (F) layers: a dense causal band. Sparse (S) layers: a
+        // dilated causal band. Both never look forward.
+        let f_off: Vec<i64> = (0..=band_f as i64).map(|d| -d).collect();
+        let s_off: Vec<i64> = (0..=band_s as i64).map(|d| -2 * d).collect();
+        let clip = |offsets: &[i64], len: usize| -> DiaMask {
+            DiaMask::new(
+                len,
+                offsets
+                    .iter()
+                    .copied()
+                    .filter(|d| d.unsigned_abs() < len as u64)
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let f_masks: Vec<DiaMask> = (1..=l).map(|len| clip(&f_off, len)).collect();
+        let s_masks: Vec<DiaMask> = (1..=l).map(|len| clip(&s_off, len)).collect();
+        let model_at = |len: usize| -> DecoderModel<'_, f64> {
+            DecoderModel::new(
+                LayerPattern::parse("FSF").unwrap(),
+                vec![
+                    (
+                        'F',
+                        AttentionPlan::single(AttentionKernel::Dia(&f_masks[len - 1])).unwrap(),
+                    ),
+                    (
+                        'S',
+                        AttentionPlan::single(AttentionKernel::Dia(&s_masks[len - 1])).unwrap(),
+                    ),
+                ],
+                d_model,
+                heads,
+                dk,
+                seed ^ 0xDEC0,
+            )
+            .unwrap()
+        };
+
+        let full_model = model_at(l);
+        let full = full_model.forward(&e, &x).unwrap();
+
+        let mut pool: PagePool<f64> = PagePool::new(full_model.layers() * l.div_ceil(page), page);
+        let state = ModelKvState::allocate(&full_model, &mut pool);
+        let prompt = 1 + (seed as usize % l);
+        let mut assembled = Matrix::zeros(l, d_model);
+        let mut start = 0usize;
+        while start < prompt {
+            let rows = chunk.min(prompt - start);
+            let m = model_at(start + rows);
+            let adv = m
+                .advance_batched(
+                    &e,
+                    &mut pool,
+                    &[ModelWorkItem {
+                        x: &x.rows_slice(start, start + rows),
+                        state: &state,
+                    }],
+                )
+                .unwrap();
+            for r in 0..rows {
+                assembled
+                    .row_mut(start + r)
+                    .copy_from_slice(adv.outputs[0].row(r));
+            }
+            start += rows;
+        }
+        for t in prompt..l {
+            let m = model_at(t + 1);
+            let out = m
+                .forward_decode(&e, &mut pool, &state, &x.rows_slice(t, t + 1))
+                .unwrap();
+            assembled.row_mut(t).copy_from_slice(out.row(0));
+        }
+        prop_assert_eq!(&assembled, &full);
+        prop_assert_eq!(state.tokens(&pool), l);
+    }
+
+    /// Batched decoder-stack advance is exact: driving several sequences
+    /// — ragged lengths, mixed prefill-chunk and decode-row windows —
+    /// through one `advance_batched` call per step over a shared page
+    /// pool is bitwise identical to serving each sequence alone with the
+    /// same chunk schedule, for a heterogeneous implicit-kernel stack.
+    #[test]
+    fn batched_stack_advance_matches_per_sequence_serving_bitwise(
+        l in 2usize..10,
+        heads in 1usize..3,
+        dk in 1usize..4,
+        n in 0usize..3,
+        w in 1usize..4,
+        chunk in 1usize..5,
+        page in 1usize..4,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let d_model = heads * dk + 1;
+        let model = DecoderModel::new(
+            LayerPattern::parse("FSSF").unwrap(),
+            vec![
+                (
+                    'F',
+                    AttentionPlan::single(AttentionKernel::Local { n }).unwrap(),
+                ),
+                (
+                    'S',
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w, r: 1 }).unwrap(),
+                ),
+            ],
+            d_model,
+            heads,
+            dk,
+            seed ^ 0xBA7,
+        )
+        .unwrap();
+
+        let totals = [l, 1 + l / 2, l + 3];
+        let prompts: Vec<usize> = totals.iter().map(|&t| 1 + (seed as usize % t)).collect();
+        let xs: Vec<Matrix<f64>> = totals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| init::gaussian_matrix(t, d_model, 1.0, seed ^ (0x11 * (i as u64 + 1))))
+            .collect();
+
+        // Batched: one shared pool, one state per sequence, every step
+        // advancing all unfinished sequences in one call.
+        let pages: usize = totals.iter().map(|&t| t.div_ceil(page)).sum::<usize>() * model.layers();
+        let mut pool: PagePool<f64> = PagePool::new(pages, page);
+        let states: Vec<ModelKvState> = (0..totals.len())
+            .map(|_| ModelKvState::allocate(&model, &mut pool))
+            .collect();
+        let mut outs: Vec<Matrix<f64>> = totals
+            .iter()
+            .map(|&t| Matrix::zeros(t, d_model))
+            .collect();
+        let mut cursors = vec![0usize; totals.len()];
+        loop {
+            let mut meta: Vec<(usize, usize)> = Vec::new();
+            let mut windows: Vec<Matrix<f64>> = Vec::new();
+            for i in 0..totals.len() {
+                if cursors[i] >= totals[i] {
+                    continue;
+                }
+                // Prefill in chunks up to the prompt, then one decode
+                // row per step — the scheduler's window schedule.
+                let rows = if cursors[i] < prompts[i] {
+                    chunk.min(prompts[i] - cursors[i])
+                } else {
+                    1
+                };
+                windows.push(xs[i].rows_slice(cursors[i], cursors[i] + rows));
+                meta.push((i, rows));
+            }
+            if meta.is_empty() {
+                break;
+            }
+            let items: Vec<ModelWorkItem<'_, f64>> = meta
+                .iter()
+                .zip(&windows)
+                .map(|(&(i, _), x)| ModelWorkItem { x, state: &states[i] })
+                .collect();
+            let adv = model.advance_batched(&e, &mut pool, &items).unwrap();
+            for (&(i, rows), out) in meta.iter().zip(&adv.outputs) {
+                for r in 0..rows {
+                    outs[i].row_mut(cursors[i] + r).copy_from_slice(out.row(r));
+                }
+                cursors[i] += rows;
+            }
+        }
+
+        // Per-sequence reference: same chunk schedule, private pool.
+        for i in 0..totals.len() {
+            let mut solo: PagePool<f64> = PagePool::new(model.layers() * totals[i], 1);
+            let state = ModelKvState::allocate(&model, &mut solo);
+            let mut expect = Matrix::zeros(totals[i], d_model);
+            let prefill = model
+                .forward_prefill_chunked(
+                    &e,
+                    &mut solo,
+                    &state,
+                    &xs[i].rows_slice(0, prompts[i]),
+                    chunk,
+                )
+                .unwrap();
+            for r in 0..prompts[i] {
+                expect.row_mut(r).copy_from_slice(prefill.row(r));
+            }
+            for t in prompts[i]..totals[i] {
+                let out = model
+                    .forward_decode(&e, &mut solo, &state, &xs[i].rows_slice(t, t + 1))
+                    .unwrap();
+                expect.row_mut(t).copy_from_slice(out.row(0));
+            }
+            prop_assert!(outs[i] == expect, "sequence {} batched vs solo", i);
+            prop_assert_eq!(states[i].tokens(&pool), totals[i]);
+        }
     }
 }

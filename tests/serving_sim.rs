@@ -30,7 +30,8 @@
 
 use graph_attention::prelude::*;
 use graph_attention::serve::{
-    generate_trace, sequential_reference, Completion, Scheduler, ServeError, TraceEvent, TraceSpec,
+    generate_model_trace, generate_trace, sequential_model_reference, sequential_reference,
+    Completion, ModelId, ModelTraceEvent, Scheduler, ServeError, TraceEvent, TraceSpec,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -72,6 +73,56 @@ fn build_scheduler(
             .unwrap(),
     ];
     (scheduler, plans)
+}
+
+/// Scheduler + plans + models used by one simulated mixed trace: the three
+/// plans above, plus a single-layer full model and a three-layer
+/// heterogeneous Full/Sparse/Full stack — so model traces mix stack depths
+/// per sequence.
+fn build_mixed_scheduler(
+    threads: usize,
+    config: ServeConfig,
+) -> (
+    Scheduler<'static, f64>,
+    Vec<graph_attention::serve::PlanId>,
+    Vec<(ModelId, usize)>,
+) {
+    let (mut scheduler, plans) = build_scheduler(threads, config);
+    let single = scheduler.register_model(
+        DecoderModel::new(
+            LayerPattern::parse("F").unwrap(),
+            vec![(
+                'F',
+                AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap(),
+            )],
+            8,
+            2,
+            4,
+            0x1A7E,
+        )
+        .unwrap(),
+    );
+    let stacked = scheduler.register_model(
+        DecoderModel::new(
+            LayerPattern::parse("FSF").unwrap(),
+            vec![
+                (
+                    'F',
+                    AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap(),
+                ),
+                (
+                    'S',
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w: 3, r: 2 }).unwrap(),
+                ),
+            ],
+            12,
+            3,
+            4,
+            0x5EED,
+        )
+        .unwrap(),
+    );
+    (scheduler, plans, vec![(single, 8), (stacked, 12)])
 }
 
 /// Worst-case ticks to drain `trace` on a healthy scheduler: last arrival
@@ -168,9 +219,10 @@ fn check_completions(
     // ones.
     for c in completions {
         let request = &trace[c.id.as_u64() as usize].request;
+        let plan = c.target.plan().expect("a plan-only trace");
         let expect = sequential_reference(
             scheduler.engine(),
-            scheduler.plan(c.plan),
+            scheduler.plan(plan),
             request,
             scheduler.config().prefill_chunk,
         )
@@ -222,6 +274,141 @@ fn check_completions(
                     a.priority,
                     a.id.as_u64(),
                     b.id.as_u64()
+                );
+            }
+        }
+    }
+}
+
+/// [`starvation_bound`] generalized to a mixed workload: serial service of
+/// every plan sequence plus every model sequence (a model sequence's
+/// per-tick unit of work is one chunk or one token, exactly like a plan
+/// sequence's — depth multiplies the work per tick, not the tick count).
+fn mixed_starvation_bound(
+    attn: &[TraceEvent<f64>],
+    models: &[ModelTraceEvent<f64>],
+    config: &ServeConfig,
+) -> u64 {
+    let model_service: u64 = models
+        .iter()
+        .map(|e| {
+            let prompt = e.request.prompt;
+            let decode = e.request.x.rows() - prompt;
+            (prompt.div_ceil(config.prefill_chunk) + decode + 1) as u64
+        })
+        .sum();
+    let last_arrival = models.last().map_or(0, |e| e.at);
+    starvation_bound(attn, config) + last_arrival + model_service
+}
+
+/// [`drive`] for a mixed plan + model workload: submits both traces on the
+/// virtual clock and checks the same per-tick invariants — page
+/// conservation now spans every layer of every model sequence's state.
+fn drive_mixed(
+    scheduler: &mut Scheduler<'_, f64>,
+    attn: &[TraceEvent<f64>],
+    models: &[ModelTraceEvent<f64>],
+    max_ticks: u64,
+) -> Vec<Completion<f64>> {
+    let mut completions = Vec::new();
+    let (mut next_a, mut next_m) = (0usize, 0usize);
+    let mut ticks = 0u64;
+    while next_a < attn.len() || next_m < models.len() || !scheduler.is_idle() {
+        while next_a < attn.len() && attn[next_a].at <= scheduler.now() {
+            scheduler.submit(attn[next_a].request.clone()).unwrap();
+            next_a += 1;
+        }
+        while next_m < models.len() && models[next_m].at <= scheduler.now() {
+            scheduler
+                .submit_model(models[next_m].request.clone())
+                .unwrap();
+            next_m += 1;
+        }
+        let report = scheduler.tick().unwrap();
+        scheduler.assert_kv_invariants();
+        assert_eq!(
+            scheduler.kv_free_pages() + scheduler.kv_used_pages(),
+            scheduler.kv_total_pages(),
+            "page conservation across per-layer tables"
+        );
+        assert!(scheduler.in_flight_len() <= scheduler.config().max_in_flight);
+        if !report.preempted.is_empty() {
+            assert!(
+                report.admitted.is_empty() && report.resumed.is_empty(),
+                "a tick may admit or preempt, never both"
+            );
+        }
+        completions.extend(report.completed);
+        ticks += 1;
+        assert!(
+            ticks <= max_ticks,
+            "not drained after {ticks} ticks (bound {max_ticks}): starvation"
+        );
+    }
+    completions
+}
+
+/// Bitwise check for a mixed drive's completions: every plan completion
+/// equals [`sequential_reference`], every model completion equals
+/// [`sequential_model_reference`] — preempted-and-resumed multi-layer
+/// sequences exactly like uninterrupted ones. Ids map to events through
+/// the submission order (the two sorted traces merged by arrival tick,
+/// plan events first on ties — `drive_mixed`'s per-tick order).
+fn check_mixed_completions(
+    scheduler: &Scheduler<'_, f64>,
+    attn: &[TraceEvent<f64>],
+    models: &[ModelTraceEvent<f64>],
+    completions: &[Completion<f64>],
+) {
+    assert_eq!(completions.len(), attn.len() + models.len());
+    let mut order: Vec<(bool, usize)> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < attn.len() || j < models.len() {
+        if j >= models.len() || (i < attn.len() && attn[i].at <= models[j].at) {
+            order.push((false, i));
+            i += 1;
+        } else {
+            order.push((true, j));
+            j += 1;
+        }
+    }
+    let chunk = scheduler.config().prefill_chunk;
+    for c in completions {
+        let (is_model, idx) = order[c.id.as_u64() as usize];
+        match c.target {
+            ServeTarget::Plan(plan) => {
+                assert!(!is_model, "submission order maps ids to flavors");
+                let expect = sequential_reference(
+                    scheduler.engine(),
+                    scheduler.plan(plan),
+                    &attn[idx].request,
+                    chunk,
+                )
+                .unwrap();
+                assert_eq!(
+                    c.output,
+                    expect,
+                    "plan sequence {} ({} preemptions) bitwise",
+                    c.id.as_u64(),
+                    c.preemptions
+                );
+            }
+            ServeTarget::Model(model) => {
+                assert!(is_model, "submission order maps ids to flavors");
+                let expect = sequential_model_reference(
+                    scheduler.engine(),
+                    scheduler.model(model),
+                    &models[idx].request,
+                    chunk,
+                )
+                .unwrap();
+                assert_eq!(
+                    c.output,
+                    expect,
+                    "model sequence {} ({} preemptions, {} layers) bitwise",
+                    c.id.as_u64(),
+                    c.preemptions,
+                    scheduler.model(model).layers()
                 );
             }
         }
@@ -587,5 +774,113 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
             c.id.as_u64()
         );
     }
+    assert_eq!(scheduler.kv_used_pages(), 0);
+}
+
+/// Mixed plan + model traces: randomized seeded workloads drawing both
+/// bare-plan sequences and decoder-stack sequences (single-layer and
+/// 3-layer heterogeneous models) through one scheduler and one page pool —
+/// page conservation spans every layer's table after every tick, and every
+/// completion of either flavor is bitwise its sequential reference.
+#[test]
+fn mixed_model_traces_match_the_sequential_references_bitwise() {
+    let mut model_preempted = 0u64;
+    for trace_seed in 0u64..12 {
+        let mut knobs = StdRng::seed_from_u64(0x40D3 ^ trace_seed);
+        let prompt_lo = 1 + knobs.gen_range(0..4);
+        let prompt_hi = prompt_lo + knobs.gen_range(0..8);
+        let decode_hi = knobs.gen_range(0..6);
+        let attn_spec = TraceSpec {
+            sequences: 2 + knobs.gen_range(0..4),
+            prompt: (prompt_lo, prompt_hi),
+            decode: (0, decode_hi),
+            dk: 1 + knobs.gen_range(0..6),
+            arrival_gap: (0, knobs.gen_range(0..3) as u64),
+            priority_classes: 1 + knobs.gen_range(0..3) as u8,
+            seed: trace_seed.wrapping_mul(0x9E37_79B9) ^ 0xA77,
+        };
+        let model_spec = TraceSpec {
+            sequences: 2 + knobs.gen_range(0..4),
+            seed: attn_spec.seed ^ 0xD0DE,
+            ..attn_spec
+        };
+        let max_total = prompt_hi + decode_hi;
+        let page_size = 1 + knobs.gen_range(0..4);
+        // Enough pages for the deepest single sequence (3 layers), tight
+        // enough that a healthy share of traces preempt.
+        let kv_pages = 3 * max_total.div_ceil(page_size) + knobs.gen_range(0..6);
+        let config = ServeConfig {
+            max_in_flight: 1 + knobs.gen_range(0..4),
+            kv_pages,
+            page_size,
+            arrival_window: knobs.gen_range(0..3) as u64,
+            prefill_chunk: 1 + knobs.gen_range(0..5),
+            admission: if trace_seed % 4 == 3 {
+                AdmissionMode::WorstCaseReserve
+            } else {
+                AdmissionMode::PagedUsage
+            },
+        };
+        let (mut scheduler, plans, models) = build_mixed_scheduler(2, config);
+        let attn: Vec<TraceEvent<f64>> = generate_trace(&attn_spec, &plans);
+        let model_trace: Vec<ModelTraceEvent<f64>> = generate_model_trace(&model_spec, &models);
+        let bound = mixed_starvation_bound(&attn, &model_trace, &config);
+        let completions = drive_mixed(&mut scheduler, &attn, &model_trace, bound);
+        check_mixed_completions(&scheduler, &attn, &model_trace, &completions);
+        assert!(scheduler.is_idle());
+        assert_eq!(
+            scheduler.kv_used_pages(),
+            0,
+            "trace {trace_seed}: every layer's pages released"
+        );
+        model_preempted += completions
+            .iter()
+            .filter(|c| c.target.model().is_some() && c.preemptions > 0)
+            .count() as u64;
+    }
+    assert!(
+        model_preempted > 0,
+        "no model sequence preempted — tighten the page budgets"
+    );
+}
+
+/// Deterministic multi-layer preempt-and-resume (the acceptance
+/// scenario): two 3-layer sequences under a pool that can hold only one
+/// of them at full length. The younger is evicted with all three layers'
+/// caches retained, resumes after the elder drains, and both complete
+/// bitwise equal to the sequential decoder-stack reference.
+#[test]
+fn preempted_multi_layer_sequences_resume_and_complete_bitwise() {
+    let config = ServeConfig {
+        max_in_flight: 2,
+        kv_pages: 9,
+        page_size: 2,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+    };
+    let (mut scheduler, _, models) = build_mixed_scheduler(2, config);
+    let stacked = models[1].0;
+    // Each sequence: 2-token prompt, 4 decode tokens → 3 pages/layer = 9
+    // pages at completion; both admit on 3 pages total.
+    let spec = TraceSpec {
+        sequences: 2,
+        prompt: (2, 2),
+        decode: (4, 4),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xCAFE,
+    };
+    let model_trace: Vec<ModelTraceEvent<f64>> =
+        generate_model_trace(&spec, &[(stacked, models[1].1)]);
+    let bound = mixed_starvation_bound(&[], &model_trace, &config);
+    let completions = drive_mixed(&mut scheduler, &[], &model_trace, bound);
+    check_mixed_completions(&scheduler, &[], &model_trace, &completions);
+    assert!(
+        completions.iter().any(|c| c.preemptions > 0),
+        "this workload must preempt a multi-layer sequence"
+    );
+    assert!(scheduler.preemption_events() >= 1);
     assert_eq!(scheduler.kv_used_pages(), 0);
 }
