@@ -97,6 +97,27 @@ fn bench_substrates(c: &mut Criterion) {
         );
     }
 
+    // Score·V accumulation (the SDP baseline's second pass): blocked
+    // weighted_rows vs folding one value row at a time.
+    let weights: Matrix<f32> = uniform_matrix(256, 256, 3);
+    let values: Matrix<f32> = uniform_matrix(256, 32, 4);
+    group.bench_function("weighted_rows_256x256x32", |b| {
+        b.iter(|| std::hint::black_box(gpa_tensor::ops::weighted_rows(&weights, &values)));
+    });
+    group.bench_function("weighted_rows_axpy_ref_256x256x32", |b| {
+        b.iter(|| {
+            let mut out: Matrix<f32> = Matrix::zeros(weights.rows(), values.cols());
+            for i in 0..weights.rows() {
+                let o = out.row_mut(i);
+                let w = weights.row(i);
+                for (j, &wj) in w.iter().enumerate() {
+                    gpa_tensor::ops::axpy(o, wj, values.row(j));
+                }
+            }
+            std::hint::black_box(out);
+        });
+    });
+
     // Projection matmul (multi-head layer building block).
     let a: Matrix<f32> = uniform_matrix(512, 256, 1);
     let bmat: Matrix<f32> = uniform_matrix(256, 256, 2);

@@ -1,0 +1,79 @@
+//! Substrate overhead: per-launch cost of the work-stealing pool and the
+//! engine's batched dispatch, swept over `Schedule::Dynamic` grains.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin substrates [--quick]
+//! ```
+
+use gpa_bench::experiments::{best_noop_grain, run_substrates, SubstratesConfig};
+use gpa_bench::{ascii_table, fmt_count, fmt_seconds, write_csv, Args, HostInfo};
+
+fn main() {
+    let args = Args::from_env();
+    let pool = args.make_pool();
+    let engine = args.make_engine();
+    let cfg = SubstratesConfig::for_scale(args.scale);
+
+    println!(
+        "Substrate overhead on {} ({} workers)\n",
+        HostInfo::detect().summary(),
+        pool.threads()
+    );
+
+    let (records, counters) = run_substrates(&pool, &engine, &cfg, |r| {
+        eprintln!("  measured {:<24} -> {}", r.algo, fmt_seconds(r.mean_s));
+    });
+
+    for (prefix, title) in [
+        (
+            "noop",
+            format!("Pool launch overhead (empty body over {} rows)", cfg.n),
+        ),
+        (
+            "engine",
+            format!(
+                "Engine batched launch ({} seqs × {} tokens)",
+                cfg.n_seqs, cfg.seq_len
+            ),
+        ),
+    ] {
+        let rows: Vec<Vec<String>> = records
+            .iter()
+            .filter(|r| r.algo.starts_with(prefix))
+            .map(|r| {
+                vec![
+                    r.algo.clone(),
+                    fmt_seconds(r.mean_s),
+                    fmt_seconds(r.min_s),
+                    format!("{} iters", r.iters),
+                ]
+            })
+            .collect();
+        println!("\n{title}:");
+        print!(
+            "{}",
+            ascii_table(&["case", "mean", "min", "samples"], &rows)
+        );
+    }
+
+    if let Some((grain, mean)) = best_noop_grain(&records) {
+        println!(
+            "\nbest dynamic grain on this host: {grain} ({} per launch)",
+            fmt_seconds(mean)
+        );
+    }
+    println!(
+        "noop-sweep substrate counters: {} jobs, {} injector pushes, {} deque steals / {} probes, {} range steals, {} parks",
+        fmt_count(counters.jobs_executed),
+        fmt_count(counters.injector_pushes),
+        fmt_count(counters.steals),
+        fmt_count(counters.steal_attempts),
+        fmt_count(counters.range_steals),
+        fmt_count(counters.parks),
+    );
+
+    match write_csv(&args.out_dir, "substrates", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write CSV: {e}"),
+    }
+}

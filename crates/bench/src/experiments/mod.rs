@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod model;
 pub mod serving;
+pub mod substrates;
 pub mod table3;
 
 pub use ablations::{run_ablations, AblationConfig};
@@ -17,4 +18,5 @@ pub use fig5::{run_fig5, Fig5Config};
 pub use fig6::{run_fig6, Fig6Config};
 pub use model::{run_model, ModelConfig, PatternKind};
 pub use serving::{run_serving, ServingConfig};
+pub use substrates::{best_noop_grain, run_substrates, SubstratesConfig};
 pub use table3::{run_table3, Table3Config};

@@ -20,7 +20,7 @@ use crate::options::KernelOptions;
 use crate::state::AttentionState;
 use gpa_parallel::{parallel_for, LocalTally, RowWriter, ThreadPool};
 use gpa_sparse::DenseMask;
-use gpa_tensor::ops::dot;
+use gpa_tensor::ops::{dot, weighted_sum_into};
 use gpa_tensor::softmax::softmax_slice;
 use gpa_tensor::{Matrix, Real};
 
@@ -70,18 +70,15 @@ pub fn masked_sdp<T: Real>(
             }
             // Row softmax (fully masked rows produce zeros).
             softmax_slice(&scores, &mut weights);
-            // Pass 2: dense weighted sum over all L value rows.
+            // Pass 2: dense weighted sum over all L value rows, blocked
+            // four value rows per output sweep (dense semantics: zero
+            // weights still multiply, so the op count stays L per row).
             // SAFETY: each row dispatched to exactly one block.
             let o_row = unsafe { writer.row_mut(i) };
             o_row.fill(T::ZERO);
-            for (j, &w) in weights.iter().enumerate() {
-                // Dense semantics: multiply even when w == 0.
-                for (o, &vv) in o_row.iter_mut().zip(v.row(j).iter()) {
-                    *o += w * vv;
-                }
-                if let Some(t) = tally.as_mut() {
-                    t.update();
-                }
+            weighted_sum_into(o_row, &weights, v);
+            if let Some(t) = tally.as_mut() {
+                t.updated(weights.len() as u64);
             }
         }
     });

@@ -22,7 +22,7 @@ use crate::options::KernelOptions;
 use crate::state::AttentionState;
 use gpa_masks::MaskPattern;
 use gpa_parallel::{parallel_for, CellWriter, LocalTally, RowWriter, ThreadPool};
-use gpa_tensor::ops::dot;
+use gpa_tensor::ops::{dot, scale_axpy};
 use gpa_tensor::{attention_scale, Matrix, Real};
 
 /// Absorb one edge `(i → j)` into row `i`'s normalized accumulator.
@@ -48,9 +48,7 @@ pub fn absorb_edge<T: Real>(
     let l_new = *l * alpha + p;
     let c_old = *l * alpha / l_new;
     let c_new = p / l_new;
-    for (o, &vv) in o_row.iter_mut().zip(v_row.iter()) {
-        *o = *o * c_old + c_new * vv;
-    }
+    scale_axpy(o_row, c_old, c_new, v_row);
     *m = m_new;
     *l = l_new;
 }

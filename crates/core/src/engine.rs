@@ -35,7 +35,7 @@
 //! examples) now runs through it.
 
 use crate::batch::{execute_batch, execute_batch_states, AttentionRequest, DecodeStep};
-use crate::cache::KvCache;
+use crate::cache::{KvCache, KvPrecision};
 use crate::dispatch::AttentionKernel;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
@@ -52,6 +52,7 @@ pub struct AttentionEngineBuilder {
     schedule: Schedule,
     scale: Option<f64>,
     count_work: bool,
+    kv_precision: KvPrecision,
 }
 
 impl AttentionEngineBuilder {
@@ -80,6 +81,16 @@ impl AttentionEngineBuilder {
         self
     }
 
+    /// Storage precision for KV caches created through
+    /// [`AttentionEngine::new_cache`] — [`KvPrecision::F16`] emulates the
+    /// FP16-storage/full-precision-compute serving configuration
+    /// (quantize on append, compute in `T`; the verification suite gates
+    /// its error bounds, see [`crate::verify::F16_KV_ATOL`]).
+    pub fn kv_precision(mut self, precision: KvPrecision) -> Self {
+        self.kv_precision = precision;
+        self
+    }
+
     /// Build the engine (spawns the worker pool).
     pub fn build(self) -> AttentionEngine {
         AttentionEngine {
@@ -87,6 +98,7 @@ impl AttentionEngineBuilder {
             schedule: self.schedule,
             scale: self.scale,
             counter: self.count_work.then(WorkCounter::new),
+            kv_precision: self.kv_precision,
         }
     }
 }
@@ -99,6 +111,7 @@ pub struct AttentionEngine {
     schedule: Schedule,
     scale: Option<f64>,
     counter: Option<WorkCounter>,
+    kv_precision: KvPrecision,
 }
 
 impl Default for AttentionEngine {
@@ -137,6 +150,18 @@ impl AttentionEngine {
     /// The engine's scheduling policy.
     pub fn schedule(&self) -> Schedule {
         self.schedule
+    }
+
+    /// The KV storage precision this engine's caches use.
+    pub fn kv_precision(&self) -> KvPrecision {
+        self.kv_precision
+    }
+
+    /// An empty single-head [`KvCache`] for this engine's serving surface
+    /// ([`Self::prefill_chunked`] / [`Self::decode_step`]), created with
+    /// the engine's [`KvPrecision`].
+    pub fn new_cache<T: Real>(&self, dk: usize, dv: usize) -> KvCache<T> {
+        KvCache::with_precision(1, dk, dv, self.kv_precision)
     }
 
     /// The launch options every engine run uses ­— schedule, scale, and
@@ -416,6 +441,7 @@ impl std::fmt::Debug for AttentionEngine {
             .field("schedule", &self.schedule)
             .field("scale", &self.scale)
             .field("count_work", &self.counter.is_some())
+            .field("kv_precision", &self.kv_precision)
             .finish()
     }
 }

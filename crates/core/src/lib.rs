@@ -66,7 +66,7 @@ pub mod verify;
 
 pub use baselines::{flash_attention, flash_attention_tiled, masked_sdp};
 pub use batch::{AttentionRequest, DecodeStep};
-pub use cache::KvCache;
+pub use cache::{KvCache, KvPrecision};
 pub use dispatch::{run_composed, AttentionKernel};
 pub use driver::{absorb_edge, graph_attention_into, pattern_attention, pattern_attention_into};
 pub use engine::{AttentionEngine, AttentionEngineBuilder};
@@ -88,7 +88,10 @@ pub use options::KernelOptions;
 pub use pages::{PagePool, SeqId};
 pub use plan::AttentionPlan;
 pub use state::AttentionState;
-pub use verify::{run_paper_verification, run_verification_at, VerificationRecord};
+pub use verify::{
+    f16_kv_verification_at, run_f16_kv_verification, run_paper_verification, run_verification_at,
+    VerificationRecord,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -148,6 +151,28 @@ mod proptests {
             ).unwrap();
             let single = csr_attention(&pool, &full, &q, &k, &v, &KernelOptions::new()).unwrap();
             prop_assert!(paper_allclose(&composed, &single));
+        }
+
+        /// F16 KV storage stays within the documented error bounds of
+        /// native storage for **all seven** composable kernels, at any
+        /// decode shape — the property behind the fixed-shape gate in
+        /// [`verify::run_f16_kv_verification`].
+        #[test]
+        fn f16_kv_decode_within_bounds_at_any_shape(
+            l_octets in 2usize..10,
+            dk in 4usize..33,
+            seed in 0u64..10_000,
+        ) {
+            let l = 8 * l_octets;
+            let records = verify::f16_kv_verification_at(2, l, dk, seed);
+            prop_assert_eq!(records.len(), 7);
+            for r in &records {
+                prop_assert!(
+                    r.passed,
+                    "{} f16-kv decode out of bounds at l={} dk={}: {:.3e}",
+                    r.kernel, l, dk, r.max_abs_diff
+                );
+            }
         }
 
         /// Output rows are convex combinations of value rows: every output

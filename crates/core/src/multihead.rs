@@ -145,6 +145,13 @@ impl<T: Real> MultiHeadAttention<T> {
         KvCache::new(self.heads, self.dk(), self.dk())
     }
 
+    /// As [`Self::new_cache`], created with `engine`'s
+    /// [`crate::KvPrecision`] — the way a serving stack opts a layer's
+    /// cache into FP16 KV storage alongside the engine flag.
+    pub fn new_cache_on(&self, engine: &AttentionEngine) -> KvCache<T> {
+        KvCache::with_precision(self.heads, self.dk(), self.dk(), engine.kv_precision())
+    }
+
     /// Project an input window (`R × d_model`) into per-head `(Q, K, V)`
     /// triples — the building block callers batching *across* layers (a
     /// decoder stack) use to assemble their own attention requests; the

@@ -6,11 +6,14 @@
 //! stand-in for that substrate (see DESIGN.md §1 for the substitution
 //! argument):
 //!
-//! - [`ThreadPool`]: persistent workers fed over a crossbeam channel, so
-//!   repeated kernel launches pay no thread-spawn cost;
+//! - [`ThreadPool`]: persistent work-stealing workers — submitted jobs land
+//!   in a lock-free injector, each worker owns a Chase–Lev deque, and idle
+//!   workers steal from randomized victims with spin/yield backoff before
+//!   parking — so repeated kernel launches pay neither thread-spawn cost
+//!   nor queue-lock contention ([`PoolMetrics`] counts the traffic);
 //! - [`parallel_for()`] / [`parallel_for_stats`]: scoped row-parallel launch
 //!   with selectable [`Schedule`] (static-contiguous, CUDA-like
-//!   block-cyclic, or dynamic work-sharing) and per-worker busy-time
+//!   block-cyclic, or dynamic range stealing) and per-worker busy-time
 //!   statistics for the load-imbalance analyses of Section V-C;
 //! - [`RowWriter`] / [`CellWriter`]: disjoint-row mutable access to shared
 //!   output buffers without per-element atomics;
@@ -25,7 +28,7 @@ pub mod pool;
 pub mod ragged;
 pub mod shared;
 
-pub use metrics::{LocalTally, WorkCounter, WorkReport};
+pub use metrics::{LocalTally, PoolMetrics, PoolReport, WorkCounter, WorkReport};
 pub use parallel_for::{
     for_each_index, parallel_for, parallel_for_stats, spin_work, time_best, LaunchStats, Schedule,
 };

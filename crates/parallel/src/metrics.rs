@@ -8,6 +8,11 @@
 //!
 //! Counting is designed to stay off the hot path: workers accumulate into a
 //! local `u64` and flush once per block via [`WorkCounter::add_dot_products`].
+//!
+//! [`PoolMetrics`] plays the same role for the work-stealing substrate
+//! itself: every counter is a relaxed `AtomicU64`, so observing the pool
+//! (steals, parks, injector traffic) never serializes the lock-free
+//! submit/steal paths it measures.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -96,6 +101,106 @@ impl WorkReport {
     }
 }
 
+/// Relaxed atomic counters for the work-stealing pool: injector traffic,
+/// steal attempts/successes, parks, range steals, and jobs executed.
+///
+/// Updates are single relaxed RMWs — no ordering, no locks — so enabling
+/// metrics costs nothing on the paths being measured. Relaxed counters
+/// still sum exactly: `fetch_add` is atomic regardless of ordering, so no
+/// increment is ever lost (only *observation* of in-flight increments is
+/// unordered). [`PoolMetrics::report`] takes a snapshot.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    jobs_executed: AtomicU64,
+    injector_pushes: AtomicU64,
+    injector_pops: AtomicU64,
+    steal_attempts: AtomicU64,
+    steals: AtomicU64,
+    range_steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl PoolMetrics {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one executed job.
+    #[inline]
+    pub fn count_job(&self) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one job pushed into the injector.
+    #[inline]
+    pub fn count_injector_push(&self) {
+        self.injector_pushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful injector batch-steal.
+    #[inline]
+    pub fn count_injector_pop(&self) {
+        self.injector_pops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one steal probe against a victim deque.
+    #[inline]
+    pub fn count_steal_attempt(&self) {
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful steal from a victim deque.
+    #[inline]
+    pub fn count_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `Schedule::Dynamic` range span stolen from a sibling.
+    #[inline]
+    pub fn count_range_steal(&self) {
+        self.range_steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one worker parking on the Condvar.
+    #[inline]
+    pub fn count_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn report(&self) -> PoolReport {
+        PoolReport {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            injector_pushes: self.injector_pushes.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            range_steals: self.range_steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of a [`PoolMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Jobs executed by workers.
+    pub jobs_executed: u64,
+    /// Jobs pushed into the global injector.
+    pub injector_pushes: u64,
+    /// Successful batch-steals from the injector.
+    pub injector_pops: u64,
+    /// Steal probes against victim deques (successful or not).
+    pub steal_attempts: u64,
+    /// Successful steals from victim deques.
+    pub steals: u64,
+    /// `Schedule::Dynamic` range spans stolen from siblings.
+    pub range_steals: u64,
+    /// Times a worker parked on the wakeup Condvar.
+    pub parks: u64,
+}
+
 /// Per-worker local tally that flushes into a shared [`WorkCounter`] on
 /// drop — one atomic RMW per block instead of per dot product.
 pub struct LocalTally<'a> {
@@ -126,6 +231,14 @@ impl<'a> LocalTally<'a> {
     #[inline(always)]
     pub fn update(&mut self) {
         self.output_updates += 1;
+    }
+
+    /// Count `n` output updates at once — for blocked inner loops that
+    /// fold several value rows per sweep (e.g. the SDP baseline's
+    /// score·V accumulation).
+    #[inline(always)]
+    pub fn updated(&mut self, n: u64) {
+        self.output_updates += n;
     }
 
     /// Count `n` search steps.
@@ -204,5 +317,58 @@ mod tests {
         });
         assert_eq!(c.dot_products(), n as u64);
         assert_eq!(c.output_updates(), n as u64);
+    }
+
+    #[test]
+    fn pool_metrics_sum_consistently_across_threads() {
+        // Relaxed ordering must not lose increments: 8 raw threads hammer
+        // every counter concurrently and the totals must be exact.
+        let m = std::sync::Arc::new(PoolMetrics::new());
+        let per = 50_000u64;
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..per {
+                        m.count_job();
+                        m.count_steal_attempt();
+                        m.count_steal();
+                        m.count_range_steal();
+                        m.count_injector_push();
+                        m.count_injector_pop();
+                        m.count_park();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let r = m.report();
+        let want = 8 * per;
+        assert_eq!(r.jobs_executed, want);
+        assert_eq!(r.steal_attempts, want);
+        assert_eq!(r.steals, want);
+        assert_eq!(r.range_steals, want);
+        assert_eq!(r.injector_pushes, want);
+        assert_eq!(r.injector_pops, want);
+        assert_eq!(r.parks, want);
+    }
+
+    #[test]
+    fn pool_metrics_account_for_a_real_launch() {
+        // The pool's own accounting must balance: every injector push is
+        // eventually popped (batch-steals count once per batch, so pops ≤
+        // pushes), and every submitted job executes exactly once.
+        let pool = ThreadPool::new(4);
+        for _ in 0..16 {
+            parallel_for(&pool, 512, Schedule::Dynamic { grain: 8 }, |range| {
+                std::hint::black_box(range.len());
+            });
+        }
+        let r = pool.metrics().report();
+        assert_eq!(r.jobs_executed, r.injector_pushes);
+        assert!(r.injector_pops <= r.injector_pushes);
+        assert!(r.injector_pops > 0);
     }
 }

@@ -11,14 +11,21 @@
 //! fast as its slowest block"). [`Schedule::StaticContiguous`] and
 //! [`Schedule::BlockCyclic`] reproduce a hardware-like fixed assignment,
 //! while [`Schedule::Dynamic`] is the work-stealing ablation (A2 in
-//! DESIGN.md).
+//! DESIGN.md): each participant starts with a contiguous span of rows,
+//! claims `grain` rows at a time from its front, and when its span runs dry
+//! steals half of a randomly chosen sibling's remaining span — real range
+//! stealing, not a shared counter, so the common case is an uncontended CAS
+//! on a cache line the worker owns. Which worker executes a row never
+//! affects the row's result, so outputs stay bitwise identical across
+//! schedules and thread counts (pinned by `tests/determinism.rs`).
 
+use crate::metrics::PoolMetrics;
 use crate::pool::{on_worker_thread, CountLatch, ThreadPool};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,8 +43,9 @@ pub enum Schedule {
         /// Rows per block.
         chunk: usize,
     },
-    /// Workers grab the next `grain` rows from a shared atomic counter until
-    /// the space is exhausted. Self-balancing; the ablation schedule.
+    /// Work stealing: each worker claims `grain` rows at a time from the
+    /// front of its own contiguous span and steals half of a sibling's
+    /// span when it runs dry. Self-balancing; the ablation schedule.
     Dynamic {
         /// Rows claimed per grab.
         grain: usize,
@@ -55,8 +63,13 @@ impl Schedule {
 impl Default for Schedule {
     fn default() -> Self {
         // Dynamic with a modest grain is the best general-purpose default;
-        // kernels that want to reproduce the paper's imbalance phenomena ask
-        // for a fixed schedule explicitly.
+        // grain 16 is the knee of the substrates grain sweep (see
+        // results/baselines/substrates.csv — grain 1 pays ~7× in claim
+        // traffic on an empty body, and while grain 64 shaves the noop
+        // launch further, batched engine runs show no gain over 16 at
+        // half the stealable granularity). Kernels that want to reproduce
+        // the paper's imbalance phenomena ask for a fixed schedule
+        // explicitly.
         Schedule::Dynamic { grain: 16 }
     }
 }
@@ -126,6 +139,92 @@ where
     parallel_for_impl(pool, n, schedule, &body, true)
 }
 
+/// A participant's remaining rows, packed as `(start << 32) | end` in one
+/// atomic word so claims and steals are single CAS operations. The value
+/// fully encodes the span, which makes the CAS protocol immune to ABA: a
+/// compare-exchange that succeeds on `(s, e)` is operating on exactly the
+/// span `(s, e)`, whatever the word held in between.
+struct SpanSlot(AtomicU64);
+
+#[inline]
+fn pack(start: u64, end: u64) -> u64 {
+    (start << 32) | end
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> 32, word & 0xFFFF_FFFF)
+}
+
+impl SpanSlot {
+    fn new(start: usize, end: usize) -> Self {
+        SpanSlot(AtomicU64::new(pack(start as u64, end as u64)))
+    }
+
+    /// Claim up to `grain` rows from the front (owner side).
+    fn claim_front(&self, grain: u64) -> Option<Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = unpack(cur);
+            if start >= end {
+                return None;
+            }
+            let take = grain.min(end - start);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(start + take, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(start as usize..(start + take) as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Steal roughly half the span from the tail (thief side). Every CAS
+    /// failure means another participant shrank this span, so the retry
+    /// loop terminates.
+    fn steal_tail(&self) -> Option<Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = unpack(cur);
+            if start >= end {
+                return None;
+            }
+            let take = (end - start).div_ceil(2);
+            let split = end - take;
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(start, split),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(split as usize..end as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Install a stolen range as this participant's new span. Plain store:
+    /// only the owner writes its own slot outside the CAS protocol, and
+    /// only while the slot is empty (thieves never CAS an empty span).
+    fn install(&self, range: &Range<usize>) {
+        self.0.store(
+            pack(range.start as u64, range.end as u64),
+            Ordering::Release,
+        );
+    }
+}
+
+/// Lock-free per-participant timing slot for [`parallel_for_stats`]:
+/// written once by its participant, read after the latch.
+#[derive(Default)]
+struct StatSlot {
+    busy_bits: AtomicU64,
+    rows: AtomicU64,
+}
+
 /// Shared context for one launch; lives on the caller's stack for the
 /// duration of the launch and is only ever accessed through the raw pointer
 /// below while the caller blocks on the latch.
@@ -134,9 +233,18 @@ struct LaunchCtx<'a, F> {
     n: usize,
     schedule: Schedule,
     workers: usize,
+    /// Per-participant stealable spans (`Schedule::Dynamic` with `n` small
+    /// enough to pack; empty otherwise).
+    spans: Vec<SpanSlot>,
+    /// Shared-counter fallback for `Dynamic` when `n` exceeds the packed
+    /// span range (≥ 2³² rows).
     next: AtomicUsize,
+    /// Fast sibling-panicked flag; checked per block without taking the
+    /// payload lock.
+    panicked: AtomicBool,
     panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
-    stats: Option<Mutex<Vec<(f64, usize)>>>,
+    stats: Option<Vec<StatSlot>>,
+    metrics: &'a PoolMetrics,
 }
 
 impl<F> LaunchCtx<'_, F>
@@ -151,10 +259,11 @@ where
             *rows += range.len();
             // Stop early if a sibling panicked — keeps failure latency low
             // on large launches.
-            if self.panic_slot.lock().is_some() {
+            if self.panicked.load(Ordering::Relaxed) {
                 return;
             }
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.body)(range))) {
+                self.panicked.store(true, Ordering::Relaxed);
                 let mut slot = self.panic_slot.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -184,19 +293,66 @@ where
                 }
             }
             Schedule::Dynamic { grain } => {
-                let grain = grain.max(1);
-                loop {
-                    let lo = self.next.fetch_add(grain, Ordering::Relaxed);
-                    if lo >= self.n {
-                        break;
+                let grain = grain.max(1) as u64;
+                if self.spans.is_empty() {
+                    // Fallback: huge index spaces use the shared counter.
+                    let grain = grain as usize;
+                    loop {
+                        let lo = self.next.fetch_add(grain, Ordering::Relaxed);
+                        if lo >= self.n {
+                            break;
+                        }
+                        let hi = (lo + grain).min(self.n);
+                        guarded(lo..hi, &mut rows);
                     }
-                    let hi = (lo + grain).min(self.n);
-                    guarded(lo..hi, &mut rows);
+                } else {
+                    self.run_stealing(w, grain, &guarded, &mut rows);
                 }
             }
         }
         if let Some(stats) = &self.stats {
-            stats.lock().push((started.elapsed().as_secs_f64(), rows));
+            let slot = &stats[w];
+            slot.busy_bits
+                .store(started.elapsed().as_secs_f64().to_bits(), Ordering::Relaxed);
+            slot.rows.store(rows as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The `Dynamic` steady state: drain the own span from the front, then
+    /// steal half of a randomized sibling's remainder and repeat until no
+    /// span anywhere holds rows.
+    fn run_stealing(
+        &self,
+        w: usize,
+        grain: u64,
+        guarded: &impl Fn(Range<usize>, &mut usize),
+        rows: &mut usize,
+    ) {
+        // Decorrelate which victim each participant probes first.
+        let mut seed = (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        'drain: loop {
+            while let Some(range) = self.spans[w].claim_front(grain) {
+                guarded(range, rows);
+            }
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let start = seed as usize % self.workers;
+            for k in 0..self.workers {
+                let victim = (start + k) % self.workers;
+                if victim == w {
+                    continue;
+                }
+                if let Some(stolen) = self.spans[victim].steal_tail() {
+                    self.metrics.count_range_steal();
+                    self.spans[w].install(&stolen);
+                    continue 'drain;
+                }
+            }
+            // Every span was observed empty; any row still unclaimed lives
+            // in a span some thief just installed — and that thief drains
+            // its own span before ever stealing again, so coverage holds.
+            return;
         }
     }
 }
@@ -230,14 +386,26 @@ where
         };
     }
 
+    let spans = if matches!(schedule, Schedule::Dynamic { .. }) && n < u32::MAX as usize {
+        // Balanced contiguous seed spans, refined by stealing at runtime.
+        let per = n.div_ceil(workers);
+        (0..workers)
+            .map(|w| SpanSlot::new((w * per).min(n), ((w + 1) * per).min(n)))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let ctx = LaunchCtx {
         body,
         n,
         schedule,
         workers,
+        spans,
         next: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
         panic_slot: Mutex::new(None),
-        stats: want_stats.then(|| Mutex::new(Vec::with_capacity(workers))),
+        stats: want_stats.then(|| (0..workers).map(|_| StatSlot::default()).collect()),
+        metrics: pool.metrics(),
     };
 
     // Type- and lifetime-erasure shim: a monomorphised function pointer is
@@ -278,9 +446,11 @@ where
         ..LaunchStats::default()
     };
     if let Some(stats) = ctx.stats {
-        for (busy, rows) in stats.into_inner() {
-            out.worker_busy.push(busy);
-            out.worker_rows.push(rows);
+        for slot in stats {
+            out.worker_busy
+                .push(f64::from_bits(slot.busy_bits.load(Ordering::Relaxed)));
+            out.worker_rows
+                .push(slot.rows.load(Ordering::Relaxed) as usize);
         }
     }
     out
@@ -360,6 +530,19 @@ mod tests {
             covered_exactly_once(n, Schedule::Dynamic { grain: 1 });
             covered_exactly_once(n, Schedule::Dynamic { grain: 7 });
         }
+    }
+
+    #[test]
+    fn span_pack_roundtrip_and_protocol() {
+        let slot = SpanSlot::new(10, 30);
+        assert_eq!(slot.claim_front(4), Some(10..14));
+        // Steal takes half of the remainder (16 rows → 8 from the tail).
+        assert_eq!(slot.steal_tail(), Some(22..30));
+        assert_eq!(slot.claim_front(100), Some(14..22));
+        assert_eq!(slot.claim_front(1), None);
+        assert_eq!(slot.steal_tail(), None, "empty spans cannot be stolen");
+        slot.install(&(5..7));
+        assert_eq!(slot.claim_front(10), Some(5..7));
     }
 
     #[test]
@@ -449,6 +632,19 @@ mod tests {
         assert!(stats.elapsed >= 0.0);
         assert!(stats.imbalance() >= 1.0 - 1e-9);
         assert!(!stats.worker_busy.is_empty());
+    }
+
+    #[test]
+    fn dynamic_stats_cover_all_rows_with_stealing() {
+        let pool = pool4();
+        // Heavy head: the first span's owner is slow, so siblings must
+        // steal from it to finish — rows still sum exactly.
+        let stats = parallel_for_stats(&pool, 256, Schedule::Dynamic { grain: 2 }, |range| {
+            for i in range {
+                spin_work(if i < 64 { 20_000 } else { 10 });
+            }
+        });
+        assert_eq!(stats.worker_rows.iter().sum::<usize>(), 256);
     }
 
     #[test]

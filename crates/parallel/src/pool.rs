@@ -1,23 +1,50 @@
-//! Persistent worker pool.
+//! Persistent work-stealing worker pool.
 //!
 //! The attention kernels launch thousands of short row-parallel regions
 //! (10 warm-up + 15 timed iterations per configuration in the paper's
-//! protocol), so spawning OS threads per launch would dominate the
-//! measurement. This pool keeps workers alive for the process lifetime and
-//! feeds them type-erased jobs over a crossbeam channel.
+//! protocol), and per-token decode serves one tiny launch per tick — so
+//! both thread-spawn cost *and* per-launch queue overhead must stay off
+//! the hot path. Workers are kept alive for the process lifetime and fed
+//! through a lock-free substrate (`shims/crossbeam`'s `deque` module):
+//!
+//! - submitted jobs land in a shared lock-free [`Injector`];
+//! - each worker owns a Chase–Lev deque; idle workers first drain a batch
+//!   from the injector onto their own deque, then steal from randomly
+//!   chosen victims, then back off (spin → yield) before parking on a
+//!   Condvar. The submit fast path never takes a lock — it only notifies
+//!   when the sleeper count (an atomic mirror) says someone is parked.
+//! - [`CountLatch`] completion signalling is an atomic countdown; its
+//!   Condvar is touched only for the final park/unpark.
+//!
+//! Every steal/park/injector event is tallied into relaxed
+//! [`PoolMetrics`] counters (see [`crate::metrics`]), so instrumentation
+//! does not serialize the lock-free path.
 //!
 //! Scoped (non-`'static`) parallel regions are built on top in
 //! [`mod@crate::parallel_for`]; this module only provides the raw `'static`
-//! job
-//! execution and the completion latch.
+//! job execution and the completion latch.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::metrics::PoolMetrics;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Capacity of each worker's local deque. Batches pulled from the
+/// injector are bounded well below this, so overflow back to the
+/// injector is a cold path.
+const LOCAL_QUEUE_CAP: usize = 256;
+/// Capacity of the shared injector ring. A launch enqueues at most one
+/// job per worker, so worst-case occupancy is a few concurrent launches.
+const INJECTOR_CAP: usize = 4096;
+/// Pure-spin rounds of the idle backoff before yielding the timeslice.
+const SPIN_ROUNDS: u32 = 8;
+/// Yield rounds of the idle backoff before parking on the Condvar.
+const YIELD_ROUNDS: u32 = 8;
 
 thread_local! {
     /// Set while a pool worker is executing a job — used to detect nested
@@ -31,11 +58,161 @@ pub fn on_worker_thread() -> bool {
     IN_POOL_WORKER.with(|f| f.get())
 }
 
-/// A fixed-size persistent thread pool.
+/// Tiny xorshift generator for randomized victim selection. Statistical
+/// quality is irrelevant here — it only decorrelates which victim each
+/// worker probes first, so thieves don't convoy on worker 0.
+struct VictimRng(u64);
+
+impl VictimRng {
+    fn new(seed: u64) -> Self {
+        VictimRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// State shared between the pool handle and every worker thread.
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    /// Lock-free mirror of "how many workers are parked": submitters only
+    /// touch `sleep_lock` when this is non-zero, so an all-busy pool never
+    /// contends on the Condvar.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    metrics: PoolMetrics,
+}
+
+impl Shared {
+    /// True when any queue in the pool holds a runnable job.
+    fn has_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Find the next job for worker `index`: local deque first, then a
+    /// batch from the injector, then steal from randomized victims.
+    fn find_job(&self, local: &Deque<Job>, index: usize, rng: &mut VictimRng) -> Option<Job> {
+        if let Some(job) = local.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(job) => {
+                    self.metrics.count_injector_pop();
+                    // The batch landed on our deque; siblings parked before
+                    // it existed need a nudge to come steal their share.
+                    if !local.is_empty() {
+                        self.notify_sleeper();
+                    }
+                    return Some(job);
+                }
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        let n = self.stealers.len();
+        if n > 1 {
+            let start = rng.next() as usize % n;
+            let mut saw_retry = true;
+            while saw_retry {
+                saw_retry = false;
+                for k in 0..n {
+                    let victim = (start + k) % n;
+                    if victim == index {
+                        continue;
+                    }
+                    self.metrics.count_steal_attempt();
+                    match self.stealers[victim].steal() {
+                        Steal::Success(job) => {
+                            self.metrics.count_steal();
+                            return Some(job);
+                        }
+                        Steal::Retry => saw_retry = true,
+                        Steal::Empty => {}
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Wake one parked worker if the sleeper mirror says there is one.
+    #[inline]
+    fn notify_sleeper(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            // Taking the lock orders this notify after any in-progress
+            // park's work-recheck, closing the lost-wakeup window.
+            let _guard = self.sleep_lock.lock();
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Park until new work (or shutdown) is signalled. The sleeper count
+    /// is raised *before* the final work re-check (with a SeqCst fence in
+    /// between) so a submitter either sees the sleeper and notifies, or
+    /// pushed early enough for the re-check to see the job.
+    fn park(&self) {
+        let mut guard = self.sleep_lock.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if self.has_work() || self.shutdown.load(Ordering::Acquire) {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.metrics.count_park();
+        self.wakeup.wait(&mut guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(shared: &Shared, local: Deque<Job>, index: usize) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    let mut rng = VictimRng::new(index as u64 + 1);
+    let mut backoff = 0u32;
+    loop {
+        if let Some(job) = shared.find_job(&local, index, &mut rng) {
+            backoff = 0;
+            // Count before running: a job's last action is its latch
+            // count-down, so counting after would let a caller woken by
+            // that latch observe the job as "not yet executed".
+            shared.metrics.count_job();
+            job();
+            continue;
+        }
+        // Only exit once the pool is shutting down AND no queue holds
+        // work, so pending jobs are drained rather than leaked.
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if backoff < SPIN_ROUNDS {
+            std::hint::spin_loop();
+            backoff += 1;
+        } else if backoff < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+            backoff += 1;
+        } else {
+            shared.park();
+            backoff = 0;
+        }
+    }
+}
+
+/// A fixed-size persistent work-stealing thread pool.
 ///
-/// Workers exit when the pool is dropped (the job channel disconnects).
+/// Workers exit when the pool is dropped (after draining queued jobs).
 pub struct ThreadPool {
-    sender: Sender<Job>,
+    shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
 }
@@ -44,24 +221,29 @@ impl ThreadPool {
     /// Create a pool with `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let deques: Vec<Deque<Job>> = (0..threads)
+            .map(|_| Deque::with_capacity(LOCAL_QUEUE_CAP))
+            .collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::with_capacity(INJECTOR_CAP),
+            stealers: deques.iter().map(|d| d.stealer()).collect(),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            metrics: PoolMetrics::new(),
+        });
         let mut handles = Vec::with_capacity(threads);
-        for idx in 0..threads {
-            let rx = receiver.clone();
+        for (idx, local) in deques.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("gpa-worker-{idx}"))
-                .spawn(move || {
-                    IN_POOL_WORKER.with(|f| f.set(true));
-                    // Exit cleanly when the channel disconnects on pool drop.
-                    while let Ok(job) = rx.recv() {
-                        job();
-                    }
-                })
+                .spawn(move || worker_loop(&shared, local, idx))
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
         ThreadPool {
-            sender,
+            shared,
             handles,
             threads,
         }
@@ -72,28 +254,46 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Substrate counters (steals, parks, injector pops, jobs executed).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.shared.metrics
+    }
+
     /// Submit a `'static` job. Panics if the pool has shut down.
     pub(crate) fn submit(&self, job: Job) {
-        self.sender.send(job).expect("thread pool has shut down");
+        assert!(
+            !self.shared.shutdown.load(Ordering::Acquire),
+            "thread pool has shut down"
+        );
+        self.shared.injector.push(job);
+        self.shared.metrics.count_injector_push();
+        self.shared.notify_sleeper();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel lets every worker's `recv` fail and the
-        // thread exit; then join them so no worker outlives the pool.
-        let (dead_tx, _) = unbounded::<Job>();
-        let old = std::mem::replace(&mut self.sender, dead_tx);
-        drop(old);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Lock-then-notify: a worker between its shutdown re-check and
+        // `wait` still holds the lock, so acquiring it here orders this
+        // broadcast after that worker is actually parked.
+        drop(self.shared.sleep_lock.lock());
+        self.shared.wakeup.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Count-down latch: waits until `count` workers have called [`CountLatch::count_down`].
+/// Count-down latch: waits until `count` workers have called
+/// [`CountLatch::count_down`].
+///
+/// The count lives in an atomic, so signalling completion is one relaxed
+/// RMW; the Mutex/Condvar pair is touched only by the *last* count-down
+/// (to unpark the waiter) and by a waiter that actually has to sleep.
 pub struct CountLatch {
-    remaining: Mutex<usize>,
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
     all_done: Condvar,
 }
 
@@ -101,26 +301,39 @@ impl CountLatch {
     /// Latch expecting `count` completions.
     pub fn new(count: usize) -> Arc<Self> {
         Arc::new(CountLatch {
-            remaining: Mutex::new(count),
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
             all_done: Condvar::new(),
         })
     }
 
     /// Record one completion.
     pub fn count_down(&self) {
-        let mut remaining = self.remaining.lock();
-        debug_assert!(*remaining > 0, "latch count underflow");
-        *remaining -= 1;
-        if *remaining == 0 {
+        let prev = self.remaining.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "latch count underflow");
+        if prev == 1 {
+            // Synchronize with every earlier count_down before waking the
+            // waiter, then take the lock so the notify cannot slot between
+            // the waiter's re-check and its wait.
+            fence(Ordering::Acquire);
+            drop(self.lock.lock());
             self.all_done.notify_all();
         }
     }
 
     /// Block until all completions arrive.
     pub fn wait(&self) {
-        let mut remaining = self.remaining.lock();
-        while *remaining > 0 {
-            self.all_done.wait(&mut remaining);
+        // Short launches usually finish within this bounded spin, skipping
+        // the Condvar entirely.
+        for _ in 0..64 {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) > 0 {
+            self.all_done.wait(&mut guard);
         }
     }
 }
@@ -166,6 +379,7 @@ mod tests {
         }
         latch.wait();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.metrics().report().jobs_executed, 100);
     }
 
     #[test]
@@ -208,6 +422,22 @@ mod tests {
     }
 
     #[test]
+    fn drop_drains_pending_jobs() {
+        // Jobs still queued when the pool drops are executed, not leaked —
+        // the shutdown flag only stops workers once every queue is empty.
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let c = counter.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
     fn zero_thread_request_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
@@ -215,6 +445,28 @@ mod tests {
         let l = latch.clone();
         pool.submit(Box::new(move || l.count_down()));
         latch.wait();
+    }
+
+    #[test]
+    fn parked_workers_wake_for_new_work() {
+        let pool = ThreadPool::new(4);
+        // Let the workers run through their backoff and park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let latch = CountLatch::new(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = counter.clone();
+            let l = latch.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        // With a 20ms idle window the workers must actually have parked —
+        // otherwise the backoff never hands the CPU back.
+        assert!(pool.metrics().report().parks > 0, "workers never parked");
     }
 
     #[test]

