@@ -1,0 +1,72 @@
+//! Adaptive-sparsity trade-off surface — dense vs static-sparse vs
+//! content-routed attention across pattern × group count × context length,
+//! with measured work, tokens/sec, and working-set memory per point.
+//!
+//! ```text
+//! cargo run -p gpa-bench --release --bin adaptive_sparsity [--quick|--paper]
+//! ```
+
+use gpa_bench::experiments::{run_adaptive, AdaptiveConfig};
+use gpa_bench::{ascii_table, fmt_seconds, write_csv, Args, HostInfo};
+use gpa_core::AttentionEngine;
+
+fn main() {
+    let args = Args::from_env();
+    // The surface's work axis is *measured*, so this bin always builds a
+    // counting engine instead of `args.make_engine()`.
+    let engine = AttentionEngine::builder()
+        .threads(args.threads.unwrap_or_else(gpa_parallel::default_threads))
+        .count_work(true)
+        .build();
+    let mut cfg = AdaptiveConfig::for_scale(args.scale);
+    cfg.seed = args.seed;
+
+    println!(
+        "Adaptive sparsity — routed block-diagonal vs dense/static on {}\n",
+        HostInfo::detect().summary()
+    );
+
+    let records = run_adaptive(&engine, &cfg, |r| {
+        eprintln!(
+            "  measured {:<18} L={:<8} -> {} ({:.0} tok/s) {}",
+            r.algo,
+            r.l,
+            fmt_seconds(r.mean_s),
+            r.l as f64 / r.mean_s,
+            r.note
+        );
+    });
+
+    // Pattern (rows) × context length (columns), cells "time / work-frac".
+    let mut series: Vec<&str> = Vec::new();
+    for r in &records {
+        if !series.contains(&r.algo.as_str()) {
+            series.push(r.algo.as_str());
+        }
+    }
+    let mut headers = vec!["pattern".to_string()];
+    headers.extend(cfg.ls.iter().map(|l| format!("L={l}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|&name| {
+            let mut row = vec![name.to_string()];
+            for &l in &cfg.ls {
+                let cell = records
+                    .iter()
+                    .find(|r| r.algo == name && r.l == l)
+                    .map(|r| format!("{} / {:.4}", fmt_seconds(r.mean_s), r.sf_achieved))
+                    .unwrap_or_else(|| "—".into());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print!("{}", ascii_table(&header_refs, &rows));
+    println!("(cell: mean time / measured work as a fraction of dense L²)");
+
+    match write_csv(&args.out_dir, "adaptive", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write CSV: {e}"),
+    }
+}

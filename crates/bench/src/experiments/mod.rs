@@ -2,6 +2,7 @@
 //! §4 for the experiment index) plus the ablation studies.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod decode;
 pub mod fig3;
 pub mod fig5;
@@ -12,6 +13,7 @@ pub mod substrates;
 pub mod table3;
 
 pub use ablations::{run_ablations, AblationConfig};
+pub use adaptive::{run_adaptive, AdaptiveConfig};
 pub use decode::{run_decode, DecodeConfig};
 pub use fig3::{run_fig3, Fig3Config};
 pub use fig5::{run_fig5, Fig5Config};

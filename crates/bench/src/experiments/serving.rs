@@ -193,7 +193,7 @@ fn run_continuous(
     while next < trace.len() || !scheduler.is_idle() {
         while next < trace.len() && trace[next].at <= scheduler.now() {
             let mut request = trace[next].request.clone();
-            request.plan = plan;
+            request.pattern = plan.into();
             match scheduler.submit(request) {
                 Ok(_) => {}
                 Err(ServeError::OverCapacity { .. }) => rejected += 1,

@@ -20,6 +20,7 @@ use crate::error::AttnError;
 use crate::geometry::Geometry;
 use crate::options::KernelOptions;
 use crate::plan::AttentionPlan;
+use crate::routing::Routing;
 use crate::state::AttentionState;
 use gpa_parallel::{parallel_for, CellWriter, LocalTally, RaggedSpace, RowWriter, ThreadPool};
 use gpa_tensor::{attention_scale, Matrix, Real};
@@ -41,6 +42,10 @@ pub struct AttentionRequest<'a, T> {
     pub v: &'a Matrix<T>,
     /// The query window this request computes.
     pub geometry: Geometry,
+    /// This sequence's token-to-group assignment, required exactly when
+    /// the plan has routed steps ([`AttentionPlan::routing_spec`]). Attach
+    /// with [`AttentionRequest::with_routing`].
+    pub routing: Option<&'a Routing>,
 }
 
 impl<'a, T: Real> AttentionRequest<'a, T> {
@@ -54,6 +59,7 @@ impl<'a, T: Real> AttentionRequest<'a, T> {
             k,
             v,
             geometry: Geometry::window(0, q.rows(), k.rows()),
+            routing: None,
         }
     }
 
@@ -66,6 +72,7 @@ impl<'a, T: Real> AttentionRequest<'a, T> {
             k,
             v,
             geometry: Geometry::window(q_offset, q.rows(), k.rows()),
+            routing: None,
         }
     }
 
@@ -80,7 +87,15 @@ impl<'a, T: Real> AttentionRequest<'a, T> {
             k,
             v,
             geometry: Geometry::decode(k.rows()),
+            routing: None,
         }
+    }
+
+    /// Attach this sequence's [`Routing`] — required when the plan has
+    /// routed steps, ignored otherwise. `None` detaches.
+    pub fn with_routing(mut self, routing: Option<&'a Routing>) -> Self {
+        self.routing = routing;
+        self
     }
 
     /// Number of query rows (output rows).
@@ -153,6 +168,45 @@ pub(crate) fn execute_batch<T: Real>(
         .collect())
 }
 
+/// Check one request's routing against the plan: a routed plan needs a
+/// routing built under exactly its spec, covering the whole key/value set
+/// when any routed step is noncausal and at least the query window's end
+/// otherwise (a decode row may run with routing grown only that far). A
+/// static plan silently ignores any attached routing.
+fn validate_routing<T: Real>(
+    plan: &AttentionPlan<'_>,
+    r: &AttentionRequest<'_, T>,
+) -> Result<(), AttnError> {
+    let Some(spec) = plan.routing_spec() else {
+        return Ok(());
+    };
+    let Some(routing) = r.routing else {
+        return Err(AttnError::RoutingMismatch {
+            what: "a routed plan needs each request's Routing attached",
+        });
+    };
+    if routing.spec() != spec {
+        return Err(AttnError::RoutingMismatch {
+            what: "the request's routing was built under a different spec",
+        });
+    }
+    if plan.routed_full_kv() {
+        // A noncausal routed step streams whole groups, so the routing
+        // must cover the key/value set exactly — no more (stale members
+        // past the KV set would be out of bounds), no fewer.
+        if routing.len() != r.k.rows() {
+            return Err(AttnError::RoutingMismatch {
+                what: "a noncausal routed plan needs routing over the exact key/value set",
+            });
+        }
+    } else if routing.len() < r.geometry.q_end() {
+        return Err(AttnError::RoutingMismatch {
+            what: "the request's routing does not cover its query window",
+        });
+    }
+    Ok(())
+}
+
 /// As [`execute_batch`], but returning the full per-request
 /// [`AttentionState`]s — the `(O, l, m)` triples distributed reductions
 /// merge across devices. Graph-kernel plans only.
@@ -169,6 +223,7 @@ pub(crate) fn execute_batch_states<T: Real>(
     }
     for r in requests {
         plan.validate_request(r.geometry, r.q, r.k, r.v)?;
+        validate_routing(plan, r)?;
     }
     let mut states: Vec<AttentionState<T>> = requests
         .iter()
@@ -188,6 +243,7 @@ pub(crate) fn execute_batch_states<T: Real>(
         scale: T,
         kv_len: usize,
         q_offset: usize,
+        routing: Option<&'s Routing>,
     }
     let ctxs: Vec<SeqCtx<'_, T>> = states
         .iter_mut()
@@ -204,6 +260,7 @@ pub(crate) fn execute_batch_states<T: Real>(
                 },
                 kv_len: r.k.rows(),
                 q_offset: r.geometry.q_offset,
+                routing: r.routing,
             }
         })
         .collect();
@@ -247,7 +304,13 @@ pub(crate) fn execute_batch_states<T: Real>(
                 // Kernels see the *absolute* query index, so windows of a
                 // longer sequence stream exactly the square run's rows.
                 for step in plan.steps() {
-                    step.stream_row(ctx.kv_len, ctx.q_offset + i, opts.counter, &mut absorb);
+                    step.stream_row(
+                        ctx.kv_len,
+                        ctx.q_offset + i,
+                        ctx.routing,
+                        opts.counter,
+                        &mut absorb,
+                    );
                 }
             }
         });

@@ -14,6 +14,7 @@ use crate::kernels::{
 };
 use crate::options::KernelOptions;
 use crate::plan::GeometrySpec;
+use crate::routing::{RoutedSpec, Router, Routing};
 use crate::state::AttentionState;
 use gpa_masks::GlobalSet;
 use gpa_parallel::{ThreadPool, WorkCounter};
@@ -55,6 +56,22 @@ pub enum AttentionKernel<'a> {
         /// Local window subtracted from the global rows/columns.
         n_sub: usize,
     },
+    /// Content-adaptive routed block-diagonal attention: tokens are
+    /// routed into `groups` timelines by the seeded scorer
+    /// ([`crate::Router`]) and each query attends its own group. The
+    /// kernel holds only the `(groups, seed)` configuration; the
+    /// per-sequence [`crate::Routing`] rides on the request (or is
+    /// computed from `Q` for standalone square runs), so one compiled
+    /// plan serves many differently-routed sequences in one launch.
+    Routed {
+        /// Number of groups tokens are routed into (positive).
+        groups: usize,
+        /// Seed of the router's projection directions.
+        seed: u64,
+        /// Restrict each row to group members at or before it — the
+        /// prefill/decode-consistent variant.
+        causal: bool,
+    },
     /// Dense masked SDP baseline (not composable).
     SdpMasked(&'a DenseMask),
     /// Dense FlashAttention baseline (not composable).
@@ -73,6 +90,7 @@ impl AttentionKernel<'_> {
             AttentionKernel::Dilated1d { .. } => "Dilated-1D",
             AttentionKernel::Dilated2d { .. } => "Dilated-2D",
             AttentionKernel::Global { .. } => "Global",
+            AttentionKernel::Routed { .. } => "Routed",
             AttentionKernel::SdpMasked(_) => "PyTorch SDP (Masked)",
             AttentionKernel::Flash => "FlashAttention",
         }
@@ -93,6 +111,9 @@ impl AttentionKernel<'_> {
             }),
             AttentionKernel::Dilated2d { block_size: 0, .. } => Err(AttnError::BadParameter {
                 what: "block_size must be positive",
+            }),
+            AttentionKernel::Routed { groups: 0, .. } => Err(AttnError::BadParameter {
+                what: "routed group count must be positive",
             }),
             _ => Ok(()),
         }
@@ -134,7 +155,8 @@ impl AttentionKernel<'_> {
             }
             AttentionKernel::Local { .. }
             | AttentionKernel::Dilated1d { .. }
-            | AttentionKernel::Dilated2d { .. } => {
+            | AttentionKernel::Dilated2d { .. }
+            | AttentionKernel::Routed { .. } => {
                 spec.requires_window = true;
             }
             AttentionKernel::Flash => {
@@ -150,14 +172,37 @@ impl AttentionKernel<'_> {
     /// masks without materializing the kernel's full pattern.
     ///
     /// # Panics
-    /// Panics on dense baselines (they have no sparse row rule) and, for
-    /// the implicit kernels, if `i >= kv_len` (outside the logical square).
+    /// Panics on dense baselines (they have no sparse row rule), on
+    /// [`AttentionKernel::Routed`] (its rule needs a per-sequence
+    /// [`Routing`] — use [`Self::for_each_neighbor_with`]), and, for the
+    /// implicit kernels, if `i >= kv_len` (outside the logical square).
     pub fn for_each_neighbor(&self, kv_len: usize, i: usize, f: &mut dyn FnMut(usize)) {
+        assert!(
+            !matches!(self, AttentionKernel::Routed { .. }),
+            "a routed kernel's row rule needs its sequence's Routing"
+        );
+        self.for_each_neighbor_with(kv_len, i, None, f);
+    }
+
+    /// As [`Self::for_each_neighbor`], with the per-sequence [`Routing`] a
+    /// routed kernel enumerates from. Non-routed kernels ignore `routing`.
+    ///
+    /// # Panics
+    /// Panics on dense baselines, on a routed kernel given no routing (or
+    /// one too short to cover row `i`), and, for the implicit kernels, if
+    /// `i >= kv_len`.
+    pub fn for_each_neighbor_with(
+        &self,
+        kv_len: usize,
+        i: usize,
+        routing: Option<&Routing>,
+        f: &mut dyn FnMut(usize),
+    ) {
         assert!(
             self.is_composable(),
             "dense baselines have no per-row neighbor rule"
         );
-        self.stream_row(kv_len, i, None, f);
+        self.stream_row(kv_len, i, routing, None, f);
     }
 
     /// Stream **absolute** row `i`'s neighbors under key/value set size
@@ -175,6 +220,7 @@ impl AttentionKernel<'_> {
         &self,
         kv_len: usize,
         i: usize,
+        routing: Option<&Routing>,
         counter: Option<&WorkCounter>,
         absorb: &mut dyn FnMut(usize),
     ) {
@@ -194,6 +240,15 @@ impl AttentionKernel<'_> {
             }
             AttentionKernel::Global { globals, n_sub } => {
                 implicit::global_row(kv_len, globals, *n_sub, i, absorb)
+            }
+            AttentionKernel::Routed { causal, .. } => {
+                let routing = routing.expect("a routed step needs its sequence's Routing");
+                assert!(
+                    routing.len() > i,
+                    "routing covers {} tokens but row {i} was requested",
+                    routing.len()
+                );
+                crate::routing::routed_row(routing, *causal, i, absorb)
             }
             AttentionKernel::SdpMasked(_) | AttentionKernel::Flash => {
                 unreachable!("dense baselines are executed whole, not streamed per row")
@@ -226,6 +281,32 @@ impl AttentionKernel<'_> {
             }
             AttentionKernel::Global { globals, n_sub } => {
                 global_attention_into(pool, globals, *n_sub, q, k, v, opts, state)
+            }
+            AttentionKernel::Routed {
+                groups,
+                seed,
+                causal,
+            } => {
+                self.validate_params()?;
+                // The standalone square form: route Q's own rows. Windowed
+                // and cached launches go through plans, which carry the
+                // sequence's routing on the request instead.
+                if q.rows() != k.rows() {
+                    return Err(AttnError::ContextLengthMismatch {
+                        q: q.rows(),
+                        k: k.rows(),
+                        v: v.rows(),
+                    });
+                }
+                let routing = Router::new(RoutedSpec {
+                    groups: *groups,
+                    seed: *seed,
+                })
+                .route(q);
+                let causal = *causal;
+                crate::driver::graph_attention_into(pool, q, k, v, opts, state, move |i, absorb| {
+                    crate::routing::routed_row(&routing, causal, i, absorb)
+                })
             }
             AttentionKernel::SdpMasked(_) | AttentionKernel::Flash => {
                 Err(AttnError::BadParameter {

@@ -40,6 +40,7 @@ use crate::dispatch::AttentionKernel;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
 use crate::plan::AttentionPlan;
+use crate::routing::Router;
 use crate::state::AttentionState;
 use gpa_parallel::{default_threads, Schedule, ThreadPool, WorkCounter, WorkReport};
 use gpa_tensor::{Matrix, Real};
@@ -202,7 +203,10 @@ impl AttentionEngine {
         AttentionPlan::new(kernels)
     }
 
-    /// Run a plan over one sequence.
+    /// Run a plan over one sequence. A routed plan routes `q`'s rows
+    /// itself, so the convenience entry needs no caller-held
+    /// [`crate::Routing`] (batched callers attach one per request via
+    /// [`AttentionRequest::with_routing`]).
     pub fn run<T: Real>(
         &self,
         plan: &AttentionPlan<'_>,
@@ -210,7 +214,9 @@ impl AttentionEngine {
         k: &Matrix<T>,
         v: &Matrix<T>,
     ) -> Result<Matrix<T>, AttnError> {
-        let mut outs = self.run_batch(plan, &[AttentionRequest::new(q, k, v)])?;
+        let routing = plan.routing_spec().map(|spec| Router::new(spec).route(q));
+        let request = AttentionRequest::new(q, k, v).with_routing(routing.as_ref());
+        let mut outs = self.run_batch(plan, &[request])?;
         Ok(outs.pop().expect("one request, one output"))
     }
 
@@ -294,6 +300,14 @@ impl AttentionEngine {
         }
         let prior = cache.len();
         cache.extend(0, k, v);
+        // A routed plan routes the whole prompt up front — one pure
+        // per-row pass, so any chunk split sees identical assignments.
+        if let Some(spec) = plan.routing_spec() {
+            if let Err(e) = cache.extend_routing(spec, 0, q) {
+                cache.truncate(prior);
+                return Err(e);
+            }
+        }
         let prompt = q.rows();
         let chunks = crate::batch::chunk_windows(q, chunk);
         let result = {
@@ -302,6 +316,7 @@ impl AttentionEngine {
                 .iter()
                 .map(|(a, q_chunk)| {
                     AttentionRequest::windowed(q_chunk, cache.k(0), cache.v(0), prior + a)
+                        .with_routing(cache.routing(0))
                 })
                 .collect();
             execute_batch(&self.pool, plan, &self.options(), &requests)
@@ -402,10 +417,28 @@ impl AttentionEngine {
         for step in steps.iter_mut() {
             step.cache.append(0, step.k_t.row(0), step.v_t.row(0));
         }
+        if let Some(spec) = plan.routing_spec() {
+            // Route each new token from its query row — the same pure
+            // per-row function prefill used, so the decode row joins the
+            // exact group the square forward would put it in.
+            let routed: Result<(), AttnError> = steps
+                .iter_mut()
+                .try_for_each(|step| step.cache.extend_routing(spec, 0, step.q_t));
+            if let Err(e) = routed {
+                // Every step already appended its token; roll them all back.
+                for (step, &prior) in steps.iter_mut().zip(&priors) {
+                    step.cache.truncate(prior);
+                }
+                return Err(e);
+            }
+        }
         let result = {
             let requests: Vec<AttentionRequest<'_, T>> = steps
                 .iter()
-                .map(|s| AttentionRequest::decode(s.q_t, s.cache.k(0), s.cache.v(0)))
+                .map(|s| {
+                    AttentionRequest::decode(s.q_t, s.cache.k(0), s.cache.v(0))
+                        .with_routing(s.cache.routing(0))
+                })
                 .collect();
             execute_batch(&self.pool, plan, &self.options(), &requests)
         };

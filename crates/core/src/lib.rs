@@ -61,6 +61,7 @@ pub mod multihead;
 pub mod options;
 pub mod pages;
 pub mod plan;
+pub mod routing;
 pub mod state;
 pub mod verify;
 
@@ -87,6 +88,7 @@ pub use multihead::{
 pub use options::KernelOptions;
 pub use pages::{PagePool, SeqId};
 pub use plan::AttentionPlan;
+pub use routing::{RoutedSpec, Router, Routing};
 pub use state::AttentionState;
 pub use verify::{
     f16_kv_verification_at, run_f16_kv_verification, run_paper_verification, run_verification_at,
@@ -172,6 +174,64 @@ mod proptests {
                     "{} f16-kv decode out of bounds at l={} dk={}: {:.3e}",
                     r.kernel, l, dk, r.max_abs_diff
                 );
+            }
+        }
+
+        /// At any shape, group count, and seed: the router's `K` groups
+        /// partition all `N` tokens (no token unrouted, group sizes sum to
+        /// `N`), and routed attention is **bitwise** the dense attention of
+        /// each group run in isolation — each group's rows gathered into a
+        /// submatrix and pushed through the CSR kernel under an all-ones
+        /// mask, the same `absorb_edge` recurrence in the same ascending
+        /// member order.
+        #[test]
+        fn routed_attention_is_bitwise_per_group_dense(
+            l in 2usize..48,
+            dk in 1usize..16,
+            groups in 1usize..6,
+            seed in 0u64..10_000,
+        ) {
+            let pool = ThreadPool::new(2);
+            let (q, k, v) = qkv::<f64>(l, dk, seed);
+            let spec = RoutedSpec { groups, seed: seed ^ 0xBEEF };
+            let routing = Router::new(spec).route(&q);
+
+            let total: usize = (0..groups).map(|g| routing.members(g).len()).sum();
+            prop_assert!(total == l, "group sizes must sum to N");
+            let mut seen = vec![false; l];
+            for g in 0..groups {
+                for &t in routing.members(g) {
+                    prop_assert!(!seen[t as usize], "token {} routed twice", t);
+                    seen[t as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "no token may go unrouted");
+
+            let out = AttentionKernel::Routed { groups, seed: spec.seed, causal: false }
+                .run(&pool, &q, &k, &v, &KernelOptions::new())
+                .unwrap();
+            for g in 0..groups {
+                let idx: Vec<usize> = routing.members(g).iter().map(|&t| t as usize).collect();
+                if idx.is_empty() { continue; }
+                let (qg, kg, vg) = (q.gather_rows(&idx), k.gather_rows(&idx), v.gather_rows(&idx));
+                let all_ones = gpa_sparse::CsrMask::from_coo(
+                    &gpa_sparse::CooMask::from_entries(
+                        idx.len(),
+                        idx.len(),
+                        (0..idx.len())
+                            .flat_map(|r| (0..idx.len()).map(move |c| (r, c)))
+                            .collect::<Vec<_>>(),
+                    )
+                    .unwrap(),
+                );
+                let dense_group =
+                    csr_attention(&pool, &all_ones, &qg, &kg, &vg, &KernelOptions::new()).unwrap();
+                for (r, &t) in idx.iter().enumerate() {
+                    prop_assert!(
+                        out.row(t) == dense_group.row(r),
+                        "group {} token {} must be bitwise the per-group dense run", g, t
+                    );
+                }
             }
         }
 

@@ -20,6 +20,7 @@ use crate::engine::AttentionEngine;
 use crate::error::AttnError;
 use crate::options::KernelOptions;
 use crate::plan::AttentionPlan;
+use crate::routing::{Router, Routing};
 use gpa_parallel::ThreadPool;
 use gpa_tensor::init::xavier_uniform;
 use gpa_tensor::ops::matmul;
@@ -218,6 +219,16 @@ impl<T: Real> MultiHeadAttention<T> {
         for h in 0..self.heads {
             cache.extend(h, &kh[h], &vh[h]);
         }
+        // Routed plans: every head routes its own queries under the shared
+        // spec — different projections, different groupings, one rule.
+        if let Some(spec) = plan.routing_spec() {
+            let routed: Result<(), AttnError> =
+                (0..self.heads).try_for_each(|h| cache.extend_routing(spec, h, &qh[h]));
+            if let Err(e) = routed {
+                cache.truncate(prior);
+                return Err(e);
+            }
+        }
         let prompt = x.rows();
         let chunks: Vec<(usize, usize, Matrix<T>)> = (0..self.heads)
             .flat_map(|h| {
@@ -232,6 +243,7 @@ impl<T: Real> MultiHeadAttention<T> {
                 .iter()
                 .map(|(h, a, q_chunk)| {
                     AttentionRequest::windowed(q_chunk, cache.k(*h), cache.v(*h), prior + a)
+                        .with_routing(cache.routing(*h))
                 })
                 .collect();
             execute_batch(engine.pool(), plan, &engine.options(), &requests)
@@ -289,10 +301,21 @@ impl<T: Real> MultiHeadAttention<T> {
         for h in 0..self.heads {
             cache.append(h, kh[h].row(0), vh[h].row(0));
         }
+        if let Some(spec) = plan.routing_spec() {
+            let routed: Result<(), AttnError> =
+                (0..self.heads).try_for_each(|h| cache.extend_routing(spec, h, &qh[h]));
+            if let Err(e) = routed {
+                cache.truncate(prior);
+                return Err(e);
+            }
+        }
         let result = {
             let cache = &*cache;
             let requests: Vec<AttentionRequest<'_, T>> = (0..self.heads)
-                .map(|h| AttentionRequest::decode(&qh[h], cache.k(h), cache.v(h)))
+                .map(|h| {
+                    AttentionRequest::decode(&qh[h], cache.k(h), cache.v(h))
+                        .with_routing(cache.routing(h))
+                })
                 .collect();
             execute_batch(engine.pool(), plan, &engine.options(), &requests)
         };
@@ -359,6 +382,18 @@ impl<T: Real> MultiHeadAttention<T> {
                 step.cache.append(h, kh[h].row(0), vh[h].row(0));
             }
         }
+        if let Some(spec) = plan.routing_spec() {
+            let routed: Result<(), AttnError> =
+                steps.iter_mut().zip(&projected).try_for_each(|(step, p)| {
+                    (0..self.heads).try_for_each(|h| step.cache.extend_routing(spec, h, &p.0[h]))
+                });
+            if let Err(e) = routed {
+                for (step, &prior) in steps.iter_mut().zip(&priors) {
+                    step.cache.truncate(prior);
+                }
+                return Err(e);
+            }
+        }
         let result = {
             let requests: Vec<AttentionRequest<'_, T>> = steps
                 .iter()
@@ -366,6 +401,7 @@ impl<T: Real> MultiHeadAttention<T> {
                 .flat_map(|(step, (qh, _, _))| {
                     (0..self.heads).map(move |h| {
                         AttentionRequest::decode(&qh[h], step.cache.k(h), step.cache.v(h))
+                            .with_routing(step.cache.routing(h))
                     })
                 })
                 .collect();
@@ -415,8 +451,16 @@ impl<T: Real> MultiHeadAttention<T> {
         let kh = split_heads(&k, self.heads);
         let vh = split_heads(&v, self.heads);
 
+        // Cacheless forward: route each head's queries on the fly.
+        let routings: Option<Vec<Routing>> = plan.routing_spec().map(|spec| {
+            let router = Router::new(spec);
+            qh.iter().map(|q| router.route(q)).collect()
+        });
         let requests: Vec<AttentionRequest<'_, T>> = (0..self.heads)
-            .map(|h| AttentionRequest::new(&qh[h], &kh[h], &vh[h]))
+            .map(|h| {
+                AttentionRequest::new(&qh[h], &kh[h], &vh[h])
+                    .with_routing(routings.as_ref().map(|r| &r[h]))
+            })
             .collect();
         let outs = execute_batch(pool, plan, opts, &requests)?;
         let packed = concat_heads(&outs);

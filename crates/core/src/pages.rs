@@ -317,6 +317,27 @@ impl<T: Real> PagePool<T> {
         true
     }
 
+    /// Route `q`'s rows as the sequence's next tokens on head `head` —
+    /// the passthrough to [`KvCache::extend_routing`]. Routing costs no
+    /// pages (it is `O(1)` words per token), so this cannot fail for
+    /// capacity reasons.
+    ///
+    /// # Errors
+    /// As [`KvCache::extend_routing`] — the head was previously routed
+    /// under a different spec.
+    ///
+    /// # Panics
+    /// Panics on a released or stale handle.
+    pub fn extend_routing(
+        &mut self,
+        id: SeqId,
+        spec: crate::routing::RoutedSpec,
+        head: usize,
+        q: &Matrix<T>,
+    ) -> Result<(), crate::error::AttnError> {
+        self.seq_mut(id).cache.extend_routing(spec, head, q)
+    }
+
     /// Drop every cached token past the first `tokens`, returning the
     /// pages the shorter length no longer needs to the free list — the
     /// rollback path when a launch fails after its appends landed.

@@ -78,7 +78,7 @@
 //!
 //! // A seeded workload: 6 sequences, mixed prompt/decode lengths and
 //! // arrival times, replayed on the scheduler's virtual clock.
-//! let trace = generate_trace::<f32>(
+//! let trace: Vec<gpa_serve::TraceEvent<f32>> = generate_trace(
 //!     &TraceSpec {
 //!         sequences: 6,
 //!         prompt: (4, 12),
@@ -122,6 +122,27 @@
 //! [`sequential_model_reference`]. `examples/model_serving.rs` serves a
 //! 12-layer bookend stack under page pressure.
 //!
+//! ## Content-adaptive patterns
+//!
+//! A plan request carries a [`PatternChoice`]: either a registered plan
+//! named explicitly, or [`PatternChoice::Auto`], resolved once at
+//! admission — the registered plans are ranked by
+//! [`gpa_core::AttentionPlan::estimated_edges`] at the request's prompt
+//! length, and the KV pool's free-page fraction indexes that ranking, so
+//! a full pool affords the densest pattern while a starved pool forces
+//! the sparsest. Registered plans may include content-routed kernels
+//! ([`gpa_core::AttentionKernel::Routed`]): the router hashes each token
+//! into one of `K` groups as a pure function of the routing spec and the
+//! token's own query row, so a sequence's routing survives preemption,
+//! resume, and any batching shape unchanged, and a tick that holds both
+//! static and routed sequences still issues one launch per distinct plan.
+//! The resolved plan is reported in [`Completion::target`] (the original
+//! choice stays on the request), and completions — Auto, routed, or both
+//! — remain bitwise equal to their per-plan [`sequential_reference`].
+//! `examples/adaptive_serving.rs` walks this end to end, and
+//! `cargo run -p gpa-bench --release --bin adaptive_sparsity` sweeps the
+//! pattern × group-count × context-length trade-off surface.
+//!
 //! `examples/continuous_serving.rs` walks the same loop tick by tick, and
 //! `cargo run -p gpa-bench --release --bin serving_throughput` measures
 //! tokens/sec and latency percentiles against the sequential baseline as
@@ -135,7 +156,8 @@ pub mod trace;
 
 pub use error::ServeError;
 pub use request::{
-    Completion, ModelId, ModelRequest, PlanId, RequestId, ServeRequest, ServeTarget, TickReport,
+    Completion, ModelId, ModelRequest, PatternChoice, PlanId, RequestId, ServeRequest, ServeTarget,
+    TickReport,
 };
 pub use scheduler::{AdmissionMode, Scheduler, ServeConfig};
 pub use trace::{

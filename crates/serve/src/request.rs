@@ -60,6 +60,34 @@ impl RequestId {
     }
 }
 
+/// How a [`ServeRequest`] picks its attention pattern: name a registered
+/// plan explicitly, or let the scheduler choose one at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PatternChoice {
+    /// Run under this registered plan, exactly as submitted.
+    Explicit(PlanId),
+    /// Let the scheduler pick at admission: the registered plans are
+    /// ranked by [`gpa_core::AttentionPlan::estimated_edges`] for the
+    /// request's prompt length (cheapest first), and the pool's free-page
+    /// fraction indexes that ranking — a full pool affords the densest
+    /// pattern, a starved pool forces the sparsest. The resolved plan is
+    /// reported in [`Completion::target`], and the choice itself is kept
+    /// so a rolled-back admission re-queues the request unresolved.
+    Auto,
+}
+
+impl From<PlanId> for PatternChoice {
+    fn from(plan: PlanId) -> Self {
+        PatternChoice::Explicit(plan)
+    }
+}
+
+impl Default for PatternChoice {
+    fn default() -> Self {
+        PatternChoice::Explicit(PlanId::default())
+    }
+}
+
 /// One sequence's worth of serving work: a prompt to prefill plus the
 /// query/key/value rows of every token it will generate.
 ///
@@ -72,8 +100,9 @@ impl RequestId {
 /// checkable bitwise against a sequential reference.
 #[derive(Clone)]
 pub struct ServeRequest<T> {
-    /// The registered plan this sequence runs under.
-    pub plan: PlanId,
+    /// The attention pattern this sequence runs under — a named plan or
+    /// [`PatternChoice::Auto`].
+    pub pattern: PatternChoice,
     /// Priority class — **lower is more urgent**; admission is strict
     /// priority across classes and FIFO within one.
     pub priority: u8,

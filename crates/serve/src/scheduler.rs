@@ -88,10 +88,12 @@
 
 use crate::error::ServeError;
 use crate::request::{
-    Completion, ModelId, ModelRequest, PlanId, RequestId, ServeRequest, ServeTarget, TickReport,
+    Completion, ModelId, ModelRequest, PatternChoice, PlanId, RequestId, ServeRequest, ServeTarget,
+    TickReport,
 };
 use gpa_core::{
-    AttentionEngine, AttentionPlan, AttentionRequest, AttnError, KvCache, PagePool, SeqId,
+    AttentionEngine, AttentionPlan, AttentionRequest, AttnError, KvCache, PagePool, RoutedSpec,
+    SeqId,
 };
 use gpa_model::{DecoderModel, ModelError, ModelKvState, ModelWorkItem};
 use gpa_tensor::{Matrix, Real};
@@ -192,7 +194,12 @@ fn cursor_tokens(phase: Phase, prompt: usize, model: bool) -> usize {
 /// model sequence).
 enum Payload<T> {
     Attn {
+        /// The resolved plan index — fixed for the sequence's lifetime
+        /// once admission resolves `pattern`.
         plan: usize,
+        /// The choice as submitted, kept so an un-admitted request goes
+        /// back to its queue unresolved.
+        pattern: PatternChoice,
         seq: SeqId,
         q: Matrix<T>,
         k: Matrix<T>,
@@ -251,9 +258,22 @@ impl<T: Real> InFlight<T> {
     /// re-adopted on resume.
     fn park(self, pool: &mut PagePool<T>) -> Parked<T> {
         let payload = match self.payload {
-            Payload::Attn { plan, seq, q, k, v } => {
+            Payload::Attn {
+                plan,
+                pattern,
+                seq,
+                q,
+                k,
+                v,
+            } => {
                 pool.release(seq);
-                ParkedPayload::Attn { plan, q, k, v }
+                ParkedPayload::Attn {
+                    plan,
+                    pattern,
+                    q,
+                    k,
+                    v,
+                }
             }
             Payload::Model { model, x, state } => ParkedPayload::Model {
                 model,
@@ -280,6 +300,7 @@ impl<T: Real> InFlight<T> {
 enum ParkedPayload<T> {
     Attn {
         plan: usize,
+        pattern: PatternChoice,
         q: Matrix<T>,
         k: Matrix<T>,
         v: Matrix<T>,
@@ -318,15 +339,35 @@ impl<T: Real> Parked<T> {
 
     /// Re-admit: rebuild a plan sequence's cache from its retained input
     /// rows, or re-adopt a model sequence's retained per-layer caches.
+    /// `spec` is the resolved plan's routing spec for a plan sequence —
+    /// routing is a pure function of the retained query rows, so the
+    /// rebuilt cache re-adopts exactly the grouping it was evicted with.
     /// The caller granted the pages, so failure here is a scheduler bug.
-    fn resume(self, pool: &mut PagePool<T>) -> InFlight<T> {
+    fn resume(self, pool: &mut PagePool<T>, spec: Option<RoutedSpec>) -> InFlight<T> {
         let tokens = self.retained_tokens();
         let payload = match self.payload {
-            ParkedPayload::Attn { plan, q, k, v } => {
+            ParkedPayload::Attn {
+                plan,
+                pattern,
+                q,
+                k,
+                v,
+            } => {
                 let seq = pool.allocate(q.cols(), v.cols());
                 let ok = pool.try_extend(seq, &k.rows_slice(0, tokens), &v.rows_slice(0, tokens));
                 assert!(ok, "resume was granted its pages");
-                Payload::Attn { plan, seq, q, k, v }
+                if let Some(spec) = spec {
+                    pool.extend_routing(seq, spec, 0, &q.rows_slice(0, tokens))
+                        .expect("a fresh cache adopts its plan's routing spec");
+                }
+                Payload::Attn {
+                    plan,
+                    pattern,
+                    seq,
+                    q,
+                    k,
+                    v,
+                }
             }
             ParkedPayload::Model { model, x, retained } => {
                 let Ok(state) = ModelKvState::adopt(retained, pool) else {
@@ -583,8 +624,17 @@ impl<'p, T: Real> Scheduler<'p, T> {
     /// on a later [`Self::tick`]. No KV cache exists — and nothing is
     /// mutated — for a rejected request.
     pub fn submit(&mut self, request: ServeRequest<T>) -> Result<RequestId, ServeError> {
-        if self.plans.get(request.plan.0).is_none() {
-            return Err(ServeError::UnknownPlan);
+        match request.pattern {
+            PatternChoice::Explicit(id) => {
+                if self.plans.get(id.0).is_none() {
+                    return Err(ServeError::UnknownPlan);
+                }
+            }
+            PatternChoice::Auto => {
+                if self.plans.is_empty() {
+                    return Err(ServeError::UnknownPlan);
+                }
+            }
         }
         let total = request.q.rows();
         if total == 0 {
@@ -714,6 +764,32 @@ impl<'p, T: Real> Scheduler<'p, T> {
         false
     }
 
+    /// Resolve a request's pattern choice to a concrete plan index — the
+    /// admission-time cost model behind [`PatternChoice::Auto`]. The
+    /// registered plans are ranked cheapest-first by
+    /// [`AttentionPlan::estimated_edges`] at the request's prompt length,
+    /// and the pool's free-page fraction indexes the ranking: an empty
+    /// pool picks the cheapest pattern, a wide-open one the densest. Both
+    /// inputs are deterministic scheduler state, so a replayed trace
+    /// resolves identically every run.
+    fn resolve_pattern(
+        plans: &[AttentionPlan<'_>],
+        pool: &PagePool<T>,
+        pattern: PatternChoice,
+        prompt: usize,
+    ) -> usize {
+        match pattern {
+            PatternChoice::Explicit(id) => id.0,
+            PatternChoice::Auto => {
+                let mut ranked: Vec<usize> = (0..plans.len()).collect();
+                ranked.sort_by_key(|&p| (plans[p].estimated_edges(prompt), p));
+                let frac = pool.free_pages() as f64 / pool.total_pages() as f64;
+                let pick = ((frac * ranked.len() as f64) as usize).min(ranked.len() - 1);
+                ranked[pick]
+            }
+        }
+    }
+
     /// Pages this sequence's work will take from the pool this tick. A
     /// plan sequence appends one K/V row per decode step — one page when
     /// the append crosses a page boundary, zero mid-page, zero in prefill
@@ -819,7 +895,11 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     .expect("front exists");
                 self.parked_len -= 1;
                 resumed.push(p.id);
-                let s = p.resume(&mut self.pool);
+                let spec = match &p.payload {
+                    ParkedPayload::Attn { plan, .. } => self.plans[*plan].routing_spec(),
+                    ParkedPayload::Model { .. } => None,
+                };
+                let s = p.resume(&mut self.pool, spec);
                 self.in_flight.push(s);
             }
             let Some(queue) = self.pending.get_mut(&class) else {
@@ -870,6 +950,9 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 let (priority, prompt, total, out_cols, payload) = match p.request {
                     AnyRequest::Attn(r) => {
                         let total = r.q.rows();
+                        let plan =
+                            Self::resolve_pattern(&self.plans, &self.pool, r.pattern, r.prompt);
+                        let spec = self.plans[plan].routing_spec();
                         let seq = self.pool.allocate(r.q.cols(), r.v.cols());
                         let ok = self.pool.try_extend(
                             seq,
@@ -877,9 +960,15 @@ impl<'p, T: Real> Scheduler<'p, T> {
                             &r.v.rows_slice(0, r.prompt),
                         );
                         assert!(ok, "admission was granted its prompt pages");
+                        if let Some(spec) = spec {
+                            self.pool
+                                .extend_routing(seq, spec, 0, &r.q.rows_slice(0, r.prompt))
+                                .expect("a fresh cache adopts its plan's routing spec");
+                        }
                         let cols = r.v.cols();
                         let payload = Payload::Attn {
-                            plan: r.plan.0,
+                            plan,
+                            pattern: r.pattern,
                             seq,
                             q: r.q,
                             k: r.k,
@@ -1030,9 +1119,20 @@ impl<'p, T: Real> Scheduler<'p, T> {
             .collect();
         for (i, w) in &work {
             if let Work::Decode { t } = w {
-                if let Payload::Attn { seq, k, v, .. } = &self.in_flight[*i].payload {
+                if let Payload::Attn {
+                    plan, seq, q, k, v, ..
+                } = &self.in_flight[*i].payload
+                {
                     let ok = self.pool.try_append(*seq, k.row(*t), v.row(*t));
                     assert!(ok, "decode appends were granted pages at tick start");
+                    // A routed plan's cache carries its routing: the new
+                    // token joins its group now, so the decode row below
+                    // sees a routing that covers its query position.
+                    if let Some(spec) = self.plans[*plan].routing_spec() {
+                        self.pool
+                            .extend_routing(*seq, spec, 0, &q.rows_slice(*t, *t + 1))
+                            .expect("cache routing follows its plan's spec");
+                    }
                 }
             }
         }
@@ -1073,12 +1173,16 @@ impl<'p, T: Real> Scheduler<'p, T> {
                         unreachable!("plan groups hold plan sequences");
                     };
                     let cache = self.pool.cache(*seq);
+                    // Static plans ignore an attached routing; routed
+                    // plans require the one their cache carries.
                     match *w {
                         Work::Prefill { start, .. } => {
                             AttentionRequest::windowed(&windows[wi], cache.k(0), cache.v(0), start)
+                                .with_routing(cache.routing(0))
                         }
                         Work::Decode { .. } => {
                             AttentionRequest::decode(&windows[wi], cache.k(0), cache.v(0))
+                                .with_routing(cache.routing(0))
                         }
                     }
                 })
@@ -1188,7 +1292,11 @@ impl<'p, T: Real> Scheduler<'p, T> {
             // grants took, and those grants were funded by the victims'
             // own releases.
             for (index, p) in staged {
-                let s = p.resume(&mut self.pool);
+                let spec = match &p.payload {
+                    ParkedPayload::Attn { plan, .. } => self.plans[*plan].routing_spec(),
+                    ParkedPayload::Model { .. } => None,
+                };
+                let s = p.resume(&mut self.pool, spec);
                 self.in_flight.insert(index, s);
             }
             // Part 2b: un-admit this tick's admissions — release their
@@ -1209,10 +1317,20 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     let (id, submitted, priority, prompt) =
                         (s.id, s.submitted, s.priority, s.prompt);
                     let request = match s.payload {
-                        Payload::Attn { plan, seq, q, k, v } => {
+                        Payload::Attn {
+                            pattern,
+                            seq,
+                            q,
+                            k,
+                            v,
+                            ..
+                        } => {
                             self.pool.release(seq);
+                            // Back to the queue with its original choice:
+                            // an Auto request re-resolves at its real
+                            // admission, under that tick's page pressure.
                             AnyRequest::Attn(ServeRequest {
-                                plan: PlanId(plan),
+                                pattern,
                                 priority,
                                 prompt,
                                 q,
@@ -1360,7 +1478,7 @@ mod tests {
     ) -> ServeRequest<f64> {
         let (q, k, v) = qkv::<f64>(total, 4, seed);
         ServeRequest {
-            plan,
+            pattern: plan.into(),
             priority,
             prompt,
             q,
@@ -1782,6 +1900,142 @@ mod tests {
             assert_eq!(c.output, want);
         }
         assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
+    fn routed_sequences_preempt_and_resume_bitwise() {
+        // The preemption squeeze from above, on a routed plan: the cache
+        // carries the routing, eviction drops both, and resume rebuilds
+        // both from the retained q/k/v rows — the victim's output must
+        // still be bitwise the uninterrupted sequential serve.
+        let mut s: Scheduler<'static, f64> = Scheduler::new(
+            AttentionEngine::with_threads(2),
+            ServeConfig {
+                max_in_flight: 2,
+                kv_pages: 3,
+                page_size: 2,
+                arrival_window: 0,
+                prefill_chunk: 4,
+                admission: AdmissionMode::PagedUsage,
+            },
+        )
+        .unwrap();
+        let plan = s
+            .register_plan(
+                AttentionPlan::single(AttentionKernel::Routed {
+                    groups: 2,
+                    seed: 0x0DDB,
+                    causal: true,
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        let ra = request(plan, 0, 2, 6, 61);
+        let rb = request(plan, 0, 2, 6, 62);
+        let a = s.submit(ra.clone()).unwrap();
+        let b = s.submit(rb.clone()).unwrap();
+        let mut completions = Vec::new();
+        let mut preempted = Vec::new();
+        for _ in 0..64 {
+            let r = s.tick().unwrap();
+            s.assert_kv_invariants();
+            preempted.extend(r.preempted);
+            completions.extend(r.completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(preempted, vec![b], "the younger routed sequence parks");
+        assert_eq!(completions.len(), 2);
+        let chunk = s.config().prefill_chunk;
+        for (c, r, id) in [(&completions[0], &ra, a), (&completions[1], &rb, b)] {
+            assert_eq!(c.id, id);
+            let want =
+                crate::trace::sequential_reference(s.engine(), s.plan(plan), r, chunk).unwrap();
+            assert_eq!(c.output, want, "routed serving must be bitwise");
+        }
+        assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
+    fn auto_pattern_resolves_by_cost_and_page_pressure() {
+        // Two plans: a 1-wide local window (cheapest) and a 64-wide one
+        // (dense at these lengths). Auto picks along the cheapest-first
+        // ranking by free-page fraction.
+        let mk = || {
+            let mut s: Scheduler<'static, f64> = Scheduler::new(
+                AttentionEngine::with_threads(2),
+                ServeConfig {
+                    max_in_flight: 4,
+                    kv_pages: 4,
+                    page_size: 4,
+                    arrival_window: 0,
+                    prefill_chunk: 4,
+                    admission: AdmissionMode::PagedUsage,
+                },
+            )
+            .unwrap();
+            let sparse = s
+                .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 1 }).unwrap())
+                .unwrap();
+            let dense = s
+                .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 64 }).unwrap())
+                .unwrap();
+            (s, sparse, dense)
+        };
+        let auto_request = |prompt: usize, total: usize, seed: u64| {
+            let mut r = request(PlanId(0), 0, prompt, total, seed);
+            r.pattern = PatternChoice::Auto;
+            r
+        };
+
+        // Empty pool → free fraction 1 → the densest pattern.
+        let (mut s, _, dense) = mk();
+        let id = s.submit(auto_request(4, 4, 81)).unwrap();
+        let mut completions = Vec::new();
+        for _ in 0..16 {
+            completions.extend(s.tick().unwrap().completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        let c = completions.iter().find(|c| c.id == id).unwrap();
+        assert_eq!(
+            c.target,
+            ServeTarget::Plan(dense),
+            "a wide-open pool affords the densest pattern"
+        );
+
+        // 3 of 4 pages taken → free fraction 1/4 → the sparsest.
+        let (mut s, sparse, _) = mk();
+        s.submit(request(PlanId(0), 0, 12, 12, 82)).unwrap();
+        s.tick().unwrap(); // admits the hog: 3 pages held
+        assert_eq!(s.kv_free_pages(), 1);
+        let id = s.submit(auto_request(4, 4, 83)).unwrap();
+        let mut completions = Vec::new();
+        for _ in 0..16 {
+            completions.extend(s.tick().unwrap().completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        let c = completions.iter().find(|c| c.id == id).unwrap();
+        assert_eq!(
+            c.target,
+            ServeTarget::Plan(sparse),
+            "a starved pool forces the sparsest pattern"
+        );
+        // The original Auto choice resolved at admission is what ran —
+        // the output is bitwise the sequential serve under that plan.
+        let want = crate::trace::sequential_reference(
+            s.engine(),
+            s.plan(sparse),
+            &auto_request(4, 4, 83),
+            s.config().prefill_chunk,
+        )
+        .unwrap();
+        assert_eq!(c.output, want);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! reproduce bitwise.
 
 use crate::error::ServeError;
-use crate::request::{Completion, ModelId, ModelRequest, PlanId, ServeRequest};
+use crate::request::{Completion, ModelId, ModelRequest, PatternChoice, ServeRequest};
 use crate::scheduler::Scheduler;
 use gpa_core::{AttentionEngine, AttentionPlan, AttnError, KvCache, PagePool};
 use gpa_model::{DecoderModel, ModelError, ModelKvState};
@@ -78,14 +78,20 @@ fn draw_incl(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
     lo + rng.gen_range(0..hi - lo + 1)
 }
 
-/// Generate a seeded workload trace, cycling requests over `plans`
-/// (uniformly at random). Events come back sorted by arrival tick, ready
+/// Generate a seeded workload trace, drawing each sequence's pattern
+/// uniformly at random from `patterns` — a slice of [`crate::PlanId`]s for
+/// a classic per-plan workload, or of [`PatternChoice`]s to mix explicit
+/// plans with [`PatternChoice::Auto`] sequences whose plan the scheduler
+/// resolves at admission. Events come back sorted by arrival tick, ready
 /// for [`replay`].
 ///
 /// # Panics
-/// Panics if `plans` is empty or a spec range is empty/inverted.
-pub fn generate_trace<T: Real>(spec: &TraceSpec, plans: &[PlanId]) -> Vec<TraceEvent<T>> {
-    assert!(!plans.is_empty(), "a trace needs at least one plan");
+/// Panics if `patterns` is empty or a spec range is empty/inverted.
+pub fn generate_trace<T: Real, C: Into<PatternChoice> + Copy>(
+    spec: &TraceSpec,
+    patterns: &[C],
+) -> Vec<TraceEvent<T>> {
+    assert!(!patterns.is_empty(), "a trace needs at least one pattern");
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let classes = spec.priority_classes.max(1);
     let mut at = 0u64;
@@ -100,14 +106,14 @@ pub fn generate_trace<T: Real>(spec: &TraceSpec, plans: &[PlanId]) -> Vec<TraceE
                 spec.seed ^ (0xA5A5_0000 + i as u64).wrapping_mul(0x9E37),
             );
             let priority = rng.gen_range(0..classes as usize) as u8;
-            let plan = plans[rng.gen_range(0..plans.len())];
+            let pattern = patterns[rng.gen_range(0..patterns.len())].into();
             let (glo, ghi) = spec.arrival_gap;
             assert!(glo <= ghi, "empty arrival-gap range");
             at += glo + rng.gen_range(0..(ghi - glo + 1) as usize) as u64;
             TraceEvent {
                 at,
                 request: ServeRequest {
-                    plan,
+                    pattern,
                     priority,
                     prompt,
                     q,
@@ -344,6 +350,7 @@ pub fn sequential_model_reference<T: Real>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::PlanId;
     use crate::scheduler::ServeConfig;
     use gpa_core::{AttentionKernel, AttentionPlan};
 

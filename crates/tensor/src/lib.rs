@@ -22,6 +22,6 @@ pub mod real;
 pub mod softmax;
 
 pub use f16::F16;
-pub use matrix::{allclose, paper_allclose, scalar_close, Matrix};
+pub use matrix::{allclose, argmax, paper_allclose, scalar_close, Matrix};
 pub use real::{attention_scale, Real};
 pub use softmax::{merge_normalized, OnlineSoftmaxState, SoftmaxUpdate};

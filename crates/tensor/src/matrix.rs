@@ -152,6 +152,25 @@ impl<T: Real> Matrix<T> {
         }
     }
 
+    /// A copy of the sub-matrix made of the listed rows, in the listed
+    /// order (duplicates allowed) — the grouping primitive routed
+    /// attention uses to pull one group's tokens into a contiguous block.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix<T> {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            assert!(i < self.rows, "row index {i} out of {} rows", self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
     /// Append one row at the bottom — the amortized-O(row) growth step a
     /// KV cache performs once per generated token.
     ///
@@ -275,6 +294,24 @@ pub fn scalar_close(a: f64, b: f64, atol: f64, rtol: f64, equal_nan: bool) -> bo
 /// NaN values compared equal (Section V-A).
 pub fn paper_allclose<T: Real>(a: &Matrix<T>, b: &Matrix<T>) -> bool {
     allclose(a, b, 1e-8, 1e-5, true)
+}
+
+/// Index of the largest score, breaking ties toward the **lowest** index —
+/// the deterministic selection rule the routed-attention scorer relies on
+/// (a strict `>` comparison never displaces an earlier equal score, so the
+/// result is independent of evaluation batching or thread count).
+///
+/// # Panics
+/// Panics if `scores` is empty.
+pub fn argmax<T: Real>(scores: &[T]) -> usize {
+    assert!(!scores.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -412,5 +449,37 @@ mod tests {
         let mut b = a.clone();
         b.set(1, 1, -0.25);
         assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    fn gather_rows_copies_in_listed_order() {
+        let m: Matrix<f64> = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let g = m.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.row(0), m.row(3));
+        assert_eq!(g.row(1), m.row(0));
+        assert_eq!(g.row(2), m.row(3));
+        assert_eq!(m.gather_rows(&[]).shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn gather_rows_checks_bounds() {
+        let m: Matrix<f32> = Matrix::zeros(2, 2);
+        let _ = m.gather_rows(&[2]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_the_lowest_index() {
+        assert_eq!(argmax(&[1.0f64, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[2.0f64, 2.0, 2.0]), 0);
+        assert_eq!(argmax(&[-1.0f32, -1.0, 0.5, 0.5]), 2);
+        assert_eq!(argmax(&[7.0f64]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_rejects_empty() {
+        let _ = argmax::<f64>(&[]);
     }
 }

@@ -65,7 +65,7 @@ fn main() {
             .unwrap(),
     ];
 
-    let trace = generate_trace::<f32>(
+    let trace = generate_trace::<f32, _>(
         &TraceSpec {
             sequences,
             prompt,

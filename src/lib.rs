@@ -112,13 +112,14 @@ pub mod prelude {
         csr_attention, flash_attention, local_attention, masked_sdp, pattern_attention,
         run_composed, AttentionEngine, AttentionEngineBuilder, AttentionKernel, AttentionPlan,
         AttentionRequest, AttentionState, CooSearch, Geometry, KernelOptions, KvCache,
-        MultiHeadAttention,
+        MultiHeadAttention, RoutedSpec, Router, Routing,
     };
     pub use gpa_masks::{bigbird, longformer, GlobalSet, LocalWindow, LongNetPattern, MaskPattern};
     pub use gpa_model::{DecoderModel, LayerPattern, ModelKvState};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
     pub use gpa_serve::{
-        AdmissionMode, ModelRequest, Scheduler, ServeConfig, ServeRequest, ServeTarget,
+        AdmissionMode, ModelRequest, PatternChoice, Scheduler, ServeConfig, ServeRequest,
+        ServeTarget,
     };
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};

@@ -10,8 +10,8 @@ use graph_attention::masks::{MaskPattern, RandomUniform};
 use graph_attention::model::{DecoderModel, LayerPattern};
 use graph_attention::parallel::{Schedule, ThreadPool};
 use graph_attention::serve::{
-    generate_model_trace, generate_trace, replay, replay_mixed, AdmissionMode, RequestId,
-    Scheduler, ServeConfig, TraceSpec,
+    generate_model_trace, generate_trace, replay, replay_mixed, AdmissionMode, PatternChoice,
+    RequestId, Scheduler, ServeConfig, TraceSpec,
 };
 use graph_attention::tensor::init::qkv;
 
@@ -130,7 +130,7 @@ fn serving_trace_identical_across_pool_sizes() {
                 )
                 .unwrap(),
         ];
-        let trace = generate_trace::<f32>(&spec, &plans);
+        let trace = generate_trace::<f32, _>(&spec, &plans);
         replay(&mut scheduler, &trace, 100_000).unwrap()
     };
     let reference = run(1);
@@ -195,7 +195,7 @@ fn preempting_trace_identical_across_pool_sizes() {
                 )
                 .unwrap(),
         ];
-        let trace = generate_trace::<f32>(&spec, &plans);
+        let trace = generate_trace::<f32, _>(&spec, &plans);
         let mut completions = Vec::new();
         let mut events: Vec<Event> = Vec::new();
         let mut next = 0usize;
@@ -226,6 +226,95 @@ fn preempting_trace_identical_across_pool_sizes() {
         assert_eq!(completions.len(), reference.len());
         for (a, b) in reference.iter().zip(&completions) {
             assert_eq!(a.id, b.id, "{threads} threads changed completion order");
+            assert_eq!(
+                (a.admitted, a.completed, a.preemptions),
+                (b.admitted, b.completed, b.preemptions),
+                "{threads} threads changed the schedule of {:?}",
+                a.id
+            );
+            assert_eq!(
+                a.output.as_slice(),
+                b.output.as_slice(),
+                "{threads} threads changed bits of {:?}",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
+fn routed_serving_trace_identical_across_pool_sizes() {
+    // Content-adaptive serving adds two stages that could plausibly
+    // depend on thread timing — the router's scored projection of each
+    // query row and the Auto pattern resolution at admission — and both
+    // must be pure functions of the data and the virtual clock: a trace
+    // mixing a static plan, a causal routed plan, and Auto sequences,
+    // tight enough to evict routed sequences mid-decode, replays on
+    // pools of 1, 2, and 4 workers with identical outputs, completion
+    // order, resolved plans, and preemption counts.
+    let spec = TraceSpec {
+        sequences: 6,
+        prompt: (2, 5),
+        decode: (5, 9),
+        dk: 6,
+        arrival_gap: (0, 1),
+        priority_classes: 2,
+        seed: 0xADA97,
+    };
+    let config = ServeConfig {
+        max_in_flight: 4,
+        kv_pages: 8,
+        page_size: 2,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+    };
+    let run = |threads: usize| {
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+        let local = scheduler
+            .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap())
+            .unwrap();
+        let routed = scheduler
+            .register_plan(
+                AttentionPlan::single(AttentionKernel::Routed {
+                    groups: 2,
+                    seed: 0x7007,
+                    causal: true,
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        let patterns = [
+            PatternChoice::from(local),
+            PatternChoice::from(routed),
+            PatternChoice::Auto,
+        ];
+        let trace = generate_trace::<f32, _>(&spec, &patterns);
+        let completions = replay(&mut scheduler, &trace, 100_000).unwrap();
+        let routed_preempted = completions
+            .iter()
+            .any(|c| c.target.plan() == Some(routed) && c.preemptions > 0);
+        (completions, scheduler.preemption_events(), routed_preempted)
+    };
+    let (reference, ref_events, ref_routed_preempted) = run(1);
+    assert_eq!(reference.len(), spec.sequences);
+    assert!(ref_events > 0, "this trace must force preemption");
+    assert!(
+        ref_routed_preempted,
+        "a routed sequence must be evicted and resumed"
+    );
+    for threads in [2usize, 4] {
+        let (completions, events, _) = run(threads);
+        assert_eq!(events, ref_events, "{threads} threads changed preemptions");
+        assert_eq!(completions.len(), reference.len());
+        for (a, b) in reference.iter().zip(&completions) {
+            assert_eq!(a.id, b.id, "{threads} threads changed completion order");
+            assert_eq!(
+                a.target, b.target,
+                "{threads} threads changed the resolved plan of {:?}",
+                a.id
+            );
             assert_eq!(
                 (a.admitted, a.completed, a.preemptions),
                 (b.admitted, b.completed, b.preemptions),

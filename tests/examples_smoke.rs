@@ -38,6 +38,11 @@ fn quickstart_runs() {
 }
 
 #[test]
+fn adaptive_serving_runs() {
+    run_example("adaptive_serving", true);
+}
+
+#[test]
 fn batched_serving_runs() {
     run_example("batched_serving", true);
 }

@@ -589,6 +589,129 @@ proptest! {
         prop_assert_eq!(&assembled, &full);
     }
 
+    /// The adaptive form of the headline invariant: a *causal* routed
+    /// plan — alone, doubled, and composed with a causal DIA band —
+    /// served as chunked prefill plus per-token KvCache decode
+    /// reassembles the full square forward **bitwise**. Content routing
+    /// is a pure per-row function of `(spec, q-row)`, so every decode
+    /// step routes its token exactly as the square run does.
+    #[test]
+    fn causal_routed_prefill_plus_decode_is_bitwise_the_square_forward(
+        l in 2usize..24,
+        dk in 1usize..8,
+        groups in 1usize..6,
+        band in 1usize..5,
+        chunk in 1usize..10,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0x9077);
+        let prompt = 1 + (seed as usize % l);
+        let routed = AttentionKernel::Routed {
+            groups,
+            seed: seed ^ 0xB5,
+            causal: true,
+        };
+
+        // Length-free compositions: one compiled plan serves the square
+        // reference, the prefill, and every decode step.
+        let free: Vec<Vec<AttentionKernel<'_>>> = vec![vec![routed], vec![routed, routed]];
+        for kernels in &free {
+            let plan = e.compile(kernels).unwrap();
+            let full = e.run(&plan, &q, &k, &v).unwrap();
+            let mut assembled = Matrix::zeros(l, dk);
+            let mut cache = KvCache::single(dk, dk);
+            let prefill = e
+                .prefill_chunked(
+                    &plan,
+                    &q.rows_slice(0, prompt),
+                    &k.rows_slice(0, prompt),
+                    &v.rows_slice(0, prompt),
+                    chunk,
+                    &mut cache,
+                )
+                .unwrap();
+            for i in 0..prompt {
+                assembled.row_mut(i).copy_from_slice(prefill.row(i));
+            }
+            for t in prompt..l {
+                let out = e
+                    .decode_step(
+                        &plan,
+                        &q.rows_slice(t, t + 1),
+                        &k.rows_slice(t, t + 1),
+                        &v.rows_slice(t, t + 1),
+                        &mut cache,
+                    )
+                    .unwrap();
+                assembled.row_mut(t).copy_from_slice(out.row(0));
+            }
+            prop_assert!(
+                assembled == full,
+                "routed composition of {} step(s) differs from the square forward",
+                kernels.len()
+            );
+        }
+
+        // Composed with a causal DIA band: the band pins its length, so
+        // the plan is rebuilt per prefix exactly as the square reference
+        // demands — the routed step's spec never changes, so the cache's
+        // routing stays valid across rebuilds.
+        let offsets: Vec<i64> = (0..=band as i64).map(|d| -d).collect();
+        let clip = |len: usize| -> DiaMask {
+            DiaMask::new(
+                len,
+                offsets
+                    .iter()
+                    .copied()
+                    .filter(|d| d.unsigned_abs() < len as u64)
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let full_mask = clip(l);
+        let full_plan = e
+            .compile(&[AttentionKernel::Dia(&full_mask), routed])
+            .unwrap();
+        let full = e.run(&full_plan, &q, &k, &v).unwrap();
+        let mut assembled = Matrix::zeros(l, dk);
+        let mut cache = KvCache::single(dk, dk);
+        let prompt_mask = clip(prompt);
+        let prompt_plan = e
+            .compile(&[AttentionKernel::Dia(&prompt_mask), routed])
+            .unwrap();
+        let prefill = e
+            .prefill_chunked(
+                &prompt_plan,
+                &q.rows_slice(0, prompt),
+                &k.rows_slice(0, prompt),
+                &v.rows_slice(0, prompt),
+                chunk,
+                &mut cache,
+            )
+            .unwrap();
+        for i in 0..prompt {
+            assembled.row_mut(i).copy_from_slice(prefill.row(i));
+        }
+        for t in prompt..l {
+            let step_mask = clip(t + 1);
+            let step_plan = e
+                .compile(&[AttentionKernel::Dia(&step_mask), routed])
+                .unwrap();
+            let out = e
+                .decode_step(
+                    &step_plan,
+                    &q.rows_slice(t, t + 1),
+                    &k.rows_slice(t, t + 1),
+                    &v.rows_slice(t, t + 1),
+                    &mut cache,
+                )
+                .unwrap();
+            assembled.row_mut(t).copy_from_slice(out.row(0));
+        }
+        prop_assert_eq!(&assembled, &full);
+    }
+
     /// The decoder-stack form of the headline invariant: a heterogeneous
     /// *causal* Full/Sparse stack served incrementally — chunked prefill
     /// plus per-token decode through per-layer paged KV caches — is

@@ -75,6 +75,51 @@ fn build_scheduler(
     (scheduler, plans)
 }
 
+/// Scheduler + pattern choices for the adaptive traces: the three static
+/// plans above, two routed plans (a bare causal router and a composed
+/// Local + Routed), and the [`PatternChoice::Auto`] wildcard — so traces
+/// mix static, content-routed, and scheduler-chosen sequences. Returns the
+/// routed plan ids separately so tests can tell routed completions apart.
+fn build_adaptive_scheduler(
+    threads: usize,
+    config: ServeConfig,
+) -> (
+    Scheduler<'static, f64>,
+    Vec<PatternChoice>,
+    Vec<graph_attention::serve::PlanId>,
+) {
+    let (mut scheduler, plans) = build_scheduler(threads, config);
+    let routed = vec![
+        scheduler
+            .register_plan(
+                AttentionPlan::single(AttentionKernel::Routed {
+                    groups: 2,
+                    seed: 0x0DD5,
+                    causal: true,
+                })
+                .unwrap(),
+            )
+            .unwrap(),
+        scheduler
+            .register_plan(
+                AttentionPlan::new(&[
+                    AttentionKernel::Local { n: 1 },
+                    AttentionKernel::Routed {
+                        groups: 3,
+                        seed: 0xB10C,
+                        causal: true,
+                    },
+                ])
+                .unwrap(),
+            )
+            .unwrap(),
+    ];
+    let mut patterns: Vec<PatternChoice> = plans.iter().map(|&p| p.into()).collect();
+    patterns.extend(routed.iter().map(|&p| PatternChoice::from(p)));
+    patterns.push(PatternChoice::Auto);
+    (scheduler, patterns, routed)
+}
+
 /// Scheduler + plans + models used by one simulated mixed trace: the three
 /// plans above, plus a single-layer full model and a three-layer
 /// heterogeneous Full/Sparse/Full stack — so model traces mix stack depths
@@ -521,6 +566,147 @@ fn preempted_and_resumed_sequences_complete_bitwise() {
     );
 }
 
+/// Adaptive-sparsity traces: randomized seeded workloads drawing each
+/// sequence's pattern from the static plans, two causal routed plans, and
+/// [`PatternChoice::Auto`] — one scheduler, one page pool. Every always-on
+/// invariant of the headline loop holds, every completion (Auto sequences
+/// checked under the plan the scheduler resolved at admission) is bitwise
+/// its sequential reference, and across the loop at least one **routed**
+/// sequence is preempted and resumed — eviction and resume must re-adopt
+/// the same content routing, or the bitwise check would fail.
+#[test]
+fn routed_and_auto_traces_match_the_sequential_reference_bitwise() {
+    let mut routed_preempted = 0u64;
+    let mut auto_served = 0u64;
+    for trace_seed in 0u64..16 {
+        let mut knobs = StdRng::seed_from_u64(0xADA7 ^ trace_seed);
+        let prompt_lo = 1 + knobs.gen_range(0..5);
+        let prompt_hi = prompt_lo + knobs.gen_range(0..10);
+        let decode_hi = knobs.gen_range(0..8);
+        let spec = TraceSpec {
+            sequences: 4 + knobs.gen_range(0..6),
+            prompt: (prompt_lo, prompt_hi),
+            decode: (0, decode_hi),
+            dk: 2 + knobs.gen_range(0..6),
+            arrival_gap: (0, knobs.gen_range(0..3) as u64),
+            priority_classes: 1 + knobs.gen_range(0..3) as u8,
+            seed: trace_seed.wrapping_mul(0x9E37_79B9) ^ 0x40E7,
+        };
+        let max_total = prompt_hi + decode_hi;
+        let page_size = 1 + knobs.gen_range(0..5);
+        // Tighter than the headline loop: just enough pages for the
+        // largest single sequence plus a sliver, so routed sequences get
+        // evicted mid-decode often.
+        let kv_pages = max_total.div_ceil(page_size) + knobs.gen_range(0..spec.sequences);
+        let config = ServeConfig {
+            max_in_flight: 1 + knobs.gen_range(0..4),
+            kv_pages,
+            page_size,
+            arrival_window: knobs.gen_range(0..3) as u64,
+            prefill_chunk: 1 + knobs.gen_range(0..5),
+            admission: AdmissionMode::PagedUsage,
+        };
+        let (mut scheduler, patterns, routed) = build_adaptive_scheduler(2, config);
+        let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &patterns);
+        let bound = starvation_bound(&trace, &config);
+        let (completions, _) = drive(&mut scheduler, &trace, bound);
+        check_completions(&scheduler, &trace, &completions);
+        assert!(scheduler.is_idle());
+        assert_eq!(
+            scheduler.kv_used_pages(),
+            0,
+            "trace {trace_seed}: all pages released"
+        );
+        for c in &completions {
+            let resolved = c.target.plan().expect("a plan-only trace");
+            if routed.contains(&resolved) && c.preemptions > 0 {
+                routed_preempted += 1;
+            }
+            if trace[c.id.as_u64() as usize].request.pattern == PatternChoice::Auto {
+                auto_served += 1;
+            }
+        }
+    }
+    assert!(
+        routed_preempted > 0,
+        "no routed sequence was evicted and resumed — tighten the page budgets"
+    );
+    assert!(
+        auto_served > 0,
+        "no Auto sequence was drawn — widen the pattern mix"
+    );
+}
+
+/// The adaptive acceptance scenario: one tick flattens a batch mixing
+/// three static patterns and routed sequences into **shared** launches —
+/// eight sequences, two per pattern, admitted together and prefilled in a
+/// single tick as four batched launches (one per distinct plan, not one
+/// per sequence) — and every completion is bitwise the sequential
+/// reference.
+#[test]
+fn one_tick_flattens_static_and_routed_sequences_into_shared_launches() {
+    let config = ServeConfig {
+        max_in_flight: 8,
+        kv_pages: 32,
+        page_size: 4,
+        arrival_window: 0,
+        prefill_chunk: 8,
+        admission: AdmissionMode::PagedUsage,
+    };
+    let (mut scheduler, patterns, routed) = build_adaptive_scheduler(2, config);
+    // Two sequences per pattern: the three static plans plus the bare
+    // causal routed plan — 8 sequences over 4 distinct plans.
+    let chosen = [patterns[0], patterns[1], patterns[2], routed[0].into()];
+    let (prompt, decode) = (6usize, 2usize);
+    let mut requests = Vec::new();
+    for (i, &pattern) in chosen.iter().cycle().take(8).enumerate() {
+        let (q, k, v) = init::qkv::<f64>(prompt + decode, 4, 0x51 + i as u64);
+        requests.push(graph_attention::serve::ServeRequest {
+            pattern,
+            priority: 0,
+            prompt,
+            q,
+            k,
+            v,
+        });
+    }
+    let ids: Vec<_> = requests
+        .iter()
+        .map(|r| scheduler.submit(r.clone()).unwrap())
+        .collect();
+    let report = scheduler.tick().unwrap();
+    assert_eq!(report.admitted.len(), 8, "all eight admitted in one tick");
+    assert_eq!(
+        report.launches, 4,
+        "8 sequences share 4 launches — one per distinct plan, static and routed alike"
+    );
+    assert_eq!(
+        report.rows_computed,
+        8 * prompt,
+        "every prompt prefilled whole inside the shared launches"
+    );
+    let mut completions = Vec::new();
+    for _ in 0..32 {
+        completions.extend(scheduler.tick().unwrap().completed);
+        if scheduler.is_idle() {
+            break;
+        }
+    }
+    assert_eq!(completions.len(), 8);
+    for c in &completions {
+        let idx = ids.iter().position(|&id| id == c.id).unwrap();
+        let plan = c.target.plan().expect("a plan-only workload");
+        let expect = sequential_reference(
+            scheduler.engine(),
+            scheduler.plan(plan),
+            &requests[idx],
+            config.prefill_chunk,
+        )
+        .unwrap();
+        assert_eq!(c.output, expect, "sequence {} bitwise", c.id.as_u64());
+    }
+}
+
 /// Acceptance A/B: on the same page budget at saturating load, paged
 /// admission sustains strictly more concurrent in-flight sequences than
 /// worst-case reservation — and both serve every sequence bitwise equal
@@ -654,7 +840,7 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
     let (q, k, v) = init::qkv::<f64>(129, 4, 1);
     let err = scheduler
         .submit(graph_attention::serve::ServeRequest {
-            plan: healthy,
+            pattern: healthy.into(),
             priority: 0,
             prompt: 8,
             q,
@@ -679,7 +865,7 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
         healthy_ids.push(
             scheduler
                 .submit(graph_attention::serve::ServeRequest {
-                    plan: healthy,
+                    pattern: healthy.into(),
                     priority: 0,
                     prompt: 6,
                     q,
@@ -699,7 +885,7 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
     let (q, k, v) = init::qkv::<f64>(5, 4, 99);
     let broken_id = scheduler
         .submit(graph_attention::serve::ServeRequest {
-            plan: broken,
+            pattern: broken.into(),
             priority: 0,
             prompt: 3,
             q: q.clone(),
@@ -753,7 +939,7 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
         let seed = 10 + c.id.as_u64() - healthy_ids[0].as_u64();
         let (q, k, v) = init::qkv::<f64>(12, 4, seed);
         let request = graph_attention::serve::ServeRequest {
-            plan: healthy,
+            pattern: healthy.into(),
             priority: 0,
             prompt: 6,
             q,
