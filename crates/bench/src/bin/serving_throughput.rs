@@ -60,7 +60,7 @@ fn main() {
     let headers = ["arrival gap", "algo", "mean", "p50 latency", "p99 latency"];
     let rows: Vec<Vec<String>> = records
         .iter()
-        .filter(|r| r.algo != "PagePressure")
+        .filter(|r| r.algo == "Continuous" || r.algo == "Sequential")
         .map(|r| {
             let pct = |tag: &str| {
                 let v = field(&r.note, tag);
@@ -101,6 +101,24 @@ fn main() {
                 field(&r.note, "rej="),
                 field(&r.note, "pre="),
                 fmt_seconds(r.mean_s),
+            ]
+        })
+        .collect();
+    println!("\n{}", ascii_table(&headers, &rows));
+
+    // Context length × eviction mode → resume-tick latency: Recompute
+    // grows with L, Swap stays flat.
+    let headers = ["resume L", "eviction", "resume tick", "min", "max"];
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .filter(|r| r.algo.starts_with("Resume"))
+        .map(|r| {
+            vec![
+                r.l.to_string(),
+                r.algo.trim_start_matches("Resume").to_string(),
+                fmt_seconds(r.mean_s),
+                fmt_seconds(r.min_s),
+                fmt_seconds(r.max_s),
             ]
         })
         .collect();

@@ -29,8 +29,8 @@ use crate::report::Record;
 use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_model::{DecoderModel, LayerPattern};
 use gpa_serve::{
-    generate_model_trace, AdmissionMode, Completion, ModelTraceEvent, Scheduler, ServeConfig,
-    TraceSpec,
+    generate_model_trace, AdmissionMode, Completion, EvictionMode, ModelTraceEvent, Scheduler,
+    ServeConfig, TraceSpec,
 };
 use std::time::Instant;
 
@@ -184,6 +184,8 @@ impl ModelConfig {
             arrival_window: 0,
             prefill_chunk: self.prefill_chunk,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         }
     }
 

@@ -31,8 +31,8 @@ use crate::args::Scale;
 use crate::report::Record;
 use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
 use gpa_serve::{
-    generate_trace, sequential_reference, AdmissionMode, Completion, Scheduler, ServeConfig,
-    ServeError, TraceEvent, TraceSpec,
+    generate_trace, sequential_reference, AdmissionMode, Completion, EvictionMode, Scheduler,
+    ServeConfig, ServeError, TraceEvent, TraceSpec,
 };
 use std::time::Instant;
 
@@ -64,6 +64,10 @@ pub struct ServingConfig {
     pub page_size: usize,
     /// Prefill chunk rows.
     pub prefill_chunk: usize,
+    /// Context lengths for the Recompute-vs-Swap resume A/B (each must be
+    /// a multiple of `page_size` so the victim's first decode token lands
+    /// on a page boundary and the squeeze preempts deterministically).
+    pub resume_lengths: Vec<usize>,
     /// Workload seed.
     pub seed: u64,
 }
@@ -84,6 +88,7 @@ impl ServingConfig {
                 kv_pages: 32,
                 page_size: 8,
                 prefill_chunk: 8,
+                resume_lengths: vec![64, 256],
                 seed: 0x5EED,
             },
             Scale::Default => ServingConfig {
@@ -98,6 +103,7 @@ impl ServingConfig {
                 kv_pages: 256,
                 page_size: 64,
                 prefill_chunk: 64,
+                resume_lengths: vec![256, 1024, 4096],
                 seed: 0x5EED,
             },
             Scale::Paper => ServingConfig {
@@ -112,6 +118,7 @@ impl ServingConfig {
                 kv_pages: 1024,
                 page_size: 256,
                 prefill_chunk: 256,
+                resume_lengths: vec![1024, 4096, 16384],
                 seed: 0x5EED,
             },
         }
@@ -125,6 +132,8 @@ impl ServingConfig {
             arrival_window: 0,
             prefill_chunk: self.prefill_chunk,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         }
     }
 
@@ -242,6 +251,110 @@ fn run_sequential(
     (samples, tokens)
 }
 
+/// One resume-latency measurement: preempt a single long-context victim
+/// under a deterministic page squeeze, then time the tick that resumes
+/// it. Returns per-iteration resume-tick durations.
+///
+/// The squeeze, for a context length `l` (a multiple of `page_size`, so
+/// the victim's first decode token crosses a page boundary):
+///
+/// 1. a priority-1 **victim** (prompt `l`, `page_size` decode tokens) is
+///    admitted alone and decodes its first token — it now holds
+///    `l/page_size + 1` pages of a pool sized `l/page_size + 2`;
+/// 2. a priority-0 **aggressor** (one-page prompt, one page of decode)
+///    admits into the last free page; its first decode append finds the
+///    free list empty and evicts the victim — the least urgent sequence;
+/// 3. the aggressor drains; the pool reopens; the next tick resumes the
+///    victim. That tick is the sample: under `Recompute` it re-extends
+///    all `l + 2` retained K/V rows (`O(context)`), under `Swap` it
+///    splices the parked cache's pages back (`O(pages held)`, no row
+///    copies).
+fn run_resume_ab(
+    engine_threads: Option<usize>,
+    cfg: &ServingConfig,
+    l: usize,
+    eviction: EvictionMode,
+    iters: usize,
+) -> Vec<f64> {
+    assert!(l % cfg.page_size == 0, "resume length must be page-aligned");
+    assert!(cfg.page_size >= 3, "the victim must decode mid-page");
+    let pages = l / cfg.page_size;
+    let mut samples = Vec::with_capacity(iters);
+    for it in 0..iters {
+        let engine = match engine_threads {
+            Some(t) => AttentionEngine::with_threads(t),
+            None => AttentionEngine::new(),
+        };
+        let config = ServeConfig {
+            max_in_flight: 2,
+            kv_pages: pages + 2,
+            page_size: cfg.page_size,
+            arrival_window: 0,
+            prefill_chunk: cfg.prefill_chunk,
+            admission: AdmissionMode::PagedUsage,
+            eviction,
+            swap_bytes: usize::MAX,
+        };
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(engine, config).expect("valid resume A/B config");
+        let plan = scheduler
+            .register_plan(
+                AttentionPlan::single(AttentionKernel::Local { n: cfg.window })
+                    .expect("window plan compiles"),
+            )
+            .expect("implicit plans register");
+        let submit = |s: &mut Scheduler<'static, f32>, priority, prompt, total, seed| {
+            let (q, k, v) = gpa_tensor::init::qkv::<f32>(total, cfg.dk, seed);
+            s.submit(gpa_serve::ServeRequest {
+                pattern: plan.into(),
+                priority,
+                prompt,
+                q,
+                k,
+                v,
+            })
+            .expect("resume A/B requests fit the pool")
+        };
+        let victim = submit(
+            &mut scheduler,
+            1,
+            l,
+            l + cfg.page_size,
+            0xAB ^ (it as u64) << 8,
+        );
+        // Serve the victim alone until its first decode append takes the
+        // boundary page; only then can the aggressor squeeze it out.
+        while scheduler.kv_used_pages() < pages + 1 {
+            scheduler.tick().expect("healthy victim ticks");
+        }
+        let _aggressor = submit(
+            &mut scheduler,
+            0,
+            cfg.page_size,
+            2 * cfg.page_size,
+            0xA66 ^ (it as u64) << 8,
+        );
+        let (mut preempted, mut resumed_in) = (false, None);
+        let mut guard = 0u32;
+        while !scheduler.is_idle() {
+            guard += 1;
+            assert!(guard < 100_000, "resume A/B did not drain (L = {l})");
+            let started = Instant::now();
+            let report = scheduler.tick().expect("healthy squeeze ticks");
+            let elapsed = started.elapsed().as_secs_f64();
+            if report.preempted.contains(&victim) {
+                preempted = true;
+            }
+            if report.resumed.contains(&victim) {
+                resumed_in = Some(elapsed);
+            }
+        }
+        assert!(preempted, "the squeeze must evict the victim (L = {l})");
+        samples.push(resumed_in.expect("the evicted victim must resume"));
+    }
+    samples
+}
+
 /// Run the serving sweep, streaming each record to `on_record`.
 pub fn run_serving(
     threads: Option<usize>,
@@ -351,6 +464,44 @@ pub fn run_serving(
             records.push(rec);
         }
     }
+
+    // Resume-latency A/B: Recompute's resume cost grows with context
+    // length (it re-extends every retained K/V row), Swap's stays flat
+    // (it splices parked pages back). One victim per point, timed on the
+    // tick that resumes it.
+    for &l in &cfg.resume_lengths {
+        let mut means = Vec::new();
+        for (eviction, algo) in [
+            (EvictionMode::Recompute, "ResumeRecompute"),
+            (EvictionMode::Swap, "ResumeSwap"),
+        ] {
+            let samples = run_resume_ab(threads, cfg, l, eviction, 5);
+            let stat = crate::protocol::BenchStat::from_samples(&samples);
+            means.push(stat.mean);
+            let rec = Record {
+                experiment: "serving".into(),
+                algo: algo.into(),
+                l,
+                dk: cfg.dk,
+                sf_target: 0.0,
+                sf_achieved: f64::NAN,
+                mean_s: stat.mean,
+                min_s: stat.min,
+                max_s: stat.max,
+                std_s: stat.std,
+                iters: stat.iters,
+                note: format!("resume; window={}; page={}", cfg.window, cfg.page_size),
+            };
+            on_record(&rec);
+            records.push(rec);
+        }
+        eprintln!(
+            "  resume L={l}: recompute {:.1}µs vs swap {:.1}µs ({:.2}x)",
+            means[0] * 1e6,
+            means[1] * 1e6,
+            means[0] / means[1]
+        );
+    }
     records
 }
 
@@ -371,6 +522,7 @@ mod tests {
             kv_pages: 16,
             page_size: 4,
             prefill_chunk: 2,
+            resume_lengths: vec![8, 16],
             seed: 11,
         }
     }
@@ -383,7 +535,7 @@ mod tests {
         assert_eq!(records.len(), streamed);
         assert_eq!(
             records.len(),
-            (2 + cfg.page_budgets.len()) * cfg.arrival_gaps.len()
+            (2 + cfg.page_budgets.len()) * cfg.arrival_gaps.len() + 2 * cfg.resume_lengths.len()
         );
         for gap in &cfg.arrival_gaps {
             for algo in ["Continuous", "Sequential"] {
@@ -416,6 +568,28 @@ mod tests {
             .all(|r| r.note.contains("adm=")
                 && r.note.contains("rej=")
                 && r.note.contains("pre=")));
+        // The resume A/B emits both eviction modes at every length.
+        for l in &cfg.resume_lengths {
+            for algo in ["ResumeRecompute", "ResumeSwap"] {
+                assert!(
+                    records.iter().any(|r| r.algo == algo && r.l == *l),
+                    "missing {algo} at L {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_ab_squeeze_preempts_and_resumes_in_both_modes() {
+        // The A/B scenario's internal asserts (victim evicted, victim
+        // resumed, trace drains) must hold for both modes at the tiniest
+        // geometry — one iteration each.
+        let cfg = tiny();
+        for eviction in [EvictionMode::Recompute, EvictionMode::Swap] {
+            let samples = run_resume_ab(Some(2), &cfg, 8, eviction, 1);
+            assert_eq!(samples.len(), 1);
+            assert!(samples[0] > 0.0);
+        }
     }
 
     #[test]

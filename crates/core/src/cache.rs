@@ -142,6 +142,16 @@ impl<T: Real> KvCache<T> {
         self.len() == 0
     }
 
+    /// Bytes of K/V payload this cache holds:
+    /// `heads × len × (dk + dv) × size_of::<T>()`. This is the quantity a
+    /// host-side [`crate::SwapArena`] accounts when a preempted sequence
+    /// parks its cache instead of dropping it. [`KvPrecision::F16`] rounds
+    /// values but stores them in `T`, so precision does not change the
+    /// byte count.
+    pub fn kv_bytes(&self) -> usize {
+        self.heads() * self.len() * (self.dk() + self.dv()) * std::mem::size_of::<T>()
+    }
+
     /// Append one token's key/value rows to head `head`.
     ///
     /// # Panics
@@ -286,6 +296,21 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.dk(), cache.dv()), (4, 3));
+    }
+
+    #[test]
+    fn kv_bytes_counts_heads_tokens_and_both_widths() {
+        let mut cache: KvCache<f64> = KvCache::new(2, 4, 3);
+        assert_eq!(cache.kv_bytes(), 0);
+        let (_, k, _) = qkv::<f64>(5, 4, 1);
+        let (_, _, v) = qkv::<f64>(5, 3, 2);
+        for h in 0..2 {
+            cache.extend(h, &k, &v);
+        }
+        // 2 heads × 5 tokens × (4 + 3) columns × 8 bytes.
+        assert_eq!(cache.kv_bytes(), 2 * 5 * 7 * 8);
+        cache.truncate(2);
+        assert_eq!(cache.kv_bytes(), 2 * 2 * 7 * 8);
     }
 
     #[test]

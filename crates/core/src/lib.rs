@@ -86,7 +86,7 @@ pub use multihead::{
     ProjectedHeads,
 };
 pub use options::KernelOptions;
-pub use pages::{PagePool, SeqId};
+pub use pages::{PagePool, SeqId, SwapArena, SwapTicket};
 pub use plan::AttentionPlan;
 pub use routing::{RoutedSpec, Router, Routing};
 pub use state::AttentionState;

@@ -24,14 +24,25 @@
 //! kernels keep borrowing whole `K`/`V` matrices with zero copies and the
 //! library's bitwise guarantees are untouched. Page ids are still real:
 //! finite, conserved (`free + mapped == total`, asserted by
-//! [`PagePool::assert_page_invariants`]), and never double-mapped. A
-//! physically scattered layout (and with it evict-and-swap instead of
-//! evict-and-recompute) would slot in behind the same table without
-//! changing this API.
+//! [`PagePool::assert_page_invariants`]), and never double-mapped.
+//!
+//! **Evict-and-swap** rides behind that same accounting layer: a
+//! [`SwapArena`] is the host-side parking lot for evicted caches. Instead
+//! of dropping a victim's cache and rebuilding it row by row on resume
+//! (evict-and-recompute, `O(context)`), a scheduler releases the victim's
+//! pages and [`SwapArena::try_park`]s the whole per-layer cache stack —
+//! K/V rows, f16 payloads, and routing state move as-is, `O(1)` in
+//! context length. Resume is [`SwapArena::take`] + [`PagePool::try_adopt`]
+//! (all-or-nothing), splicing the identical bytes back under a fresh page
+//! table. Arena capacity is accounted in **bytes**
+//! ([`KvCache::kv_bytes`]), parking is all-or-nothing, and conservation
+//! extends across both structures: every cached token is either pool-paged
+//! or arena-parked, never both, never lost
+//! ([`SwapArena::assert_swap_invariants`]).
 //!
 //! Handles are generation-checked exactly as before: using a released or
-//! stale [`SeqId`] panics, because sequence indices are recycled and a
-//! stale handle is a logic error, not a recoverable condition.
+//! stale [`SeqId`] / [`SwapTicket`] panics, because indices are recycled
+//! and a stale handle is a logic error, not a recoverable condition.
 
 use crate::cache::KvCache;
 use gpa_tensor::{Matrix, Real};
@@ -433,6 +444,232 @@ impl<T: Real> std::fmt::Debug for PagePool<T> {
     }
 }
 
+/// Opaque handle to one parked cache stack in a [`SwapArena`].
+///
+/// Tickets are invalidated by [`SwapArena::take`]; using a taken ticket
+/// panics (entry indices are recycled, so a stale ticket is a logic
+/// error, not a recoverable condition — exactly the [`SeqId`] contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SwapTicket {
+    index: usize,
+    generation: u64,
+}
+
+struct SwapEntry<T> {
+    /// The victim's per-layer caches, in layer order (a bare attention
+    /// sequence parks a single-element stack).
+    caches: Vec<KvCache<T>>,
+    bytes: usize,
+    generation: u64,
+}
+
+/// Host-side parking lot for evicted [`KvCache`] stacks — the
+/// evict-and-**swap** half of preemption.
+///
+/// When a scheduler preempts a sequence it releases the victim's pages
+/// back to the [`PagePool`] and, instead of dropping the caches and
+/// rebuilding them row by row on resume, parks the whole per-layer stack
+/// here. The caches move by value — K/V rows, f16 payloads, and routing
+/// state untouched — so resume is a splice ([`Self::take`] +
+/// [`PagePool::try_adopt`]), `O(1)` in context length.
+///
+/// Capacity is accounted in **bytes** of K/V payload
+/// ([`KvCache::kv_bytes`]); parking is all-or-nothing: a stack that does
+/// not fit is handed back untouched and the caller falls back to
+/// evict-and-recompute. Conservation across pool and arena is asserted by
+/// [`Self::assert_swap_invariants`] plus the scheduler's ledger checks.
+///
+/// ```
+/// use gpa_core::{PagePool, SwapArena};
+///
+/// let mut pool: PagePool<f32> = PagePool::new(2, 2);
+/// let mut arena: SwapArena<f32> = SwapArena::new(1 << 20);
+/// let seq = pool.allocate(4, 4);
+/// assert!(pool.try_append(seq, &[0.5; 4], &[0.25; 4]));
+///
+/// // Preempt: pages go back to the pool, the cache parks in the arena.
+/// let cache = pool.release(seq);
+/// let ticket = arena.try_park(vec![cache]).expect("fits the arena");
+/// assert_eq!(pool.free_pages(), 2);
+/// assert_eq!(arena.parked_bytes(), 4 * (4 + 4) * 1);
+///
+/// // Resume: take the stack and re-adopt its pages — no re-extension.
+/// let mut stack = arena.take(ticket);
+/// let seq = pool.try_adopt(stack.pop().unwrap()).expect("pages are free");
+/// assert_eq!(pool.cache(seq).len(), 1);
+/// assert_eq!(pool.cache(seq).k(0).row(0), &[0.5; 4]);
+/// assert!(arena.is_empty());
+/// ```
+pub struct SwapArena<T> {
+    capacity_bytes: usize,
+    parked_bytes: usize,
+    peak_bytes: usize,
+    entries: Vec<Option<SwapEntry<T>>>,
+    free: Vec<usize>,
+    next_generation: u64,
+}
+
+impl<T: Real> SwapArena<T> {
+    /// Empty arena holding at most `capacity_bytes` bytes of parked K/V
+    /// payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        SwapArena {
+            capacity_bytes,
+            parked_bytes: 0,
+            peak_bytes: 0,
+            entries: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+        }
+    }
+
+    /// Arena with no byte cap — every park succeeds.
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// The byte cap this arena enforces.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes of K/V payload currently parked.
+    pub fn parked_bytes(&self) -> usize {
+        self.parked_bytes
+    }
+
+    /// High-water mark of [`Self::parked_bytes`] over the arena's life.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Cached tokens currently parked, summed over stacks and layers.
+    pub fn parked_tokens(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .flat_map(|e| e.caches.iter())
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Number of parked stacks.
+    pub fn len(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Park a per-layer cache stack. All-or-nothing on the byte cap:
+    /// returns the stack untouched, in order, when its
+    /// [`KvCache::kv_bytes`] total would push [`Self::parked_bytes`] past
+    /// [`Self::capacity_bytes`] — the caller then falls back to
+    /// evict-and-recompute.
+    pub fn try_park(&mut self, caches: Vec<KvCache<T>>) -> Result<SwapTicket, Vec<KvCache<T>>> {
+        let bytes: usize = caches.iter().map(KvCache::kv_bytes).sum();
+        if self.parked_bytes.saturating_add(bytes) > self.capacity_bytes {
+            return Err(caches);
+        }
+        self.parked_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.parked_bytes);
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let entry = SwapEntry {
+            caches,
+            bytes,
+            generation,
+        };
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.entries[index] = Some(entry);
+                index
+            }
+            None => {
+                self.entries.push(Some(entry));
+                self.entries.len() - 1
+            }
+        };
+        Ok(SwapTicket { index, generation })
+    }
+
+    /// Take a parked stack back, in the layer order it was parked, and
+    /// reclaim its arena bytes. The ticket is dead afterwards.
+    ///
+    /// # Panics
+    /// Panics on a taken or stale ticket.
+    pub fn take(&mut self, ticket: SwapTicket) -> Vec<KvCache<T>> {
+        let entry = self.entries[ticket.index]
+            .take()
+            .expect("taken swap ticket");
+        assert_eq!(entry.generation, ticket.generation, "stale swap ticket");
+        self.parked_bytes -= entry.bytes;
+        self.free.push(ticket.index);
+        entry.caches
+    }
+
+    /// Bytes the ticket's stack holds in the arena — the scheduler's
+    /// ledger cross-check.
+    ///
+    /// # Panics
+    /// Panics on a taken or stale ticket.
+    pub fn bytes_of(&self, ticket: SwapTicket) -> usize {
+        let entry = self.entries[ticket.index]
+            .as_ref()
+            .expect("taken swap ticket");
+        assert_eq!(entry.generation, ticket.generation, "stale swap ticket");
+        entry.bytes
+    }
+
+    /// Assert the arena's accounting invariants: the parked-byte ledger
+    /// equals the recomputed sum of every entry's [`KvCache::kv_bytes`],
+    /// the ledger never exceeds capacity, and the peak covers the
+    /// current level. The serving simulation calls this (via the
+    /// scheduler) after every tick, alongside
+    /// [`PagePool::assert_page_invariants`] — together they pin that
+    /// every cached token is either pool-paged or arena-parked.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn assert_swap_invariants(&self) {
+        let recomputed: usize = self
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| {
+                let bytes: usize = e.caches.iter().map(KvCache::kv_bytes).sum();
+                assert_eq!(e.bytes, bytes, "entry ledger drifted from its caches");
+                bytes
+            })
+            .sum();
+        assert_eq!(
+            self.parked_bytes, recomputed,
+            "arena ledger drifted: {} recorded, {recomputed} recomputed",
+            self.parked_bytes
+        );
+        assert!(
+            self.parked_bytes <= self.capacity_bytes,
+            "arena over capacity: {} parked > {} cap",
+            self.parked_bytes,
+            self.capacity_bytes
+        );
+        assert!(self.peak_bytes >= self.parked_bytes, "peak below current");
+    }
+}
+
+impl<T: Real> std::fmt::Debug for SwapArena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapArena")
+            .field("stacks", &self.len())
+            .field("parked_bytes", &self.parked_bytes)
+            .field("peak_bytes", &self.peak_bytes)
+            .field("capacity_bytes", &self.capacity_bytes)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,5 +853,104 @@ mod tests {
     fn debug_formats() {
         let pool: PagePool<f32> = PagePool::new(3, 2);
         assert!(format!("{pool:?}").contains("PagePool"));
+        let arena: SwapArena<f32> = SwapArena::unbounded();
+        assert!(format!("{arena:?}").contains("SwapArena"));
+    }
+
+    /// A two-layer stack with distinct rows per layer, for swap tests.
+    fn stack(tokens: usize, seed: u64) -> Vec<KvCache<f64>> {
+        (0..2)
+            .map(|layer| {
+                let mut cache = KvCache::new(1, 2, 2);
+                let (_, k, v) = qkv::<f64>(tokens, 2, seed + layer);
+                cache.extend(0, &k, &v);
+                cache
+            })
+            .collect()
+    }
+
+    #[test]
+    fn park_and_take_roundtrips_the_exact_stack() {
+        let mut arena: SwapArena<f64> = SwapArena::unbounded();
+        let parked = stack(3, 7);
+        let expect: Vec<Vec<f64>> = parked.iter().map(|c| c.k(0).row(2).to_vec()).collect();
+        let bytes: usize = parked.iter().map(KvCache::kv_bytes).sum();
+        let ticket = arena.try_park(parked).expect("unbounded");
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.parked_bytes(), bytes);
+        assert_eq!(arena.parked_tokens(), 6, "3 tokens x 2 layers");
+        assert_eq!(arena.bytes_of(ticket), bytes);
+        arena.assert_swap_invariants();
+        let taken = arena.take(ticket);
+        assert_eq!(taken.len(), 2, "layer order preserved");
+        for (layer, cache) in taken.iter().enumerate() {
+            assert_eq!(cache.k(0).row(2), &expect[layer][..]);
+        }
+        assert!(arena.is_empty());
+        assert_eq!(arena.parked_bytes(), 0);
+        assert_eq!(arena.peak_bytes(), bytes, "peak survives the take");
+        arena.assert_swap_invariants();
+    }
+
+    #[test]
+    fn over_capacity_park_returns_the_stack_untouched() {
+        // One layer of 3 tokens x (2+2) widths x 8 bytes = 96; two layers
+        // = 192 bytes. Cap below that refuses all-or-nothing.
+        let mut arena: SwapArena<f64> = SwapArena::new(191);
+        let refused = match arena.try_park(stack(3, 1)) {
+            Err(stack) => stack,
+            Ok(_) => panic!("park must refuse past the byte cap"),
+        };
+        assert_eq!(refused.len(), 2, "refusal returns every layer in order");
+        assert_eq!(refused[0].len(), 3);
+        assert_eq!(arena.parked_bytes(), 0);
+        assert_eq!(arena.peak_bytes(), 0, "refusal leaves no trace");
+        arena.assert_swap_invariants();
+        // At exactly the cap, the same stack parks.
+        let mut arena: SwapArena<f64> = SwapArena::new(192);
+        assert!(arena.try_park(stack(3, 1)).is_ok());
+        assert!(
+            arena.try_park(vec![KvCache::<f64>::single(1, 1)]).is_ok(),
+            "an empty cache costs zero bytes"
+        );
+        arena.assert_swap_invariants();
+    }
+
+    #[test]
+    fn ticket_indices_are_recycled_but_tickets_are_not() {
+        let mut arena: SwapArena<f64> = SwapArena::unbounded();
+        let a = arena.try_park(stack(1, 0)).unwrap();
+        let _ = arena.take(a);
+        let b = arena.try_park(stack(2, 1)).unwrap();
+        assert_ne!(a, b, "recycled index, fresh generation");
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = arena.bytes_of(a);
+        }));
+        assert!(stale.is_err(), "stale ticket must panic");
+        assert_eq!(arena.take(b).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken swap ticket")]
+    fn taken_ticket_panics() {
+        let mut arena: SwapArena<f64> = SwapArena::unbounded();
+        let a = arena.try_park(stack(1, 0)).unwrap();
+        let _ = arena.take(a);
+        let _ = arena.take(a);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_the_high_water_mark() {
+        let mut arena: SwapArena<f64> = SwapArena::unbounded();
+        let a = arena.try_park(stack(2, 0)).unwrap();
+        let b = arena.try_park(stack(4, 1)).unwrap();
+        let high = arena.parked_bytes();
+        let _ = arena.take(a);
+        let _ = arena.take(b);
+        let c = arena.try_park(stack(1, 2)).unwrap();
+        assert!(arena.parked_bytes() < high);
+        assert_eq!(arena.peak_bytes(), high);
+        let _ = arena.take(c);
+        arena.assert_swap_invariants();
     }
 }

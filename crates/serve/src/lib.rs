@@ -30,11 +30,17 @@
 //! The price is oversubscription: when decode growth outruns the free
 //! list, the scheduler **preempts** the lowest-priority, most-recently
 //! admitted sequence — its pages are released and it parks on a resume
-//! queue with its prompt + generated K/V rows, resuming (re-extending
-//! those rows into a fresh cache, bit-identically) when pages free up.
-//! Preempted-and-resumed sequences therefore complete **bitwise equal**
-//! to their uninterrupted runs, and the most urgent sequence is never
-//! evicted, so the pool cannot livelock.
+//! queue, continuing when pages free up. How its cache comes back is the
+//! [`EvictionMode`]: **Recompute** (the default) re-extends the retained
+//! K/V rows into a fresh cache, `O(context)` per resume but with zero
+//! memory held while parked; **Swap** moves the evicted cache into a
+//! host-side [`gpa_core::SwapArena`] and splices it back in `O(1)`,
+//! holding the parked bytes (capped by [`ServeConfig::swap_bytes`]) in
+//! exchange. Either way preempted-and-resumed sequences complete
+//! **bitwise equal** to their uninterrupted runs — the modes never
+//! differ in results or schedule — and the most urgent sequence is never
+//! evicted, so the pool cannot livelock; `docs/SERVING.md` has the full
+//! preemption/resume state machine.
 //!
 //! Everything is deterministic: time is a tick counter, admission order is
 //! a pure function of (priority, submission order, fit), and batched
@@ -67,6 +73,8 @@
 //!         arrival_window: 1,
 //!         prefill_chunk: 8,
 //!         admission: AdmissionMode::PagedUsage,
+//!         // Preemption defaults: evict-and-recompute, no swap arena.
+//!         ..ServeConfig::default()
 //!     },
 //! )
 //! .unwrap();
@@ -159,7 +167,7 @@ pub use request::{
     Completion, ModelId, ModelRequest, PatternChoice, PlanId, RequestId, ServeRequest, ServeTarget,
     TickReport,
 };
-pub use scheduler::{AdmissionMode, Scheduler, ServeConfig};
+pub use scheduler::{AdmissionMode, EvictionMode, Scheduler, ServeConfig};
 pub use trace::{
     generate_model_trace, generate_trace, replay, replay_mixed, sequential_model_reference,
     sequential_reference, ModelTraceEvent, TraceEvent, TraceSpec,

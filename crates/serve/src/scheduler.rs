@@ -58,17 +58,30 @@
 //! walking sequences from most urgent (lowest priority class, earliest
 //! admission) to least, it grants each append by evicting victims from
 //! the opposite end — the lowest-priority, most-recently admitted
-//! sequence first. A plan victim's pages are released and its cache
-//! dropped (evict-and-recompute: resume re-extends the retained
-//! `prompt + generated` K/V rows bit-identically, since they are
-//! deterministic inputs); a model victim's per-layer caches hold
-//! *computed* K/V the scheduler cannot cheaply rebuild, so they are taken
-//! out of the pool whole and re-adopted — all layers or none — on
-//! resume. Either way the victim parks on its class's resume queue with
-//! its computed output rows and phase cursor, and continues exactly where
-//! it stopped, so every completed output is still **bitwise** the
-//! sequential reference. The most urgent in-flight sequence is never
-//! evicted and always advances, so preemption cannot livelock.
+//! sequence first. What happens to a victim's cache is the
+//! [`EvictionMode`]:
+//!
+//! - **Recompute** (the default): a plan victim's pages are released and
+//!   its cache dropped — resume re-extends the retained
+//!   `prompt + generated` K/V rows bit-identically, since they are
+//!   deterministic inputs. A model victim's per-layer caches hold
+//!   *computed* K/V the scheduler cannot cheaply rebuild, so they are
+//!   taken out of the pool whole and re-adopted — all layers or none —
+//!   on resume.
+//! - **Swap**: the victim's whole cache stack moves into a host-side
+//!   [`gpa_core::SwapArena`] (pages released all the same) and resume
+//!   splices it back via [`gpa_core::PagePool::try_adopt`] — `O(1)` in
+//!   context length instead of `O(context)`. The arena's byte cap
+//!   ([`ServeConfig::swap_bytes`]) bounds host memory; a victim that
+//!   does not fit falls back to the Recompute behavior for that park.
+//!
+//! Either way the victim parks on its class's resume queue with its
+//! computed output rows and phase cursor, and continues exactly where it
+//! stopped, so every completed output is still **bitwise** the
+//! sequential reference — the modes differ in resume *cost*, never in
+//! results or schedule (both use the same page arithmetic). The most
+//! urgent in-flight sequence is never evicted and always advances, so
+//! preemption cannot livelock.
 //!
 //! ## Failure atomicity
 //!
@@ -93,7 +106,7 @@ use crate::request::{
 };
 use gpa_core::{
     AttentionEngine, AttentionPlan, AttentionRequest, AttnError, KvCache, PagePool, RoutedSpec,
-    SeqId,
+    SeqId, SwapArena, SwapTicket,
 };
 use gpa_model::{DecoderModel, ModelError, ModelKvState, ModelWorkItem};
 use gpa_tensor::{Matrix, Real};
@@ -116,6 +129,74 @@ pub enum AdmissionMode {
     WorstCaseReserve,
 }
 
+/// What happens to a preemption victim's KV cache.
+///
+/// Either way the victim's pages go back to the pool and its computed
+/// output rows are kept — the modes differ only in how the cache comes
+/// back, so completions are **bitwise identical** across modes and so is
+/// the schedule (both modes use the same page arithmetic). See
+/// `docs/SERVING.md` for the full state machine.
+///
+/// ```
+/// use gpa_core::{AttentionEngine, AttentionKernel, AttentionPlan};
+/// use gpa_serve::{AdmissionMode, EvictionMode, ServeConfig, ServeRequest, Scheduler};
+/// use gpa_tensor::init;
+///
+/// // The same two-sequence page squeeze, once per mode: the victim's
+/// // resume path differs, the bits and the schedule do not.
+/// let mut outputs = Vec::new();
+/// for eviction in [EvictionMode::Recompute, EvictionMode::Swap] {
+///     let mut s: Scheduler<'static, f32> = Scheduler::new(
+///         AttentionEngine::with_threads(1),
+///         ServeConfig {
+///             max_in_flight: 2,
+///             kv_pages: 3,
+///             page_size: 2,
+///             arrival_window: 0,
+///             prefill_chunk: 4,
+///             admission: AdmissionMode::PagedUsage,
+///             eviction,
+///             swap_bytes: usize::MAX, // unbounded arena (Swap mode only)
+///         },
+///     )
+///     .unwrap();
+///     let plan = s
+///         .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
+///         .unwrap();
+///     for seed in [1, 2] {
+///         let (q, k, v) = init::qkv::<f32>(6, 4, seed);
+///         s.submit(ServeRequest { pattern: plan.into(), priority: 0, prompt: 2, q, k, v })
+///             .unwrap();
+///     }
+///     let mut done = Vec::new();
+///     while !s.is_idle() {
+///         done.extend(s.tick().unwrap().completed);
+///     }
+///     assert!(s.preemption_events() > 0, "the squeeze must preempt");
+///     if eviction == EvictionMode::Swap {
+///         assert!(s.swap_peak_bytes() > 0, "the victim transited the arena");
+///         assert_eq!(s.swap_parked_bytes(), 0, "…and came back out");
+///     }
+///     outputs.push(done.into_iter().map(|c| c.output).collect::<Vec<_>>());
+/// }
+/// assert_eq!(outputs[0], outputs[1], "eviction mode never changes the bits");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionMode {
+    /// Drop a plan victim's cache and re-extend its retained K/V input
+    /// rows on resume (model victims always retain their computed caches
+    /// inline). Resume cost grows with context length; no arena memory.
+    /// The default.
+    #[default]
+    Recompute,
+    /// Park the victim's caches in a host-side [`SwapArena`] and splice
+    /// them back on resume — `O(1)` in context length, at the cost of
+    /// holding the parked bytes (capped by [`ServeConfig::swap_bytes`]).
+    /// A victim the arena cannot hold falls back to the `Recompute`
+    /// behavior for that park, counted by [`Scheduler::swap_fallbacks`].
+    Swap,
+}
+
 /// Admission-policy knobs for a [`Scheduler`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -134,6 +215,13 @@ pub struct ServeConfig {
     pub prefill_chunk: usize,
     /// How admission charges sequences against the pool.
     pub admission: AdmissionMode,
+    /// What happens to a preemption victim's KV cache.
+    pub eviction: EvictionMode,
+    /// Byte cap of the host-side [`SwapArena`] under
+    /// [`EvictionMode::Swap`] (unused — but harmless — under
+    /// `Recompute`). A victim that would push the arena past this cap
+    /// falls back to recompute for that park.
+    pub swap_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +235,8 @@ impl Default for ServeConfig {
             arrival_window: 0,
             prefill_chunk: 128,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         }
     }
 }
@@ -251,12 +341,25 @@ impl<T: Real> InFlight<T> {
         }
     }
 
-    /// Evict this sequence's KV from the pool. A plan sequence's cache is
-    /// dropped (evict-and-recompute — its K/V rows are inputs the resume
-    /// path re-extends bit-identically); a model sequence's per-layer
-    /// caches hold computed K/V, so they are retained whole and
-    /// re-adopted on resume.
-    fn park(self, pool: &mut PagePool<T>) -> Parked<T> {
+    /// Evict this sequence's KV from the pool (pages always come back to
+    /// the free list; the victim's computed output rows are always kept).
+    /// What happens to the cache itself depends on `mode`:
+    ///
+    /// - [`EvictionMode::Recompute`]: a plan sequence's cache is dropped
+    ///   (its K/V rows are inputs the resume path re-extends
+    ///   bit-identically); a model sequence's per-layer caches hold
+    ///   *computed* K/V, so they are retained inline and re-adopted on
+    ///   resume.
+    /// - [`EvictionMode::Swap`]: the cache stack parks in the host-side
+    ///   [`SwapArena`] and resume splices it back, `O(1)` in context
+    ///   length. When the arena's byte cap refuses the stack, the park
+    ///   falls back to the `Recompute` behavior — parking never fails.
+    fn park(
+        self,
+        pool: &mut PagePool<T>,
+        arena: &mut SwapArena<T>,
+        mode: EvictionMode,
+    ) -> Parked<T> {
         let payload = match self.payload {
             Payload::Attn {
                 plan,
@@ -266,20 +369,34 @@ impl<T: Real> InFlight<T> {
                 k,
                 v,
             } => {
-                pool.release(seq);
+                let cache = pool.release(seq);
+                let kv = match mode {
+                    EvictionMode::Recompute => ParkedKv::Dropped,
+                    EvictionMode::Swap => match arena.try_park(vec![cache]) {
+                        Ok(ticket) => ParkedKv::Swapped(ticket),
+                        Err(_) => ParkedKv::Dropped,
+                    },
+                };
                 ParkedPayload::Attn {
                     plan,
                     pattern,
                     q,
                     k,
                     v,
+                    kv,
                 }
             }
-            Payload::Model { model, x, state } => ParkedPayload::Model {
-                model,
-                x,
-                retained: state.release(pool),
-            },
+            Payload::Model { model, x, state } => {
+                let caches = state.release(pool);
+                let kv = match mode {
+                    EvictionMode::Recompute => ParkedKv::Inline(caches),
+                    EvictionMode::Swap => match arena.try_park(caches) {
+                        Ok(ticket) => ParkedKv::Swapped(ticket),
+                        Err(caches) => ParkedKv::Inline(caches),
+                    },
+                };
+                ParkedPayload::Model { model, x, kv }
+            }
         };
         Parked {
             id: self.id,
@@ -295,8 +412,21 @@ impl<T: Real> InFlight<T> {
     }
 }
 
-/// Target-specific parked state — see [`InFlight::park`] for why plan
-/// sequences retain inputs while model sequences retain their caches.
+/// Where a parked sequence's KV lives while it waits to resume.
+enum ParkedKv<T> {
+    /// Dropped at park; resume re-extends the retained input rows (plan
+    /// sequences only — their K/V rows are deterministic inputs).
+    Dropped,
+    /// Parked in the scheduler's [`SwapArena`]; resume takes the stack
+    /// and re-adopts its pages, `O(1)` in context length.
+    Swapped(SwapTicket),
+    /// Retained inline (model sequences under [`EvictionMode::Recompute`],
+    /// or as the fallback when the arena refuses the stack).
+    Inline(Vec<KvCache<T>>),
+}
+
+/// Target-specific parked state — see [`InFlight::park`] for which
+/// [`ParkedKv`] variants each target uses.
 enum ParkedPayload<T> {
     Attn {
         plan: usize,
@@ -304,11 +434,12 @@ enum ParkedPayload<T> {
         q: Matrix<T>,
         k: Matrix<T>,
         v: Matrix<T>,
+        kv: ParkedKv<T>,
     },
     Model {
         model: usize,
         x: Matrix<T>,
-        retained: Vec<KvCache<T>>,
+        kv: ParkedKv<T>,
     },
 }
 
@@ -337,13 +468,50 @@ impl<T: Real> Parked<T> {
         )
     }
 
-    /// Re-admit: rebuild a plan sequence's cache from its retained input
-    /// rows, or re-adopt a model sequence's retained per-layer caches.
-    /// `spec` is the resolved plan's routing spec for a plan sequence —
-    /// routing is a pure function of the retained query rows, so the
-    /// rebuilt cache re-adopts exactly the grouping it was evicted with.
-    /// The caller granted the pages, so failure here is a scheduler bug.
-    fn resume(self, pool: &mut PagePool<T>, spec: Option<RoutedSpec>) -> InFlight<T> {
+    /// True when this sequence's KV sits in the [`SwapArena`].
+    fn is_swapped(&self) -> bool {
+        matches!(
+            self.payload,
+            ParkedPayload::Attn {
+                kv: ParkedKv::Swapped(_),
+                ..
+            } | ParkedPayload::Model {
+                kv: ParkedKv::Swapped(_),
+                ..
+            }
+        )
+    }
+
+    /// The arena ticket, when this sequence's KV sits in the arena.
+    fn swap_ticket(&self) -> Option<SwapTicket> {
+        match &self.payload {
+            ParkedPayload::Attn {
+                kv: ParkedKv::Swapped(t),
+                ..
+            }
+            | ParkedPayload::Model {
+                kv: ParkedKv::Swapped(t),
+                ..
+            } => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Re-admit: splice a swapped cache stack back out of the arena
+    /// (routing state rides the caches), rebuild a dropped plan cache
+    /// from its retained input rows, or re-adopt inline model caches.
+    /// `spec` is the resolved plan's routing spec for a rebuilt plan
+    /// sequence — routing is a pure function of the retained query rows,
+    /// so the rebuilt cache re-adopts exactly the grouping it was evicted
+    /// with. The caller granted the pages (both modes need the same page
+    /// count for the same retained tokens), so failure here is a
+    /// scheduler bug.
+    fn resume(
+        self,
+        pool: &mut PagePool<T>,
+        arena: &mut SwapArena<T>,
+        spec: Option<RoutedSpec>,
+    ) -> InFlight<T> {
         let tokens = self.retained_tokens();
         let payload = match self.payload {
             ParkedPayload::Attn {
@@ -352,14 +520,33 @@ impl<T: Real> Parked<T> {
                 q,
                 k,
                 v,
+                kv,
             } => {
-                let seq = pool.allocate(q.cols(), v.cols());
-                let ok = pool.try_extend(seq, &k.rows_slice(0, tokens), &v.rows_slice(0, tokens));
-                assert!(ok, "resume was granted its pages");
-                if let Some(spec) = spec {
-                    pool.extend_routing(seq, spec, 0, &q.rows_slice(0, tokens))
-                        .expect("a fresh cache adopts its plan's routing spec");
-                }
+                let seq = match kv {
+                    ParkedKv::Dropped => {
+                        let seq = pool.allocate(q.cols(), v.cols());
+                        let ok = pool.try_extend(
+                            seq,
+                            &k.rows_slice(0, tokens),
+                            &v.rows_slice(0, tokens),
+                        );
+                        assert!(ok, "resume was granted its pages");
+                        if let Some(spec) = spec {
+                            pool.extend_routing(seq, spec, 0, &q.rows_slice(0, tokens))
+                                .expect("a fresh cache adopts its plan's routing spec");
+                        }
+                        seq
+                    }
+                    ParkedKv::Swapped(ticket) => {
+                        let mut stack = arena.take(ticket);
+                        assert_eq!(stack.len(), 1, "a plan sequence parks one cache");
+                        let Ok(seq) = pool.try_adopt(stack.pop().expect("one cache")) else {
+                            panic!("resume was granted its pages");
+                        };
+                        seq
+                    }
+                    ParkedKv::Inline(_) => unreachable!("plan sequences never park inline"),
+                };
                 Payload::Attn {
                     plan,
                     pattern,
@@ -369,8 +556,13 @@ impl<T: Real> Parked<T> {
                     v,
                 }
             }
-            ParkedPayload::Model { model, x, retained } => {
-                let Ok(state) = ModelKvState::adopt(retained, pool) else {
+            ParkedPayload::Model { model, x, kv } => {
+                let caches = match kv {
+                    ParkedKv::Swapped(ticket) => arena.take(ticket),
+                    ParkedKv::Inline(caches) => caches,
+                    ParkedKv::Dropped => unreachable!("model caches are never dropped"),
+                };
+                let Ok(state) = ModelKvState::adopt(caches, pool) else {
                     panic!("resume was granted its pages");
                 };
                 Payload::Model { model, x, state }
@@ -417,10 +609,16 @@ pub struct Scheduler<'p, T> {
     parked_len: usize,
     in_flight: Vec<InFlight<T>>,
     pool: PagePool<T>,
+    /// Host-side parking lot for evicted caches under
+    /// [`EvictionMode::Swap`] (empty forever under `Recompute`).
+    arena: SwapArena<T>,
     /// Reservation ledger, in pages ([`AdmissionMode::WorstCaseReserve`]
     /// only; stays 0 under paged admission).
     reserved_pages: usize,
     preemption_events: u64,
+    /// Parks that wanted the arena but fell back to recompute/inline
+    /// because the stack would not fit [`ServeConfig::swap_bytes`].
+    swap_fallbacks: u64,
     now: u64,
     next_id: u64,
 }
@@ -459,8 +657,10 @@ impl<'p, T: Real> Scheduler<'p, T> {
             parked_len: 0,
             in_flight: Vec::new(),
             pool: PagePool::new(config.kv_pages, config.page_size),
+            arena: SwapArena::new(config.swap_bytes),
             reserved_pages: 0,
             preemption_events: 0,
+            swap_fallbacks: 0,
             now: 0,
             next_id: 0,
         })
@@ -583,17 +783,59 @@ impl<'p, T: Real> Scheduler<'p, T> {
         self.preemption_events
     }
 
+    /// Bytes of K/V payload currently parked in the swap arena (always 0
+    /// under [`EvictionMode::Recompute`], and whenever nothing is
+    /// preempted).
+    pub fn swap_parked_bytes(&self) -> usize {
+        self.arena.parked_bytes()
+    }
+
+    /// High-water mark of [`Self::swap_parked_bytes`] over the
+    /// scheduler's life — the arena memory a deployment actually needs.
+    pub fn swap_peak_bytes(&self) -> usize {
+        self.arena.peak_bytes()
+    }
+
+    /// Parks that wanted the arena but fell back to recompute/inline
+    /// because the victim's stack would not fit
+    /// [`ServeConfig::swap_bytes`]. Always 0 under
+    /// [`EvictionMode::Recompute`].
+    pub fn swap_fallbacks(&self) -> u64 {
+        self.swap_fallbacks
+    }
+
     /// Assert the paged-KV invariants: page conservation
     /// (`free + mapped == total`), no page double-mapped, every page
-    /// table exactly covering its cache, and — under worst-case
-    /// reservation — the ledger in sync and every sequence (all layers
-    /// counted) within its reservation. The serving simulation calls this
-    /// after every tick.
+    /// table exactly covering its cache, swap-arena conservation (every
+    /// parked byte owned by exactly one parked sequence's live ticket,
+    /// the ledger matching the caches, nothing parked while idle), and —
+    /// under worst-case reservation — the ledger in sync and every
+    /// sequence (all layers counted) within its reservation. The serving
+    /// simulation calls this after every tick.
     ///
     /// # Panics
     /// Panics when an invariant is violated.
     pub fn assert_kv_invariants(&self) {
         self.pool.assert_page_invariants();
+        self.arena.assert_swap_invariants();
+        let mut swapped = 0usize;
+        let mut swapped_bytes = 0usize;
+        for p in self.parked.values().flatten() {
+            if let Some(ticket) = p.swap_ticket() {
+                swapped += 1;
+                swapped_bytes += self.arena.bytes_of(ticket);
+            }
+        }
+        assert_eq!(
+            swapped,
+            self.arena.len(),
+            "arena stacks not owned 1:1 by parked sequences"
+        );
+        assert_eq!(
+            swapped_bytes,
+            self.arena.parked_bytes(),
+            "parked tickets do not account every arena byte"
+        );
         let ledger: usize = self.in_flight.iter().map(|s| s.reserved_pages).sum();
         assert_eq!(
             ledger, self.reserved_pages,
@@ -743,7 +985,12 @@ impl<'p, T: Real> Scheduler<'p, T> {
         }
         for queue in self.parked.values_mut() {
             if let Some(pos) = queue.iter().position(|p| p.id == id) {
-                queue.remove(pos);
+                let p = queue.remove(pos).expect("position exists");
+                // A swapped victim's bytes live in the arena, not the
+                // pool: reclaim them with the ticket.
+                if let Some(ticket) = p.swap_ticket() {
+                    let _ = self.arena.take(ticket);
+                }
                 self.parked_len -= 1;
                 return true;
             }
@@ -899,7 +1146,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     ParkedPayload::Attn { plan, .. } => self.plans[*plan].routing_spec(),
                     ParkedPayload::Model { .. } => None,
                 };
-                let s = p.resume(&mut self.pool, spec);
+                let s = p.resume(&mut self.pool, &mut self.arena, spec);
                 self.in_flight.push(s);
             }
             let Some(queue) = self.pending.get_mut(&class) else {
@@ -1079,7 +1326,10 @@ impl<'p, T: Real> Scheduler<'p, T> {
             for i in (0..self.in_flight.len()).rev() {
                 if victim[i] {
                     let s = self.in_flight.remove(i);
-                    staged.push((i, s.park(&mut self.pool)));
+                    staged.push((
+                        i,
+                        s.park(&mut self.pool, &mut self.arena, self.config.eviction),
+                    ));
                 }
             }
             staged.reverse(); // ascending original index, for restore
@@ -1296,7 +1546,7 @@ impl<'p, T: Real> Scheduler<'p, T> {
                     ParkedPayload::Attn { plan, .. } => self.plans[*plan].routing_spec(),
                     ParkedPayload::Model { .. } => None,
                 };
-                let s = p.resume(&mut self.pool, spec);
+                let s = p.resume(&mut self.pool, &mut self.arena, spec);
                 self.in_flight.insert(index, s);
             }
             // Part 2b: un-admit this tick's admissions — release their
@@ -1308,7 +1558,11 @@ impl<'p, T: Real> Scheduler<'p, T> {
                 let s = self.in_flight.pop().expect("admissions sit at the tail");
                 self.reserved_pages -= s.reserved_pages;
                 if s.preemptions > 0 {
-                    let p = s.park(&mut self.pool);
+                    // Re-park with the configured mode: under Swap, the
+                    // resume above just freed exactly these arena bytes,
+                    // so the stack re-parks (or falls back) exactly as it
+                    // was parked before this failed tick.
+                    let p = s.park(&mut self.pool, &mut self.arena, self.config.eviction);
                     let queue = self.parked.entry(p.priority).or_default();
                     let at = queue.partition_point(|x| x.id < p.id);
                     queue.insert(at, p);
@@ -1427,6 +1681,9 @@ impl<'p, T: Real> Scheduler<'p, T> {
         for (_, mut p) in staged {
             p.preemptions += 1;
             self.preemption_events += 1;
+            if self.config.eviction == EvictionMode::Swap && !p.is_swapped() {
+                self.swap_fallbacks += 1;
+            }
             let queue = self.parked.entry(p.priority).or_default();
             let at = queue.partition_point(|x| x.id < p.id);
             queue.insert(at, p);
@@ -1655,6 +1912,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 3,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let id = s.submit(request(plan, 0, 7, 10, 11)).unwrap();
         let mut completions = Vec::new();
@@ -1686,6 +1945,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 3,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let r = model_request(model, 0, 7, 10, 11);
         let id = s.submit_model(r.clone()).unwrap();
@@ -1721,6 +1982,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 8,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let plan = s
             .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 2 }).unwrap())
@@ -1756,6 +2019,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 8,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         // Both fit the pool alone; the cap admits them one at a time.
         s.submit(request(plan, 0, 2, 3, 21)).unwrap();
@@ -1788,6 +2053,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 8,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         };
         let (mut paged, plan) = scheduler(config);
         for seed in 0..4 {
@@ -1799,6 +2066,8 @@ mod tests {
 
         let (mut reserve, plan) = scheduler(ServeConfig {
             admission: AdmissionMode::WorstCaseReserve,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
             ..config
         });
         for seed in 0..4 {
@@ -1823,6 +2092,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 4,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let a = s.submit(request(plan, 0, 2, 6, 61)).unwrap();
         let b = s.submit(request(plan, 0, 2, 6, 62)).unwrap();
@@ -1865,6 +2136,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 4,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let ra = model_request(model, 0, 2, 6, 71);
         let rb = model_request(model, 0, 2, 6, 72);
@@ -1903,6 +2176,139 @@ mod tests {
     }
 
     #[test]
+    fn swap_eviction_resumes_plan_sequences_bitwise() {
+        // The plan-sequence page squeeze under EvictionMode::Swap: the
+        // victim's cache transits the arena instead of being recomputed,
+        // and the completion is still bitwise the sequential serve.
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 3,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Swap,
+            swap_bytes: usize::MAX,
+        });
+        let ra = request(plan, 0, 2, 6, 61);
+        let rb = request(plan, 0, 2, 6, 62);
+        let a = s.submit(ra.clone()).unwrap();
+        let b = s.submit(rb.clone()).unwrap();
+        let mut completions = Vec::new();
+        let mut resumed = Vec::new();
+        for _ in 0..64 {
+            let r = s.tick().unwrap();
+            s.assert_kv_invariants();
+            resumed.extend(r.resumed);
+            completions.extend(r.completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(resumed, vec![b], "the swapped victim resumes");
+        assert!(s.swap_peak_bytes() > 0, "the park must transit the arena");
+        assert_eq!(s.swap_fallbacks(), 0);
+        assert_eq!(s.swap_parked_bytes(), 0, "resume drains the arena");
+        let chunk = s.config().prefill_chunk;
+        for (c, r, id) in [(&completions[0], &ra, a), (&completions[1], &rb, b)] {
+            assert_eq!(c.id, id);
+            let want =
+                crate::trace::sequential_reference(s.engine(), s.plan(plan), r, chunk).unwrap();
+            assert_eq!(c.output, want, "swap-mode serving must be bitwise");
+        }
+        assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
+    fn swap_eviction_resumes_model_stacks_bitwise() {
+        // The 3-layer squeeze under EvictionMode::Swap: the victim's
+        // whole stack parks as one arena entry and re-adopts atomically.
+        let (mut s, model) = model_scheduler(ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 9,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Swap,
+            swap_bytes: usize::MAX,
+        });
+        let ra = model_request(model, 0, 2, 6, 71);
+        let rb = model_request(model, 0, 2, 6, 72);
+        let a = s.submit_model(ra.clone()).unwrap();
+        let b = s.submit_model(rb.clone()).unwrap();
+        let mut completions = Vec::new();
+        let mut peak_parked = 0usize;
+        for _ in 0..64 {
+            let r = s.tick().unwrap();
+            s.assert_kv_invariants();
+            peak_parked = peak_parked.max(s.swap_parked_bytes());
+            completions.extend(r.completed);
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        // At park time the victim holds 2 prompt tokens across 3 layers
+        // of 3 heads × dk 4 — the arena entry is the whole stack.
+        assert!(
+            peak_parked >= 3 * 2 * 3 * (4 + 4) * std::mem::size_of::<f64>(),
+            "the parked entry must hold all three layers ({peak_parked} bytes)"
+        );
+        assert_eq!(s.swap_fallbacks(), 0);
+        assert_eq!(s.swap_parked_bytes(), 0);
+        let chunk = s.config().prefill_chunk;
+        assert_eq!(completions.len(), 2);
+        assert_eq!((completions[0].id, completions[1].id), (a, b));
+        for (c, r) in [(&completions[0], &ra), (&completions[1], &rb)] {
+            let want =
+                crate::trace::sequential_model_reference(s.engine(), s.model(model), r, chunk)
+                    .unwrap();
+            assert_eq!(c.output, want, "swapped stacks must resume bitwise");
+        }
+        assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
+    fn cancel_while_swap_parked_reclaims_arena_bytes() {
+        // Cancelling a sequence whose cache lives in the swap arena must
+        // free the arena bytes immediately — no orphaned entries.
+        let (mut s, plan) = scheduler(ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 3,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 4,
+            admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Swap,
+            swap_bytes: usize::MAX,
+        });
+        let _a = s.submit(request(plan, 0, 2, 6, 51)).unwrap();
+        let b = s.submit(request(plan, 0, 2, 6, 52)).unwrap();
+        for _ in 0..16 {
+            if s.parked_len() > 0 {
+                break;
+            }
+            s.tick().unwrap();
+        }
+        assert_eq!(s.parked_len(), 1, "b parked under page pressure");
+        assert!(s.swap_parked_bytes() > 0, "b's cache lives in the arena");
+        assert!(s.cancel(b), "parked cancel");
+        assert_eq!(s.swap_parked_bytes(), 0, "cancel reclaims the arena bytes");
+        s.assert_kv_invariants();
+        // The survivor still drains normally.
+        for _ in 0..32 {
+            s.tick().unwrap();
+            if s.is_idle() {
+                break;
+            }
+        }
+        assert!(s.is_idle());
+        assert_eq!(s.kv_used_pages(), 0);
+    }
+
+    #[test]
     fn routed_sequences_preempt_and_resume_bitwise() {
         // The preemption squeeze from above, on a routed plan: the cache
         // carries the routing, eviction drops both, and resume rebuilds
@@ -1917,6 +2323,8 @@ mod tests {
                 arrival_window: 0,
                 prefill_chunk: 4,
                 admission: AdmissionMode::PagedUsage,
+                eviction: EvictionMode::Recompute,
+                swap_bytes: usize::MAX,
             },
         )
         .unwrap();
@@ -1973,6 +2381,8 @@ mod tests {
                     arrival_window: 0,
                     prefill_chunk: 4,
                     admission: AdmissionMode::PagedUsage,
+                    eviction: EvictionMode::Recompute,
+                    swap_bytes: usize::MAX,
                 },
             )
             .unwrap();
@@ -2060,6 +2470,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 8,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let low_a = s.submit(request(plan, 3, 2, 2, 41)).unwrap();
         let low_b = s.submit(request(plan, 3, 2, 2, 42)).unwrap();
@@ -2085,6 +2497,8 @@ mod tests {
             arrival_window: 0,
             prefill_chunk: 4,
             admission: AdmissionMode::PagedUsage,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         });
         let a = s.submit(request(plan, 0, 2, 6, 51)).unwrap();
         let b = s.submit(request(plan, 0, 2, 6, 52)).unwrap();

@@ -397,6 +397,8 @@ mod tests {
                 arrival_window: 1,
                 prefill_chunk: 4,
                 admission: crate::scheduler::AdmissionMode::PagedUsage,
+                eviction: crate::scheduler::EvictionMode::Recompute,
+                swap_bytes: usize::MAX,
             },
         )
         .unwrap();
@@ -464,6 +466,8 @@ mod tests {
                 arrival_window: 1,
                 prefill_chunk: 3,
                 admission: crate::scheduler::AdmissionMode::PagedUsage,
+                eviction: crate::scheduler::EvictionMode::Recompute,
+                swap_bytes: usize::MAX,
             },
         )
         .unwrap();

@@ -40,6 +40,8 @@ fn main() {
         arrival_window: 1,
         prefill_chunk: prompt.0 / 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let mut scheduler: Scheduler<'static, f32> =
         Scheduler::new(AttentionEngine::new(), config).expect("valid config");

@@ -118,8 +118,8 @@ pub mod prelude {
     pub use gpa_model::{DecoderModel, LayerPattern, ModelKvState};
     pub use gpa_parallel::{Schedule, ThreadPool, WorkCounter};
     pub use gpa_serve::{
-        AdmissionMode, ModelRequest, PatternChoice, Scheduler, ServeConfig, ServeRequest,
-        ServeTarget,
+        AdmissionMode, EvictionMode, ModelRequest, PatternChoice, Scheduler, ServeConfig,
+        ServeRequest, ServeTarget,
     };
     pub use gpa_sparse::{CooMask, CsrMask, DenseMask};
     pub use gpa_tensor::{init, paper_allclose, Matrix, Real};

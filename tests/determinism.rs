@@ -10,8 +10,8 @@ use graph_attention::masks::{MaskPattern, RandomUniform};
 use graph_attention::model::{DecoderModel, LayerPattern};
 use graph_attention::parallel::{Schedule, ThreadPool};
 use graph_attention::serve::{
-    generate_model_trace, generate_trace, replay, replay_mixed, AdmissionMode, PatternChoice,
-    RequestId, Scheduler, ServeConfig, TraceSpec,
+    generate_model_trace, generate_trace, replay, replay_mixed, AdmissionMode, EvictionMode,
+    PatternChoice, RequestId, Scheduler, ServeConfig, TraceSpec,
 };
 use graph_attention::tensor::init::qkv;
 
@@ -116,6 +116,8 @@ fn serving_trace_identical_across_pool_sizes() {
         arrival_window: 1,
         prefill_chunk: 4,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let run = |threads: usize| {
         let mut scheduler: Scheduler<'static, f32> =
@@ -180,6 +182,8 @@ fn preempting_trace_identical_across_pool_sizes() {
         arrival_window: 0,
         prefill_chunk: 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     type Event = (u64, Vec<RequestId>, Vec<RequestId>);
     let run = |threads: usize| {
@@ -243,6 +247,97 @@ fn preempting_trace_identical_across_pool_sizes() {
 }
 
 #[test]
+fn swap_mode_preempting_trace_identical_across_pool_sizes_and_modes() {
+    // EvictionMode::Swap must be invisible twice over: the swapped
+    // replay is identical across 1/2/4 worker threads, and every event
+    // and completion matches the evict-and-recompute replay of the same
+    // trace tick for tick — eviction mode changes resume *cost*, never
+    // the schedule or the bits.
+    let spec = TraceSpec {
+        sequences: 6,
+        prompt: (2, 4),
+        decode: (6, 10),
+        dk: 8,
+        arrival_gap: (0, 1),
+        priority_classes: 2,
+        seed: 0xE51C7,
+    };
+    type Event = (u64, Vec<RequestId>, Vec<RequestId>);
+    let run = |threads: usize, eviction: EvictionMode| {
+        let config = ServeConfig {
+            max_in_flight: 4,
+            kv_pages: 8,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 2,
+            admission: AdmissionMode::PagedUsage,
+            eviction,
+            swap_bytes: usize::MAX,
+        };
+        let mut scheduler: Scheduler<'static, f32> =
+            Scheduler::new(AttentionEngine::with_threads(threads), config).unwrap();
+        let plans = vec![
+            scheduler
+                .register_plan(AttentionPlan::single(AttentionKernel::Local { n: 3 }).unwrap())
+                .unwrap(),
+            scheduler
+                .register_plan(
+                    AttentionPlan::single(AttentionKernel::Dilated1d { w: 4, r: 1 }).unwrap(),
+                )
+                .unwrap(),
+        ];
+        let trace = generate_trace::<f32, _>(&spec, &plans);
+        let mut completions = Vec::new();
+        let mut events: Vec<Event> = Vec::new();
+        let mut next = 0usize;
+        while next < trace.len() || !scheduler.is_idle() {
+            while next < trace.len() && trace[next].at <= scheduler.now() {
+                scheduler.submit(trace[next].request.clone()).unwrap();
+                next += 1;
+            }
+            let report = scheduler.tick().unwrap();
+            if !report.preempted.is_empty() || !report.resumed.is_empty() {
+                events.push((report.tick, report.preempted, report.resumed));
+            }
+            completions.extend(report.completed);
+            assert!(scheduler.now() < 100_000, "trace did not drain");
+        }
+        if eviction == EvictionMode::Swap {
+            assert!(
+                scheduler.swap_peak_bytes() > 0,
+                "{threads} threads: the swapped replay must use the arena"
+            );
+        }
+        (completions, events)
+    };
+    let (reference, ref_events) = run(1, EvictionMode::Recompute);
+    assert!(!ref_events.is_empty(), "this trace must force preemption");
+    for threads in [1usize, 2, 4] {
+        let (completions, events) = run(threads, EvictionMode::Swap);
+        assert_eq!(
+            events, ref_events,
+            "swap mode at {threads} threads changed the preemption schedule"
+        );
+        assert_eq!(completions.len(), reference.len());
+        for (a, b) in reference.iter().zip(&completions) {
+            assert_eq!(a.id, b.id, "swap mode changed completion order");
+            assert_eq!(
+                (a.admitted, a.completed, a.preemptions),
+                (b.admitted, b.completed, b.preemptions),
+                "swap mode at {threads} threads changed the schedule of {:?}",
+                a.id
+            );
+            assert_eq!(
+                a.output.as_slice(),
+                b.output.as_slice(),
+                "swap mode at {threads} threads changed bits of {:?}",
+                a.id
+            );
+        }
+    }
+}
+
+#[test]
 fn routed_serving_trace_identical_across_pool_sizes() {
     // Content-adaptive serving adds two stages that could plausibly
     // depend on thread timing — the router's scored projection of each
@@ -268,6 +363,8 @@ fn routed_serving_trace_identical_across_pool_sizes() {
         arrival_window: 0,
         prefill_chunk: 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let run = |threads: usize| {
         let mut scheduler: Scheduler<'static, f32> =
@@ -355,6 +452,8 @@ fn multi_layer_model_trace_identical_across_pool_sizes() {
         arrival_window: 0,
         prefill_chunk: 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let run = |threads: usize| {
         let mut scheduler: Scheduler<'static, f32> =

@@ -12,7 +12,7 @@
 //!    rows never look forward) prefill + decode reassembles the full
 //!    square forward exactly.
 
-use graph_attention::core::{DecodeStep, KvCache, PagePool};
+use graph_attention::core::{DecodeStep, KvCache, PagePool, SwapArena};
 use graph_attention::model::{DecoderModel, LayerPattern, ModelKvState, ModelWorkItem};
 use graph_attention::prelude::*;
 use graph_attention::sparse::{CooMask, CsrMask, DiaMask};
@@ -423,6 +423,188 @@ proptest! {
                 && evicted.k(0) == cache.k(0)
                 && evicted.v(0) == cache.v(0),
             "pinned final cache differs across eviction"
+        );
+    }
+
+    /// Evict-and-**swap** is invisible: at a random decode step the cache
+    /// transits the full swap machinery — adopted into a [`PagePool`],
+    /// released (pages back to the pool), parked in a [`SwapArena`],
+    /// taken, re-adopted, released — and decoding continues on the
+    /// round-tripped cache. Every output row and the final cache must be
+    /// bitwise the uninterrupted run's, for all seven composable kernel
+    /// families plus the content-routed kernel (whose routing rides the
+    /// swapped cache: an O(1) splice, no re-extension, no re-routing).
+    #[test]
+    fn evict_and_swap_at_any_decode_step_is_bitwise_invisible(
+        l in 3usize..24,
+        dk in 1usize..6,
+        n in 0usize..4,
+        chunk in 1usize..8,
+        density in 0.1f64..0.9,
+        evict_frac in 0.0f64..1.0,
+        seed in 0u64..400,
+    ) {
+        let e = engine();
+        let (q, k, v) = init::qkv::<f64>(l, dk, seed ^ 0x5A9);
+        let prompt = 1 + (seed as usize % (l - 1));
+        let evict_at = prompt + ((l - prompt - 1) as f64 * evict_frac) as usize;
+        let full_csr = graph_attention::masks::RandomUniform::new(l, density, seed).to_csr();
+
+        // The swap round trip the scheduler performs on a victim: pages
+        // released to the pool, cache value parked; on resume, taken and
+        // re-adopted. The cache that comes back must be the same value.
+        let page_size = 1 + (seed as usize % 4);
+        let swap_trip = |cache: KvCache<f64>| -> KvCache<f64> {
+            let mut pool: PagePool<f64> = PagePool::new(l.div_ceil(page_size) + 1, page_size);
+            let mut arena: SwapArena<f64> = SwapArena::unbounded();
+            let id = pool.try_adopt(cache).unwrap_or_else(|_| panic!("adopt fits"));
+            let victim = pool.release(id);
+            assert_eq!(pool.used_pages(), 0, "eviction released every page");
+            let bytes = victim.kv_bytes();
+            let ticket = arena.try_park(vec![victim]).unwrap_or_else(|_| panic!("unbounded park"));
+            assert_eq!(arena.parked_bytes(), bytes);
+            arena.assert_swap_invariants();
+            let mut stack = arena.take(ticket);
+            assert!(arena.is_empty(), "take drains the entry");
+            let resumed = pool
+                .try_adopt(stack.pop().unwrap())
+                .unwrap_or_else(|_| panic!("re-adopt fits"));
+            pool.assert_page_invariants();
+            pool.release(resumed)
+        };
+
+        // Length-free plans, including content-routed: one compiled plan
+        // serves prefill and every decode step across the swap.
+        let implicit: Vec<AttentionKernel<'_>> = vec![
+            AttentionKernel::Local { n },
+            AttentionKernel::Dilated1d { w: n + 1, r: 1 },
+            AttentionKernel::Dilated2d { block_size: n + 2, r: 1 },
+            AttentionKernel::Routed { groups: 2, seed: seed ^ 0xB10C, causal: true },
+        ];
+        for kernel in &implicit {
+            let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+            let serve = |cache: &mut KvCache<f64>, from: usize, to: usize| {
+                (from..to)
+                    .map(|t| {
+                        e.decode_step(
+                            &plan,
+                            &q.rows_slice(t, t + 1),
+                            &k.rows_slice(t, t + 1),
+                            &v.rows_slice(t, t + 1),
+                            cache,
+                        )
+                        .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let mut cache = KvCache::single(dk, dk);
+            e.prefill_chunked(
+                &plan,
+                &q.rows_slice(0, prompt),
+                &k.rows_slice(0, prompt),
+                &v.rows_slice(0, prompt),
+                chunk,
+                &mut cache,
+            )
+            .unwrap();
+            let uninterrupted = serve(&mut cache, prompt, l);
+
+            let mut swapped = KvCache::single(dk, dk);
+            e.prefill_chunked(
+                &plan,
+                &q.rows_slice(0, prompt),
+                &k.rows_slice(0, prompt),
+                &v.rows_slice(0, prompt),
+                chunk,
+                &mut swapped,
+            )
+            .unwrap();
+            let head = serve(&mut swapped, prompt, evict_at);
+            let mut resumed = swap_trip(swapped);
+            prop_assert!(
+                resumed.len() == evict_at,
+                "{} swap must preserve length",
+                kernel.name()
+            );
+            let tail = serve(&mut resumed, evict_at, l);
+            for (i, (a, b)) in head.iter().chain(&tail).zip(&uninterrupted).enumerate() {
+                prop_assert!(
+                    a == b,
+                    "{} decode row {} differs across swap at {}",
+                    kernel.name(),
+                    prompt + i,
+                    evict_at
+                );
+            }
+            prop_assert!(
+                resumed.len() == cache.len()
+                    && resumed.k(0) == cache.k(0)
+                    && resumed.v(0) == cache.v(0),
+                "{} final cache differs across swap",
+                kernel.name()
+            );
+        }
+
+        // Length-pinned families: the swap round trip happens between two
+        // appends; the spliced-back cache must carry decoding bitwise.
+        let global_indices: Vec<usize> = vec![0];
+        let step = |cache: &KvCache<f64>, t: usize| -> Vec<Matrix<f64>> {
+            let len = t + 1;
+            let globals = GlobalSet::new(len, global_indices.clone());
+            let dia = DiaMask::local(len, n);
+            let csr = restrict_square(&full_csr, len);
+            let coo = csr.to_coo();
+            let pinned: Vec<AttentionKernel<'_>> = vec![
+                AttentionKernel::Global { globals: &globals, n_sub: n },
+                AttentionKernel::Dia(&dia),
+                AttentionKernel::Csr(&csr),
+                AttentionKernel::Coo(&coo, CooSearch::Binary),
+            ];
+            pinned
+                .iter()
+                .map(|kernel| {
+                    let plan = e.compile(std::slice::from_ref(kernel)).unwrap();
+                    e.run_batch(
+                        &plan,
+                        &[AttentionRequest::decode(
+                            &q.rows_slice(t, t + 1),
+                            cache.k(0),
+                            cache.v(0),
+                        )],
+                    )
+                    .unwrap()
+                    .pop()
+                    .unwrap()
+                })
+                .collect()
+        };
+        let mut cache = KvCache::single(dk, dk);
+        cache.extend(0, &k.rows_slice(0, prompt), &v.rows_slice(0, prompt));
+        let mut swapped = KvCache::single(dk, dk);
+        swapped.extend(0, &k.rows_slice(0, prompt), &v.rows_slice(0, prompt));
+        for t in prompt..l {
+            cache.append(0, k.row(t), v.row(t));
+            if t == evict_at {
+                swapped = swap_trip(swapped);
+            }
+            swapped.append(0, k.row(t), v.row(t));
+            let a = step(&cache, t);
+            let b = step(&swapped, t);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert!(
+                    x == y,
+                    "pinned family {} decode row {} differs across swap at {}",
+                    i,
+                    t,
+                    evict_at
+                );
+            }
+        }
+        prop_assert!(
+            swapped.len() == cache.len()
+                && swapped.k(0) == cache.k(0)
+                && swapped.v(0) == cache.v(0),
+            "pinned final cache differs across swap"
         );
     }
 

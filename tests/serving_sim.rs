@@ -495,6 +495,19 @@ fn randomized_traces_match_the_sequential_reference_bitwise() {
         } else {
             AdmissionMode::PagedUsage
         };
+        // Every third trace parks victims in the swap arena instead of
+        // recomputing, and every sixth gets a byte cap tight enough that
+        // some parks fall back — all bitwise-invisible by construction.
+        let eviction = if trace_seed % 3 == 1 {
+            EvictionMode::Swap
+        } else {
+            EvictionMode::Recompute
+        };
+        let swap_bytes = if trace_seed % 6 == 4 {
+            96 * std::mem::size_of::<f64>()
+        } else {
+            usize::MAX
+        };
         let config = ServeConfig {
             max_in_flight: 1 + knobs.gen_range(0..5),
             kv_pages,
@@ -502,6 +515,8 @@ fn randomized_traces_match_the_sequential_reference_bitwise() {
             arrival_window: knobs.gen_range(0..3) as u64,
             prefill_chunk: 1 + knobs.gen_range(0..6),
             admission,
+            eviction,
+            swap_bytes,
         };
         let (mut scheduler, plans) = build_scheduler(2, config);
         let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
@@ -515,6 +530,18 @@ fn randomized_traces_match_the_sequential_reference_bitwise() {
             "trace {trace_seed}: all pages released"
         );
         assert_eq!(scheduler.kv_reserved_pages(), 0);
+        assert_eq!(
+            scheduler.swap_parked_bytes(),
+            0,
+            "trace {trace_seed}: a drained scheduler parks nothing"
+        );
+        if eviction == EvictionMode::Recompute {
+            assert_eq!(
+                scheduler.swap_peak_bytes(),
+                0,
+                "trace {trace_seed}: recompute never touches the arena"
+            );
+        }
         if admission == AdmissionMode::WorstCaseReserve {
             assert_eq!(
                 scheduler.preemption_events(),
@@ -545,6 +572,8 @@ fn preempted_and_resumed_sequences_complete_bitwise() {
         arrival_window: 0,
         prefill_chunk: 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let (mut scheduler, plans) = build_scheduler(2, config);
     let spec = TraceSpec {
@@ -563,6 +592,130 @@ fn preempted_and_resumed_sequences_complete_bitwise() {
     assert!(
         completions.iter().any(|c| c.preemptions > 0),
         "this workload must preempt: 4 sequences grow to 5 pages each in a 6-page pool"
+    );
+}
+
+/// The same deterministic preemption workload under
+/// [`EvictionMode::Swap`]: victims park their caches in the swap arena
+/// and resume by re-adopting pages in O(1). The mode must be invisible —
+/// every completion bitwise equal to the sequential reference *and*
+/// field-for-field identical (admission tick, completion tick, preemption
+/// count, output) to the evict-and-recompute run of the same trace.
+#[test]
+fn swapped_and_resumed_sequences_match_the_recompute_run_exactly() {
+    let spec = TraceSpec {
+        sequences: 4,
+        prompt: (2, 2),
+        decode: (8, 8),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xFACE,
+    };
+    let mut runs = Vec::new();
+    for eviction in [EvictionMode::Recompute, EvictionMode::Swap] {
+        let config = ServeConfig {
+            max_in_flight: 4,
+            kv_pages: 6,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 2,
+            admission: AdmissionMode::PagedUsage,
+            eviction,
+            swap_bytes: usize::MAX,
+        };
+        let (mut scheduler, plans) = build_scheduler(2, config);
+        let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+        let bound = starvation_bound(&trace, &config);
+        let (completions, _) = drive(&mut scheduler, &trace, bound);
+        check_completions(&scheduler, &trace, &completions);
+        assert!(
+            completions.iter().any(|c| c.preemptions > 0),
+            "{eviction:?}: this workload must preempt"
+        );
+        if eviction == EvictionMode::Swap {
+            assert!(
+                scheduler.swap_peak_bytes() > 0,
+                "swap mode with an unbounded arena must actually park bytes"
+            );
+            assert_eq!(
+                scheduler.swap_fallbacks(),
+                0,
+                "an unbounded arena never refuses a park"
+            );
+            assert_eq!(scheduler.swap_parked_bytes(), 0, "drained ⇒ arena empty");
+        }
+        runs.push(completions);
+    }
+    let (recompute, swap) = (&runs[0], &runs[1]);
+    assert_eq!(recompute.len(), swap.len());
+    for (r, s) in recompute.iter().zip(swap) {
+        assert_eq!(r.id, s.id, "eviction mode must not reorder completions");
+        assert_eq!(
+            r.admitted,
+            s.admitted,
+            "seq {}: admission tick differs",
+            r.id.as_u64()
+        );
+        assert_eq!(
+            r.completed,
+            s.completed,
+            "seq {}: completion tick differs",
+            r.id.as_u64()
+        );
+        assert_eq!(
+            r.preemptions,
+            s.preemptions,
+            "seq {}: preemption count differs",
+            r.id.as_u64()
+        );
+        assert_eq!(
+            r.output,
+            s.output,
+            "seq {}: output differs across modes",
+            r.id.as_u64()
+        );
+    }
+}
+
+/// Swap mode with a zero-byte arena: every park is refused and falls back
+/// to evict-and-recompute. The fallback is counted, the arena stays
+/// untouched, and the run remains bitwise equal to the reference.
+#[test]
+fn zero_byte_swap_arena_falls_back_to_recompute_bitwise() {
+    let config = ServeConfig {
+        max_in_flight: 4,
+        kv_pages: 6,
+        page_size: 2,
+        arrival_window: 0,
+        prefill_chunk: 2,
+        admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Swap,
+        swap_bytes: 0,
+    };
+    let (mut scheduler, plans) = build_scheduler(2, config);
+    let spec = TraceSpec {
+        sequences: 4,
+        prompt: (2, 2),
+        decode: (8, 8),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xFACE,
+    };
+    let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
+    let bound = starvation_bound(&trace, &config);
+    let (completions, _) = drive(&mut scheduler, &trace, bound);
+    check_completions(&scheduler, &trace, &completions);
+    assert!(completions.iter().any(|c| c.preemptions > 0));
+    assert!(
+        scheduler.swap_fallbacks() > 0,
+        "a zero-byte arena must refuse every park"
+    );
+    assert_eq!(
+        scheduler.swap_peak_bytes(),
+        0,
+        "refused parks leave no trace in the arena"
     );
 }
 
@@ -605,6 +758,14 @@ fn routed_and_auto_traces_match_the_sequential_reference_bitwise() {
             arrival_window: knobs.gen_range(0..3) as u64,
             prefill_chunk: 1 + knobs.gen_range(0..5),
             admission: AdmissionMode::PagedUsage,
+            // Alternate eviction modes: a routed cache's grouping rides
+            // the swapped cache, so swap resume must be bitwise too.
+            eviction: if trace_seed % 2 == 1 {
+                EvictionMode::Swap
+            } else {
+                EvictionMode::Recompute
+            },
+            swap_bytes: usize::MAX,
         };
         let (mut scheduler, patterns, routed) = build_adaptive_scheduler(2, config);
         let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &patterns);
@@ -652,6 +813,8 @@ fn one_tick_flattens_static_and_routed_sequences_into_shared_launches() {
         arrival_window: 0,
         prefill_chunk: 8,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let (mut scheduler, patterns, routed) = build_adaptive_scheduler(2, config);
     // Two sequences per pattern: the three static plans plus the bare
@@ -734,6 +897,8 @@ fn paged_admission_sustains_more_concurrency_than_reservation() {
             arrival_window: 0,
             prefill_chunk: 4,
             admission,
+            eviction: EvictionMode::Recompute,
+            swap_bytes: usize::MAX,
         };
         let (mut scheduler, plans) = build_scheduler(2, config);
         let trace: Vec<TraceEvent<f64>> = generate_trace(&spec, &plans);
@@ -766,6 +931,8 @@ fn equal_shape_bursts_complete_fifo_within_class_and_by_priority() {
         arrival_window: 0,
         prefill_chunk: 4,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let (mut scheduler, plans) = build_scheduler(2, config);
     let spec = TraceSpec {
@@ -819,6 +986,8 @@ fn launch_failure_rolls_back_and_over_capacity_is_rejected_cleanly() {
         arrival_window: 0,
         prefill_chunk: 4,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let mut scheduler: Scheduler<'static, f64> =
         Scheduler::new(AttentionEngine::with_threads(2), config).unwrap();
@@ -1006,6 +1175,14 @@ fn mixed_model_traces_match_the_sequential_references_bitwise() {
             } else {
                 AdmissionMode::PagedUsage
             },
+            // Alternate eviction modes: whole decoder stacks park and
+            // resume through the arena as a unit.
+            eviction: if trace_seed % 2 == 1 {
+                EvictionMode::Swap
+            } else {
+                EvictionMode::Recompute
+            },
+            swap_bytes: usize::MAX,
         };
         let (mut scheduler, plans, models) = build_mixed_scheduler(2, config);
         let attn: Vec<TraceEvent<f64>> = generate_trace(&attn_spec, &plans);
@@ -1044,6 +1221,8 @@ fn preempted_multi_layer_sequences_resume_and_complete_bitwise() {
         arrival_window: 0,
         prefill_chunk: 2,
         admission: AdmissionMode::PagedUsage,
+        eviction: EvictionMode::Recompute,
+        swap_bytes: usize::MAX,
     };
     let (mut scheduler, _, models) = build_mixed_scheduler(2, config);
     let stacked = models[1].0;
@@ -1069,4 +1248,75 @@ fn preempted_multi_layer_sequences_resume_and_complete_bitwise() {
     );
     assert!(scheduler.preemption_events() >= 1);
     assert_eq!(scheduler.kv_used_pages(), 0);
+}
+
+/// The multi-layer preemption scenario under [`EvictionMode::Swap`]: the
+/// victim's *whole decoder stack* (one cache per layer) parks in the
+/// arena as a unit and re-adopts as a unit. Completions stay bitwise
+/// equal to the sequential decoder-stack reference and identical to the
+/// recompute run — all three layers' worth of bytes transit the arena.
+#[test]
+fn swapped_multi_layer_stacks_park_and_resume_as_a_unit() {
+    let spec = TraceSpec {
+        sequences: 2,
+        prompt: (2, 2),
+        decode: (4, 4),
+        dk: 4,
+        arrival_gap: (0, 0),
+        priority_classes: 1,
+        seed: 0xCAFE,
+    };
+    let mut runs = Vec::new();
+    for eviction in [EvictionMode::Recompute, EvictionMode::Swap] {
+        let config = ServeConfig {
+            max_in_flight: 2,
+            kv_pages: 9,
+            page_size: 2,
+            arrival_window: 0,
+            prefill_chunk: 2,
+            admission: AdmissionMode::PagedUsage,
+            eviction,
+            swap_bytes: usize::MAX,
+        };
+        let (mut scheduler, _, models) = build_mixed_scheduler(2, config);
+        let stacked = models[1].0;
+        let model_trace: Vec<ModelTraceEvent<f64>> =
+            generate_model_trace(&spec, &[(stacked, models[1].1)]);
+        let bound = mixed_starvation_bound(&[], &model_trace, &config);
+        let completions = drive_mixed(&mut scheduler, &[], &model_trace, bound);
+        check_mixed_completions(&scheduler, &[], &model_trace, &completions);
+        assert!(
+            completions.iter().any(|c| c.preemptions > 0),
+            "{eviction:?}: this workload must preempt a multi-layer sequence"
+        );
+        if eviction == EvictionMode::Swap {
+            // The victim is a 3-layer f64 stack: its park must move a
+            // stack's worth of bytes, not a single layer's.
+            assert!(
+                scheduler.swap_peak_bytes() > 0,
+                "swap mode must park the evicted stack"
+            );
+            assert_eq!(scheduler.swap_fallbacks(), 0);
+            assert_eq!(scheduler.swap_parked_bytes(), 0, "drained ⇒ arena empty");
+        }
+        runs.push(completions);
+    }
+    let (recompute, swap) = (&runs[0], &runs[1]);
+    assert_eq!(recompute.len(), swap.len());
+    for (r, s) in recompute.iter().zip(swap) {
+        assert_eq!(r.id, s.id);
+        assert_eq!(
+            r.completed,
+            s.completed,
+            "seq {}: completion tick differs",
+            r.id.as_u64()
+        );
+        assert_eq!(r.preemptions, s.preemptions);
+        assert_eq!(
+            r.output,
+            s.output,
+            "seq {}: output differs across modes",
+            r.id.as_u64()
+        );
+    }
 }
